@@ -1,0 +1,61 @@
+// Fig 16: kernel-latency decomposition of the two representative workloads
+// (products = light, wiki-talk = heavy) into aggregation / edge weighting /
+// combination / sparse2dense / format translation, per framework.
+// Paper: format translation is 64.5% of DGL's GCN time on products;
+// Sparse2Dense costs PyG ~32% of NGCF time on heavy graphs.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gt;
+  using gpusim::KernelCategory;
+  bench::header("Fig 16", "training latency decomposition (us per batch)");
+
+  double dgl_translate_share_gcn_products = 0.0;
+  for (const auto& dataset_name :
+       {std::string(kRepresentativeLight), std::string(kRepresentativeHeavy)}) {
+    Dataset data = generate(dataset_name, bench::kSeed);
+    for (const char* model_name : {"GCN", "NGCF"}) {
+      const models::GnnModelConfig model = std::string(model_name) == "GCN"
+                                               ? bench::gcn_for(data)
+                                               : bench::ngcf_for(data);
+      Table table({"framework", "aggregate", "edge-weight", "combination",
+                   "sparse2dense", "translate", "other", "total"});
+      for (const auto& fw :
+           {std::string("DGL"), std::string("PyG"), std::string("GNNAdvisor"),
+            std::string("Base-GT")}) {
+        frameworks::RunReport r =
+            bench::run_one(fw, data, model, frameworks::BatchSpec{});
+        if (r.oom) {
+          table.add_row({fw, "OOM"});
+          continue;
+        }
+        const double other =
+            r.kernel_total_us -
+            r.kernel_us(KernelCategory::kAggregation) -
+            r.kernel_us(KernelCategory::kEdgeWeight) -
+            r.kernel_us(KernelCategory::kCombination) -
+            r.kernel_us(KernelCategory::kSparse2Dense) -
+            r.kernel_us(KernelCategory::kFormatTranslate);
+        table.add_row(
+            {fw, Table::fmt(r.kernel_us(KernelCategory::kAggregation), 1),
+             Table::fmt(r.kernel_us(KernelCategory::kEdgeWeight), 1),
+             Table::fmt(r.kernel_us(KernelCategory::kCombination), 1),
+             Table::fmt(r.kernel_us(KernelCategory::kSparse2Dense), 1),
+             Table::fmt(r.kernel_us(KernelCategory::kFormatTranslate), 1),
+             Table::fmt(other, 1), Table::fmt(r.kernel_total_us, 1)});
+        if (fw == "DGL" && dataset_name == kRepresentativeLight &&
+            std::string(model_name) == "GCN") {
+          dgl_translate_share_gcn_products =
+              r.kernel_us(KernelCategory::kFormatTranslate) /
+              r.kernel_total_us;
+        }
+      }
+      std::printf("-- %s / %s --\n", dataset_name.c_str(), model_name);
+      table.print();
+      std::printf("\n");
+    }
+  }
+  bench::claim("DGL GCN format-translation share on products", 0.645,
+               dgl_translate_share_gcn_products, " fraction");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig 19: end-to-end latency (preprocessing + training) across frameworks,
+// normalized to Dynamic-GT. Paper claims:
+//  * multi-threaded PyG trails DGL/Dynamic-GT by ~7.4% (no compute overlap),
+//  * SALIENT cuts end-to-end latency by 19.7% (light) / 51.1% (heavy),
+//  * Prepro-GT cuts a further 1.7x on average over Dynamic-GT.
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gt;
+  bench::header("Fig 19", "end-to-end latency normalized to Dynamic-GT "
+                          "(GCN; lower is better)");
+
+  const std::vector<std::string> fws{"PyG-MT", "DGL", "SALIENT", "Dynamic-GT",
+                                     "Prepro-GT"};
+  std::vector<double> salient_light, salient_heavy, prepro_all, pygmt_all;
+
+  Table table({"dataset", "PyG-MT", "DGL", "SALIENT", "Dynamic-GT",
+               "Prepro-GT", "Dynamic-GT us"});
+  for (const auto& name : bench::all_datasets()) {
+    Dataset data = generate(name, bench::kSeed);
+    const models::GnnModelConfig model = bench::gcn_for(data);
+    std::map<std::string, double> e2e;
+    for (const auto& fw : fws) {
+      frameworks::RunReport r =
+          bench::run_one(fw, data, model, frameworks::BatchSpec{});
+      e2e[fw] = r.end_to_end_us;
+    }
+    const double dyn = e2e["Dynamic-GT"];
+    table.add_row({name, Table::fmt_ratio(e2e["PyG-MT"] / dyn),
+                   Table::fmt_ratio(e2e["DGL"] / dyn),
+                   Table::fmt_ratio(e2e["SALIENT"] / dyn),
+                   "1.00x", Table::fmt_ratio(e2e["Prepro-GT"] / dyn),
+                   Table::fmt(dyn, 0)});
+    (data.spec.heavy_features ? salient_heavy : salient_light)
+        .push_back(1.0 - e2e["SALIENT"] / dyn);
+    prepro_all.push_back(dyn / e2e["Prepro-GT"]);
+    pygmt_all.push_back(e2e["PyG-MT"] / dyn);
+  }
+  table.print();
+  std::printf("\n");
+  bench::claim("PyG-MT vs Dynamic-GT (paper: +7.4%)", 1.074,
+               mean(pygmt_all));
+  bench::claim("SALIENT saving vs Dynamic-GT, light (paper 19.7%)", 0.197,
+               mean(salient_light), " fraction");
+  bench::claim("SALIENT saving vs Dynamic-GT, heavy (paper 51.1%)", 0.511,
+               mean(salient_heavy), " fraction");
+  bench::claim("Prepro-GT speedup over Dynamic-GT (paper 1.7x)", 1.7,
+               mean(prepro_all));
+  return 0;
+}

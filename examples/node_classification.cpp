@@ -1,0 +1,38 @@
+// Node-classification scenario: 2-layer GCN on a citation graph (scaled
+// ogbn-citation2), trained until held-out accuracy clears chance. Shows the
+// library used as a plain GNN trainer, with the framework backend selected
+// at runtime.
+//
+//   $ ./examples/node_classification [framework]
+#include <cstdio>
+#include <string>
+
+#include "core/graphtensor.hpp"
+
+int main(int argc, char** argv) {
+  const std::string backend = argc > 1 ? argv[1] : "Dynamic-GT";
+
+  gt::ServiceOptions options;
+  options.framework = backend;
+  options.batch_size = 128;
+  options.learning_rate = 0.3f;
+
+  gt::GnnService service(gt::generate("citation2", /*seed=*/42),
+                         gt::models::gcn(/*hidden=*/8, /*out=*/2), options);
+
+  std::printf("node classification on citation2 via %s\n", backend.c_str());
+  std::printf("initial held-out accuracy: %.1f%%\n",
+              100.0 * service.evaluate(2));
+
+  for (int round = 1; round <= 3; ++round) {
+    gt::EpochStats stats = service.train_epoch(10);
+    std::printf("round %d: mean loss %.4f, accuracy %.1f%%\n", round,
+                stats.mean_loss, 100.0 * service.evaluate(2));
+  }
+
+  const double final_acc = service.evaluate(4);
+  std::printf("final accuracy: %.1f%% (chance 50.0%%) -> %s\n",
+              100.0 * final_acc,
+              final_acc > 0.5 ? "learned signal" : "no better than chance");
+  return final_acc > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Recommendation-system scenario (the paper's NGCF motivation): train
+// neural graph collaborative filtering on a bipartite commerce graph
+// (scaled gowalla) and inspect how dynamic kernel placement behaves on a
+// heavy-feature, similarity-weighted model.
+//
+//   $ ./examples/recommendation
+#include <cstdio>
+
+#include "core/graphtensor.hpp"
+#include "frameworks/graphtensor.hpp"
+
+int main() {
+  gt::Dataset data = gt::generate("gowalla", /*seed=*/42);
+  std::printf(
+      "gowalla (user-item interactions): %u vertices, %llu edges, "
+      "%u-dim features (heavy)\n",
+      data.coo.num_vertices,
+      static_cast<unsigned long long>(data.coo.num_edges()),
+      data.spec.feature_dim);
+
+  // NGCF: similarity edge weights (SDDMM dot products) applied to a mean
+  // aggregation — exactly the mode configuration of paper Algorithm 10.
+  gt::models::GnnModelConfig ngcf =
+      gt::NapaProgram("NGCF")
+          .aggregate(gt::kernels::AggMode::kMean)
+          .edge_weight(gt::kernels::EdgeWeightMode::kDot)
+          .layers(2)
+          .hidden(data.spec.hidden_dim)
+          .classes(2)  // interact / not-interact propensity head
+          .build();
+
+  gt::frameworks::GraphTensorFramework framework(
+      gt::frameworks::GraphTensorFramework::Variant::kDynamic);
+  gt::models::ModelParams params(ngcf, data.spec.feature_dim, 7);
+
+  gt::frameworks::BatchSpec spec;
+  spec.batch_size = 128;
+  spec.order = gt::frameworks::OrderPolicy::kDynamic;
+  spec.learning_rate = 0.05f;
+
+  std::printf("\n%-6s %-9s %-12s %-12s %s\n", "batch", "loss", "kernels(us)",
+              "e2e(us)", "placement per layer (fwd)");
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    spec.batch_index = b;
+    gt::frameworks::RunReport r =
+        framework.run_batch(data, ngcf, params, spec);
+    std::printf("%-6llu %-9.4f %-12.1f %-12.1f L0=%s L1=%s%s\n",
+                static_cast<unsigned long long>(b), r.loss,
+                r.kernel_total_us, r.end_to_end_us,
+                r.layer_comb_first_fwd[0] ? "comb-first" : "agg-first",
+                r.layer_comb_first_fwd[1] ? "comb-first" : "agg-first",
+                framework.cost_model().fitted() ? "  [cost model fitted]"
+                                                : "  [exploring]");
+  }
+  std::printf(
+      "\nDKP cost model: %zu samples, mean relative error %.1f%% "
+      "(paper reports 12.5%%)\n",
+      framework.cost_model().sample_count(),
+      100.0 * framework.cost_model().mean_relative_error());
+  return 0;
+}

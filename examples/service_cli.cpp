@@ -1,0 +1,70 @@
+// Command-line GNN training service: pick any catalog dataset, model, and
+// framework backend and watch the per-batch reports — the "adopt this
+// library" entry point.
+//
+//   $ ./examples/service_cli [dataset] [model] [framework] [batches]
+//   $ ./examples/service_cli wiki-talk NGCF Prepro-GT 12
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/graphtensor.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+gt::models::GnnModelConfig model_by_name(const std::string& name,
+                                         const gt::DatasetSpec& spec) {
+  if (name == "GCN")
+    return gt::models::gcn(spec.hidden_dim, spec.output_dim);
+  if (name == "NGCF")
+    return gt::models::ngcf(spec.hidden_dim, spec.output_dim);
+  if (name == "GraphSAGE")
+    return gt::models::graphsage_sum(spec.hidden_dim, spec.output_dim);
+  if (name == "GAT")
+    return gt::models::gat_like(spec.hidden_dim, spec.output_dim);
+  std::fprintf(stderr, "unknown model '%s' (GCN|NGCF|GraphSAGE|GAT)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset_name = argc > 1 ? argv[1] : "products";
+  const std::string model_name = argc > 2 ? argv[2] : "GCN";
+  const std::string framework = argc > 3 ? argv[3] : "Prepro-GT";
+  const int batches = argc > 4 ? std::atoi(argv[4]) : 8;
+
+  gt::Dataset data = gt::generate(dataset_name, 42);
+  gt::models::GnnModelConfig model = model_by_name(model_name, data.spec);
+
+  gt::ServiceOptions options;
+  options.framework = framework;
+  options.learning_rate = 0.1f;
+  gt::GnnService service(std::move(data), model, options);
+
+  std::printf("training %s on %s via %s (%d batches of %zu)\n\n",
+              model_name.c_str(), dataset_name.c_str(), framework.c_str(),
+              batches, options.batch_size);
+
+  gt::Table table({"batch", "loss", "kernel us", "preproc us", "e2e us",
+                   "peak mem", "placement L0"});
+  for (int b = 0; b < batches; ++b) {
+    gt::frameworks::RunReport r = service.train_batch();
+    if (r.oom) {
+      table.add_row({std::to_string(b), "OOM: " + r.oom_what});
+      break;
+    }
+    table.add_row({std::to_string(b), gt::Table::fmt(r.loss, 4),
+                   gt::Table::fmt(r.kernel_total_us, 1),
+                   gt::Table::fmt(r.preproc_makespan_us, 1),
+                   gt::Table::fmt(r.end_to_end_us, 1),
+                   gt::Table::fmt_bytes(r.peak_memory_bytes),
+                   r.layer_comb_first_fwd[0] ? "comb-first" : "agg-first"});
+  }
+  table.print();
+  std::printf("\nheld-out accuracy: %.1f%% (chance %.1f%%)\n",
+              100.0 * service.evaluate(2), 100.0 / model.output_dim);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// GraphTensor public umbrella header.
+//
+// Layering (see DESIGN.md §3):
+//   graphtensor.hpp
+//     core/     GnnService, NapaProgram        — end-user API
+//     frameworks/ Base/Dynamic/Prepro-GT + baselines
+//     dfg/      Cost-DKP rewrite + cost model
+//     pipeline/ service-wide tensor scheduler
+//     kernels/  NAPA / Graph-approach / DL-approach GPU kernels
+//     sampling/ neighbor sampling, reindexing, lookup, transfer
+//     gpusim/   the simulated device
+//     models/ datasets/ graph/ tensor/ util/
+#pragma once
+
+#include "core/napa_program.hpp"            // IWYU pragma: export
+#include "core/service.hpp"                 // IWYU pragma: export
+#include "datasets/catalog.hpp"             // IWYU pragma: export
+#include "frameworks/framework.hpp"         // IWYU pragma: export
+#include "models/config.hpp"                // IWYU pragma: export
+#include "models/params.hpp"                // IWYU pragma: export

@@ -1,0 +1,43 @@
+// NAPA program builder — the user-facing way to assemble a GNN model from
+// the three primitives' modes, mirroring the paper's Algorithm 10:
+//
+//   auto model = gt::NapaProgram("NGCF")
+//                    .edge_weight(gt::kernels::EdgeWeightMode::kDot)
+//                    .aggregate(gt::kernels::AggMode::kMean)
+//                    .layers(2)
+//                    .hidden(8)
+//                    .classes(2)
+//                    .build();
+//
+// The paper counts >315K expressible designs; here the space is
+// f x g x layers x widths, every combination of which executes through
+// NeighborApply / Pull / Apply.
+#pragma once
+
+#include <string>
+
+#include "models/config.hpp"
+
+namespace gt {
+
+class NapaProgram {
+ public:
+  explicit NapaProgram(std::string name);
+
+  /// Aggregation function f for Pull.
+  NapaProgram& aggregate(kernels::AggMode f);
+  /// Edge weight function g for NeighborApply (h is applied inside Pull).
+  NapaProgram& edge_weight(kernels::EdgeWeightMode g);
+  NapaProgram& layers(std::uint32_t n);
+  NapaProgram& hidden(std::uint32_t dim);
+  NapaProgram& classes(std::uint32_t dim);
+
+  /// Validates and returns the model configuration. Throws
+  /// std::invalid_argument on zero layer/width values.
+  models::GnnModelConfig build() const;
+
+ private:
+  models::GnnModelConfig config_;
+};
+
+}  // namespace gt

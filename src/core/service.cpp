@@ -1,0 +1,92 @@
+#include "core/service.hpp"
+
+#include "kernels/reference.hpp"
+#include "pipeline/executor.hpp"
+
+namespace gt {
+
+GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
+                       ServiceOptions options)
+    : dataset_(std::move(dataset)),
+      model_(std::move(model)),
+      options_(options),
+      params_(model_, dataset_.spec.feature_dim, options.seed),
+      backend_(frameworks::make_framework(options.framework)) {}
+
+frameworks::RunReport GnnService::train_batch() {
+  frameworks::BatchSpec spec;
+  spec.batch_size = options_.batch_size;
+  spec.batch_index = next_batch_++;
+  spec.seed = options_.seed;
+  spec.order = options_.order;
+  spec.learning_rate = options_.learning_rate;
+  return backend_->run_batch(dataset_, model_, params_, spec);
+}
+
+frameworks::RunReport GnnService::infer_batch() {
+  frameworks::BatchSpec spec;
+  spec.batch_size = options_.batch_size;
+  spec.batch_index = next_batch_++;
+  spec.seed = options_.seed;
+  spec.order = options_.order;
+  spec.inference = true;
+  return backend_->run_batch(dataset_, model_, params_, spec);
+}
+
+EpochStats GnnService::train_epoch(std::size_t batches) {
+  EpochStats stats;
+  for (std::size_t i = 0; i < batches; ++i) {
+    frameworks::RunReport report = train_batch();
+    ++stats.batches;
+    if (report.oom) {
+      ++stats.oom_batches;
+      continue;
+    }
+    if (i == 0) stats.first_loss = report.loss;
+    stats.last_loss = report.loss;
+    stats.mean_loss += report.loss;
+    stats.mean_end_to_end_us += report.end_to_end_us;
+    stats.mean_kernel_us += report.kernel_total_us;
+  }
+  const double n =
+      static_cast<double>(stats.batches - stats.oom_batches);
+  if (n > 0) {
+    stats.mean_loss /= n;
+    stats.mean_end_to_end_us /= n;
+    stats.mean_kernel_us /= n;
+  }
+  return stats;
+}
+
+double GnnService::evaluate(std::size_t batches) {
+  // Held-out stream: offset the batch index far away from training.
+  const std::uint64_t eval_base = 1u << 20;
+  sampling::ReindexFormats formats{.coo = false, .csr = true, .csc = false};
+  pipeline::PreprocExecutor exec(dataset_.csr, dataset_.embeddings,
+                                 dataset_.spec.fanout, model_.num_layers,
+                                 options_.seed, formats);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const auto batch_vids =
+        exec.sampler().pick_batch(options_.batch_size, eval_base + b);
+    pipeline::PreprocResult pre = exec.run_serial(batch_vids);
+    Matrix x = pre.embeddings;
+    for (std::uint32_t l = 0; l < model_.num_layers; ++l) {
+      x = kernels::ref::forward_layer(
+          pre.layers[l].csr, x, params_.w(l), params_.b(l),
+          pre.layers[l].n_dst, model_.f, model_.g, model_.relu_at(l));
+    }
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      std::uint32_t best = 0;
+      for (std::uint32_t c = 1; c < x.cols(); ++c)
+        if (x.at(i, c) > x.at(i, best)) best = c;
+      const std::uint32_t label = synthetic_label(
+          pre.batch.vid_order[i], model_.output_dim, options_.seed);
+      correct += best == label;
+      ++total;
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+}  // namespace gt

@@ -1,0 +1,69 @@
+// GnnService: the end-user entry point. Owns a dataset, a model, its
+// parameters, and a framework backend; trains batch by batch and evaluates
+// classification accuracy against the synthetic labels.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/catalog.hpp"
+#include "frameworks/framework.hpp"
+#include "models/config.hpp"
+#include "models/params.hpp"
+
+namespace gt {
+
+struct ServiceOptions {
+  std::string framework = "Prepro-GT";
+  std::uint64_t seed = 42;
+  float learning_rate = 0.05f;
+  std::size_t batch_size = 300;
+  frameworks::OrderPolicy order = frameworks::OrderPolicy::kDynamic;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  double mean_end_to_end_us = 0.0;
+  double mean_kernel_us = 0.0;
+  std::size_t batches = 0;
+  std::size_t oom_batches = 0;
+};
+
+class GnnService {
+ public:
+  GnnService(Dataset dataset, models::GnnModelConfig model,
+             ServiceOptions options = {});
+
+  const Dataset& dataset() const noexcept { return dataset_; }
+  const models::GnnModelConfig& model() const noexcept { return model_; }
+  const models::ModelParams& params() const noexcept { return params_; }
+  const std::string& framework_name() const noexcept {
+    return options_.framework;
+  }
+
+  /// Train one batch; batches advance deterministically.
+  frameworks::RunReport train_batch();
+
+  /// Forward-only inference on the next batch (no parameter update).
+  frameworks::RunReport infer_batch();
+
+  /// Train `batches` consecutive batches.
+  EpochStats train_epoch(std::size_t batches);
+
+  /// Classification accuracy on `batches` *held-out* batches (a disjoint
+  /// deterministic batch stream), computed with the CPU reference forward.
+  double evaluate(std::size_t batches = 4);
+
+ private:
+  Dataset dataset_;
+  models::GnnModelConfig model_;
+  ServiceOptions options_;
+  models::ModelParams params_;
+  std::unique_ptr<frameworks::Framework> backend_;
+  std::uint64_t next_batch_ = 0;
+};
+
+}  // namespace gt

@@ -1,0 +1,76 @@
+// The ten-workload catalog of the paper's Table II, scaled to laptop size.
+//
+// Vertex/edge counts are scaled ~1/40 .. 1/2000 (largest graphs scaled the
+// most) and feature dims by 1/8, preserving the properties the evaluation
+// hinges on: the light/heavy feature split, degree-distribution shapes, the
+// edges-per-vertex ratio of sampled subgraphs, and the feature/hidden
+// dimensionality ratios that drive dynamic kernel placement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datasets/embedding.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace gt {
+
+enum class GraphFamily { kPowerLaw, kBipartite, kRoad };
+
+/// Reference values copied from the paper's Table II (full-scale), reported
+/// alongside our scaled measurements by bench_table2_datasets.
+struct PaperStats {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint32_t feature_dim = 0;
+  double sampled_edges_per_vertex = 0.0;
+  std::uint32_t output_dim = 0;
+};
+
+struct DatasetSpec {
+  std::string name;
+  GraphFamily family = GraphFamily::kPowerLaw;
+  Vid num_vertices = 0;      // scaled
+  Eid num_edges = 0;         // scaled (approximate for kRoad)
+  double alpha = 0.7;        // Zipf skew for kPowerLaw / kBipartite
+  std::uint32_t feature_dim = 0;  // scaled
+  std::uint32_t hidden_dim = 8;   // paper: 64, scaled /8 with features
+  std::uint32_t output_dim = 2;
+  bool heavy_features = false;
+  std::uint32_t fanout = 2;       // neighbor-sampling fan-out per layer
+  std::uint32_t num_layers = 2;
+  std::uint32_t batch_size = 300; // dst vertices per batch (paper §VI)
+  PaperStats paper;
+};
+
+/// A fully generated workload: graph in both COO (edge-centric source of
+/// truth) and dst-indexed CSR (what sampling traverses), plus features.
+struct Dataset {
+  DatasetSpec spec;
+  Coo coo;
+  Csr csr;
+  EmbeddingTable embeddings;
+};
+
+/// All ten Table II workloads, in paper order (light features first).
+const std::vector<DatasetSpec>& catalog();
+
+/// Lookup by name; throws std::out_of_range on unknown name.
+const DatasetSpec& find_spec(std::string_view name);
+
+/// Deterministically generate a workload from its spec.
+Dataset generate(const DatasetSpec& spec, std::uint64_t seed = 42);
+
+/// Convenience: generate by catalog name.
+Dataset generate(std::string_view name, std::uint64_t seed = 42);
+
+/// The two representative workloads used for deep-dive figures
+/// (products = light, wiki-talk = heavy).
+inline constexpr std::string_view kRepresentativeLight = "products";
+inline constexpr std::string_view kRepresentativeHeavy = "wiki-talk";
+
+}  // namespace gt

@@ -1,0 +1,49 @@
+#include "datasets/embedding.hpp"
+
+#include <stdexcept>
+
+namespace gt {
+
+namespace {
+inline std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+EmbeddingTable::EmbeddingTable(std::size_t num_vertices, std::size_t dim,
+                               std::uint64_t seed)
+    : num_vertices_(num_vertices), dim_(dim), seed_(seed) {
+  if (dim == 0) throw std::invalid_argument("embedding dim must be > 0");
+}
+
+float EmbeddingTable::value(Vid vid, std::size_t col) const noexcept {
+  const std::uint64_t h =
+      mix(seed_ ^ (static_cast<std::uint64_t>(vid) << 24) ^ col);
+  // Top 24 bits -> [-1, 1).
+  return static_cast<float>(h >> 40) * (2.0f / 16777216.0f) - 1.0f;
+}
+
+Matrix EmbeddingTable::gather(std::span<const Vid> vids) const {
+  Matrix out(vids.size(), dim_);
+  for (std::size_t r = 0; r < vids.size(); ++r) gather_row(vids[r], out.row(r));
+  return out;
+}
+
+void EmbeddingTable::gather_row(Vid vid, std::span<float> out) const {
+  if (vid >= num_vertices_)
+    throw std::out_of_range("EmbeddingTable::gather_row: vid out of range");
+  for (std::size_t c = 0; c < dim_; ++c) out[c] = value(vid, c);
+}
+
+std::uint32_t synthetic_label(Vid vid, std::uint32_t num_classes,
+                              std::uint64_t seed) {
+  return static_cast<std::uint32_t>(
+      mix(seed ^ 0x6c62272e07bb0142ull ^ vid) % num_classes);
+}
+
+}  // namespace gt

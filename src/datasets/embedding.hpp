@@ -1,0 +1,56 @@
+// Virtual embedding table.
+//
+// Several paper datasets carry no real features ("we create the embeddings
+// whose dimensionality is the same as what the industry uses", §VI); all of
+// them are synthetic here. Rather than materializing V x F floats (the
+// heavy-feature tables would be hundreds of MB), values are a deterministic
+// hash of (vid, column): any gather of the same rows yields identical data,
+// storage is O(1), and the table's *logical* size still drives every
+// normalization metric (memory bloat, cache bloat are reported relative to
+// table bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gt {
+
+class EmbeddingTable {
+ public:
+  EmbeddingTable(std::size_t num_vertices, std::size_t dim,
+                 std::uint64_t seed);
+
+  std::size_t num_vertices() const noexcept { return num_vertices_; }
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Logical size of the full table if materialized.
+  std::size_t table_bytes() const noexcept {
+    return num_vertices_ * dim_ * sizeof(float);
+  }
+
+  /// Deterministic feature value in [-1, 1).
+  float value(Vid vid, std::size_t col) const noexcept;
+
+  /// Gather the rows for `vids` (in order) into a dense matrix — the
+  /// embedding-lookup (K) primitive.
+  Matrix gather(std::span<const Vid> vids) const;
+
+  /// Write one row into `out` (size dim). Used by chunked pipelined lookup.
+  void gather_row(Vid vid, std::span<float> out) const;
+
+ private:
+  std::size_t num_vertices_;
+  std::size_t dim_;
+  std::uint64_t seed_;
+};
+
+/// Deterministic class label in [0, num_classes) for supervised examples.
+std::uint32_t synthetic_label(Vid vid, std::uint32_t num_classes,
+                              std::uint64_t seed);
+
+}  // namespace gt

@@ -1,0 +1,117 @@
+#include "datasets/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace gt {
+
+namespace {
+
+/// Walker alias table for O(1) sampling from a discrete distribution.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    prob_.resize(n);
+    alias_.resize(n);
+    double total = 0.0;
+    for (double w : weights) total += w;
+    std::vector<double> scaled(n);
+    std::vector<std::size_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::size_t s = small.back();
+      small.pop_back();
+      const std::size_t l = large.back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = scaled[l] + scaled[s] - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (std::size_t i : large) prob_[i] = 1.0;
+    for (std::size_t i : small) prob_[i] = 1.0;
+  }
+
+  std::size_t sample(Xoshiro256& rng) const {
+    const std::size_t i = rng.uniform(prob_.size());
+    return rng.uniform_real() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+std::vector<double> zipf_weights(std::size_t n, double alpha) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  return w;
+}
+
+}  // namespace
+
+Coo generate_power_law(Vid num_vertices, Eid num_edges, double alpha,
+                       std::uint64_t seed) {
+  if (num_vertices < 2) throw std::invalid_argument("need >= 2 vertices");
+  Xoshiro256 rng(seed);
+  AliasTable table(zipf_weights(num_vertices, alpha));
+  GraphBuilder builder(num_vertices);
+  // Vertex identity is shuffled through a fixed permutation so high-degree
+  // hubs are spread over the VID space (like real renumbered datasets).
+  std::vector<Vid> perm(num_vertices);
+  for (Vid v = 0; v < num_vertices; ++v) perm[v] = v;
+  for (Vid v = num_vertices - 1; v > 0; --v) {
+    const Vid j = static_cast<Vid>(rng.uniform(v + 1));
+    std::swap(perm[v], perm[j]);
+  }
+  for (Eid e = 0; e < num_edges; ++e) {
+    Vid s = perm[table.sample(rng)];
+    Vid d = perm[table.sample(rng)];
+    if (s == d) d = perm[(static_cast<std::size_t>(d) + 1) % num_vertices];
+    builder.add_edge(s, d);
+  }
+  return builder.build_coo();
+}
+
+Coo generate_bipartite(Vid num_users, Vid num_items, Eid num_edges,
+                       double alpha, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  AliasTable items(zipf_weights(num_items, alpha));
+  const Vid n = num_users + num_items;
+  GraphBuilder builder(n);
+  for (Eid e = 0; e < num_edges / 2; ++e) {
+    const Vid user = static_cast<Vid>(rng.uniform(num_users));
+    const Vid item = num_users + static_cast<Vid>(items.sample(rng));
+    builder.add_undirected(user, item);
+  }
+  return builder.build_coo();
+}
+
+Coo generate_road(Vid num_vertices, double edge_keep_prob,
+                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const Vid side = static_cast<Vid>(std::sqrt(static_cast<double>(num_vertices)));
+  if (side < 2) throw std::invalid_argument("road graph too small");
+  const Vid n = side * side;
+  GraphBuilder builder(n);
+  for (Vid r = 0; r < side; ++r) {
+    for (Vid c = 0; c < side; ++c) {
+      const Vid v = r * side + c;
+      if (c + 1 < side && rng.uniform_real() < edge_keep_prob)
+        builder.add_undirected(v, v + 1);
+      if (r + 1 < side && rng.uniform_real() < edge_keep_prob)
+        builder.add_undirected(v, v + side);
+    }
+  }
+  return builder.build_coo();
+}
+
+}  // namespace gt

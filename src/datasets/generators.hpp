@@ -1,0 +1,33 @@
+// Synthetic graph generators standing in for the paper's OGB / GraphSAINT /
+// SNAP datasets (DESIGN.md §2). Each family reproduces the degree-shape that
+// matters for the evaluation: heavy-tailed social/web graphs, near-uniform
+// road networks, and bipartite-flavoured commerce graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+#include "util/rng.hpp"
+
+namespace gt {
+
+/// Heavy-tailed directed graph (social networks, web, citations).
+/// Vertex weights w_v ~ v^-alpha (Zipf); both endpoints of each edge are
+/// drawn from the weight distribution (Chung-Lu flavour). alpha in (0, 1]
+/// controls skew: larger alpha -> heavier tail.
+Coo generate_power_law(Vid num_vertices, Eid num_edges, double alpha,
+                       std::uint64_t seed);
+
+/// Commerce / interaction graph: a small "item" partition with Zipf
+/// popularity receives edges from a large "user" partition; edges go in
+/// both directions so dst degrees stay heavy-tailed.
+Coo generate_bipartite(Vid num_users, Vid num_items, Eid num_edges,
+                       double alpha, std::uint64_t seed);
+
+/// Road-network-like graph: 2D grid, each vertex linked to a subset of its
+/// 4 neighbours (directed both ways), yielding a tight, low-variance degree
+/// distribution around 2-4.
+Coo generate_road(Vid num_vertices, double edge_keep_prob,
+                  std::uint64_t seed);
+
+}  // namespace gt

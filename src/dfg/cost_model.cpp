@@ -1,0 +1,157 @@
+#include "dfg/cost_model.hpp"
+
+#include <cmath>
+
+#include "dfg/least_squares.hpp"
+
+namespace gt::dfg {
+
+const char* to_string(KernelOrder order) {
+  return order == KernelOrder::kAggregationFirst ? "aggregation-first"
+                                                 : "combination-first";
+}
+
+std::array<double, DkpCostModel::kFeatures> DkpCostModel::features(
+    const LayerDims& d, const PlacementCase& c) {
+  const auto with_case = [](double mem,
+                            double macs) -> std::array<double, kFeatures> {
+    return {1.0, mem, macs};
+  };
+  const double src = static_cast<double>(d.n_src);
+  const double dst = static_cast<double>(d.n_dst);
+  const double e = static_cast<double>(d.n_edges);
+  const double f = static_cast<double>(d.n_feat);
+  const double h = static_cast<double>(d.n_hidden);
+
+  // NeighborApply (edge weighting) always runs in the original F-wide
+  // space and its gradient passes re-read src/dst rows per edge.
+  const double weighting_mem =
+      c.edge_weighted ? (c.backward ? 3.0 * e * f : 2.0 * e * f) : 0.0;
+  double mem = 0.0, macs = 0.0;
+  if (!c.backward) {
+    if (c.order == KernelOrder::kAggregationFirst) {
+      // Pull reads F-wide source rows per edge and writes dst rows; the
+      // fused MatMul+bias reads those and writes H-wide outputs.
+      mem = e * f + dst * (2.0 * f + h);
+      macs = dst * f * h;
+    } else {
+      // MatMul over all src rows, Pull over H-wide rows, bias on dst.
+      mem = src * (f + h) + e * h + dst * 2.0 * h;
+      macs = src * f * h;
+    }
+    return with_case(mem + weighting_mem, macs);
+  }
+  if (c.order == KernelOrder::kAggregationFirst) {
+    if (c.first_layer) {
+      // Only dW = A^T dZ and db run: dst-sized tensors, no traversal.
+      mem = dst * (f + h) + f * h;
+      macs = dst * f * h;
+      return with_case(mem, macs);
+    }
+    // relu/matmul backward on dst rows, then the F-wide edge scatter.
+    mem = dst * (f + 2.0 * h) + e * f + src * f + f * h;
+    macs = 2.0 * dst * f * h;
+    return with_case(mem + weighting_mem, macs);
+  }
+  // Combination-first backward: bias/relu grad on dst, pull-backward over
+  // edges at H width producing dT on src rows, then the matmul backward.
+  // dW always needs the traversal; dX (src*f*h MACs more) only when the
+  // layer is not first.
+  mem = dst * 2.0 * h + e * h + src * (h + f) + f * h;
+  macs = (c.first_layer ? 1.0 : 2.0) * src * f * h;
+  return with_case(mem + weighting_mem, macs);
+}
+
+void DkpCostModel::record(const LayerDims& dims, const PlacementCase& c,
+                          double latency_us) {
+  xs_.push_back(features(dims, c));
+  ys_.push_back(latency_us);
+}
+
+void DkpCostModel::fit() {
+  if (xs_.empty()) return;
+  // Relative least squares: scale each sample's features and target by
+  // 1/latency, so minimizing ||A c - y|| minimizes sum((pred/y - 1)^2).
+  std::vector<std::vector<double>> a;
+  std::vector<double> y;
+  a.reserve(xs_.size());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (ys_[i] <= 0.0) continue;
+    std::vector<double> row(xs_[i].begin(), xs_[i].end());
+    for (double& v : row) v /= ys_[i];
+    a.push_back(std::move(row));
+    y.push_back(1.0);
+  }
+  if (a.empty()) return;
+  const std::vector<double> c = least_squares(a, y);
+  for (std::size_t k = 0; k < kFeatures; ++k) coeff_[k] = c[k];
+  // A fit that learned a non-positive unit cost is extrapolating from too
+  // few placements; fall back to the analytic defaults for that term.
+  if (coeff_[1] <= 0.0) coeff_[1] = 4.0 / 9.36e3;
+  if (coeff_[2] <= 0.0) coeff_[2] = 2.0 / 3.56e6;
+  fitted_ = true;
+}
+
+double DkpCostModel::predict(const LayerDims& dims,
+                             const PlacementCase& c) const {
+  const auto x = features(dims, c);
+  if (fitted_) {
+    double t = 0.0;
+    for (std::size_t k = 0; k < kFeatures; ++k) t += coeff_[k] * x[k];
+    return std::max(t, 0.0);
+  }
+  // Analytic defaults mirroring gpusim::CostParams: 4 bytes per element at
+  // the scaled DRAM bandwidth, 2 FLOPs per MAC at the scaled *dense*
+  // throughput (the MACs counted here are all MLP work).
+  constexpr double kMemUs = 4.0 / 9.36e3;
+  constexpr double kMacUs = 2.0 / 3.56e6;
+  return x[1] * kMemUs + x[2] * kMacUs;
+}
+
+KernelOrder DkpCostModel::decide(const LayerDims& dims, bool backward,
+                                 bool first_layer, bool edge_weighted) const {
+  const double t_agg = predict(
+      dims, PlacementCase{KernelOrder::kAggregationFirst, backward,
+                          first_layer, edge_weighted});
+  const double t_comb = predict(
+      dims, PlacementCase{KernelOrder::kCombinationFirst, backward,
+                          first_layer, edge_weighted});
+  return t_agg <= t_comb ? KernelOrder::kAggregationFirst
+                         : KernelOrder::kCombinationFirst;
+}
+
+KernelOrder DkpCostModel::decide_training(const LayerDims& dims,
+                                          bool first_layer,
+                                          bool edge_weighted) const {
+  const auto total = [&](KernelOrder order) {
+    return predict(dims, PlacementCase{order, false, first_layer,
+                                       edge_weighted}) +
+           predict(dims,
+                   PlacementCase{order, true, first_layer, edge_weighted});
+  };
+  // The rearrangement is conditional (paper SIV-A): deviate from the
+  // default placement only when the predicted win clears the model's own
+  // error margin, so borderline mispredictions cannot regress training.
+  constexpr double kMargin = 0.9;
+  return total(KernelOrder::kCombinationFirst) <
+                 kMargin * total(KernelOrder::kAggregationFirst)
+             ? KernelOrder::kCombinationFirst
+             : KernelOrder::kAggregationFirst;
+}
+
+double DkpCostModel::mean_relative_error() const {
+  if (!fitted_ || xs_.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    double pred = 0.0;
+    for (std::size_t k = 0; k < kFeatures; ++k)
+      pred += coeff_[k] * xs_[i][k];
+    if (ys_[i] <= 0.0) continue;
+    total += std::abs(pred - ys_[i]) / ys_[i];
+    ++n;
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace gt::dfg

@@ -1,0 +1,129 @@
+#include "dfg/graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gt::dfg {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:         return "Input";
+    case OpKind::kNeighborApply: return "NeighborApply";
+    case OpKind::kPull:          return "Pull";
+    case OpKind::kMatMul:        return "MatMul";
+    case OpKind::kBiasAdd:       return "BiasAdd";
+    case OpKind::kRelu:          return "ReLU";
+    case OpKind::kCostDkp:       return "Cost-DKP";
+    case OpKind::kOutput:        return "Output";
+  }
+  return "?";
+}
+
+NodeId DfgGraph::add_node(OpKind kind, std::uint32_t layer,
+                          std::vector<NodeId> inputs) {
+  for (NodeId in : inputs)
+    if (in >= nodes_.size())
+      throw std::out_of_range("DfgGraph::add_node: input from the future");
+  nodes_.push_back(DfgNode{kind, layer, std::move(inputs), false});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::size_t DfgGraph::live_size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (!node.erased) ++n;
+  return n;
+}
+
+std::vector<NodeId> DfgGraph::topo_order() const {
+  std::vector<NodeId> order;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].erased) continue;
+    for (NodeId in : nodes_[id].inputs)
+      if (!nodes_[in].erased && in >= id)
+        throw std::logic_error("DfgGraph: not topologically ordered");
+    order.push_back(id);
+  }
+  return order;
+}
+
+std::size_t DfgGraph::rewrite_dkp() {
+  std::size_t replaced = 0;
+  for (NodeId mm = 0; mm < nodes_.size(); ++mm) {
+    DfgNode& matmul = nodes_[mm];
+    if (matmul.erased || matmul.kind != OpKind::kMatMul) continue;
+    // Find a live Pull feeding this MatMul.
+    NodeId pull_id = kNoNode;
+    for (NodeId in : matmul.inputs) {
+      if (!nodes_[in].erased && nodes_[in].kind == OpKind::kPull) {
+        pull_id = in;
+        break;
+      }
+    }
+    if (pull_id == kNoNode) continue;
+
+    // Splice: Cost-DKP inherits Pull's inputs; everything that consumed
+    // the MatMul now consumes the Cost-DKP node.
+    const NodeId dkp = add_node(OpKind::kCostDkp, matmul.layer,
+                                nodes_[pull_id].inputs);
+    for (DfgNode& consumer : nodes_) {
+      if (consumer.erased) continue;
+      for (NodeId& in : consumer.inputs)
+        if (in == mm) in = dkp;
+    }
+    nodes_[mm].erased = true;
+    nodes_[pull_id].erased = true;
+    ++replaced;
+  }
+  return replaced;
+}
+
+bool DfgGraph::has_dkp(std::uint32_t layer) const {
+  for (const auto& node : nodes_)
+    if (!node.erased && node.kind == OpKind::kCostDkp && node.layer == layer)
+      return true;
+  return false;
+}
+
+std::string DfgGraph::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  // Nodes were appended in chain order; rewrites appended Cost-DKP nodes at
+  // the end, so print in (layer, position) order.
+  for (std::uint32_t layer = 0;; ++layer) {
+    bool any = false;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      const DfgNode& node = nodes_[id];
+      if (node.erased || node.layer != layer) continue;
+      any = true;
+      if (!first) os << " -> ";
+      first = false;
+      os << gt::dfg::to_string(node.kind);
+      if (node.kind != OpKind::kInput && node.kind != OpKind::kOutput)
+        os << "(L" << node.layer << ")";
+    }
+    if (!any && layer > 0) break;
+  }
+  return os.str();
+}
+
+DfgGraph build_gnn_dfg(std::uint32_t num_layers, bool edge_weighted) {
+  DfgGraph g;
+  NodeId prev = g.add_node(OpKind::kInput, 0);
+  for (std::uint32_t l = 0; l < num_layers; ++l) {
+    std::vector<NodeId> pull_inputs{prev};
+    if (edge_weighted) {
+      NodeId na = g.add_node(OpKind::kNeighborApply, l, {prev});
+      pull_inputs.push_back(na);
+    }
+    NodeId pull = g.add_node(OpKind::kPull, l, std::move(pull_inputs));
+    NodeId mm = g.add_node(OpKind::kMatMul, l, {pull});
+    NodeId bias = g.add_node(OpKind::kBiasAdd, l, {mm});
+    prev = bias;
+    if (l + 1 < num_layers) prev = g.add_node(OpKind::kRelu, l, {bias});
+  }
+  g.add_node(OpKind::kOutput, num_layers - 1, {prev});
+  return g;
+}
+
+}  // namespace gt::dfg

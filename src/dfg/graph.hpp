@@ -1,0 +1,78 @@
+// Dataflow-graph representation of a GNN model and the kernel
+// orchestrator's Cost-DKP rewrite (paper Fig 11c).
+//
+// A model's DFG is a chain of per-layer op nodes
+//   [NeighborApply?] -> Pull -> MatMul -> BiasAdd -> [ReLU]
+// built at model-construction time. Since reordering delegated kernels on
+// the GPU side is impossible, the orchestrator rewrites the graph on the
+// host *before* execution: each Pull + MatMul pair is replaced by a single
+// Cost-DKP node whose inputs/outputs take over the originals' links; at
+// runtime the node consults the cost model and runs the two kernels in
+// whichever order is cheaper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/common.hpp"
+
+namespace gt::dfg {
+
+enum class OpKind : std::uint8_t {
+  kInput,
+  kNeighborApply,
+  kPull,
+  kMatMul,
+  kBiasAdd,
+  kRelu,
+  kCostDkp,  // fused Pull+MatMul with runtime placement decision
+  kOutput,
+};
+
+const char* to_string(OpKind kind);
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = ~0u;
+
+struct DfgNode {
+  OpKind kind = OpKind::kInput;
+  std::uint32_t layer = 0;            // which GNN layer this op belongs to
+  std::vector<NodeId> inputs;
+  bool erased = false;                // true after a rewrite removed it
+};
+
+class DfgGraph {
+ public:
+  NodeId add_node(OpKind kind, std::uint32_t layer,
+                  std::vector<NodeId> inputs = {});
+
+  const DfgNode& node(NodeId id) const { return nodes_.at(id); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::size_t live_size() const noexcept;
+
+  /// Topological order of live nodes (insertion order is already
+  /// topological for chains; this validates and filters).
+  std::vector<NodeId> topo_order() const;
+
+  /// The orchestrator rewrite: for every layer whose Pull feeds a MatMul,
+  /// erase both and splice in a Cost-DKP node carrying their links.
+  /// Returns the number of pairs replaced.
+  std::size_t rewrite_dkp();
+
+  /// True iff `layer` executes through a Cost-DKP node.
+  bool has_dkp(std::uint32_t layer) const;
+
+  /// Human-readable chain, e.g. "Input -> Pull(L0) -> MatMul(L0) -> ...".
+  std::string to_string() const;
+
+ private:
+  std::vector<DfgNode> nodes_;
+};
+
+/// Build the standard GNN model DFG: `num_layers` layers, each
+/// [NeighborApply?] -> Pull -> MatMul -> BiasAdd -> [ReLU], ReLU on all but
+/// the last layer, NeighborApply present iff the model weights edges.
+DfgGraph build_gnn_dfg(std::uint32_t num_layers, bool edge_weighted);
+
+}  // namespace gt::dfg

@@ -1,0 +1,19 @@
+// Ordinary least squares via normal equations — the paper fits the DKP
+// cost-model coefficients with least-squares estimation against measured
+// kernel execution times (§V-A, ref [26]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gt::dfg {
+
+/// Solve min ||A c - y||_2 for c, where A is row-major n x k (n samples of
+/// k features). Returns the k coefficients. Uses normal equations with a
+/// small ridge term for stability; throws std::invalid_argument on
+/// mismatched sizes or n == 0.
+std::vector<double> least_squares(const std::vector<std::vector<double>>& a,
+                                  const std::vector<double>& y,
+                                  double ridge = 1e-9);
+
+}  // namespace gt::dfg

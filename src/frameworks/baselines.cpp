@@ -1,0 +1,316 @@
+#include "frameworks/baselines.hpp"
+
+#include "frameworks/common.hpp"
+#include "kernels/dl_approach.hpp"
+#include "kernels/graph_approach.hpp"
+#include "kernels/napa.hpp"
+
+namespace gt::frameworks {
+
+using gpusim::BufferId;
+using gpusim::kInvalidBuffer;
+using kernels::AggMode;
+using kernels::EdgeWeightMode;
+namespace dl = kernels::dl;
+namespace graphsim = kernels::graphsim;
+namespace napa = kernels::napa;
+
+BaselineOptions pyg_options() {
+  BaselineOptions o;
+  o.compute = BaselineOptions::Compute::kDl;
+  o.strategy = pipeline::PreprocStrategy::kSerial;
+  return o;
+}
+
+BaselineOptions pyg_mt_options() {
+  BaselineOptions o = pyg_options();
+  o.strategy = pipeline::PreprocStrategy::kParallelTasks;
+  return o;
+}
+
+BaselineOptions dgl_options() {
+  BaselineOptions o;
+  o.compute = BaselineOptions::Compute::kGraph;
+  o.strategy = pipeline::PreprocStrategy::kParallelTasks;
+  o.overlap_compute = true;
+  return o;
+}
+
+BaselineOptions gnnadvisor_options() {
+  BaselineOptions o;
+  o.compute = BaselineOptions::Compute::kAdvisor;
+  o.strategy = pipeline::PreprocStrategy::kSerial;
+  return o;
+}
+
+BaselineOptions salient_options() {
+  BaselineOptions o;
+  o.compute = BaselineOptions::Compute::kDl;
+  o.strategy = pipeline::PreprocStrategy::kParallelTasks;
+  o.pinned_memory = true;
+  o.pipelined_kt = true;
+  o.overlap_compute = true;
+  return o;
+}
+
+namespace {
+
+/// Per-layer forward artifacts a baseline retains for its backward pass.
+struct LayerCache {
+  BufferId weights = kInvalidBuffer;
+  BufferId aggr = kInvalidBuffer;
+  BufferId transformed = kInvalidBuffer;  // combination-first only
+  BufferId pre_act = kInvalidBuffer;
+  BufferId out = kInvalidBuffer;
+  kernels::DeviceCsr translated_csr;  // DGL: device-built CSR of this layer
+  bool has_translated = false;
+  bool comb_first = false;
+};
+
+struct LayerIo {
+  gpusim::Device& dev;
+  const models::GnnModelConfig& model;
+  const BaselineOptions& opt;
+};
+
+LayerCache forward_dl(LayerIo io, const kernels::DeviceCsr& csr, BufferId x,
+                      BufferId w, BufferId b, bool relu, bool comb_first,
+                      bool advisor) {
+  LayerCache cache;
+  cache.comb_first = comb_first;
+  const AggMode f = io.model.f;
+  const EdgeWeightMode g = io.model.g;
+  if (!comb_first) {
+    if (advisor && g == EdgeWeightMode::kNone) {
+      cache.aggr = dl::aggregate_neighbor_groups(io.dev, csr, x, f,
+                                                 io.opt.advisor_group_size);
+    } else {
+      cache.aggr = dl::forward_aggregate(io.dev, csr, x, f, g, &cache.weights);
+    }
+    cache.out = napa::apply_dense(io.dev, cache.aggr, w, b, relu,
+                                  &cache.pre_act);
+    return cache;
+  }
+  // Combination-first (unweighted models only).
+  cache.transformed = napa::apply_matmul(io.dev, x, w);
+  if (advisor) {
+    cache.aggr = dl::aggregate_neighbor_groups(io.dev, csr, cache.transformed,
+                                               f, io.opt.advisor_group_size);
+  } else {
+    BufferId unused = kInvalidBuffer;
+    cache.aggr = dl::forward_aggregate(io.dev, csr, cache.transformed, f,
+                                       EdgeWeightMode::kNone, &unused);
+  }
+  cache.out = napa::apply_bias_act(io.dev, cache.aggr, b, relu,
+                                   &cache.pre_act);
+  return cache;
+}
+
+napa::DenseGrads backward_dl(LayerIo io, const kernels::DeviceCsr& csr,
+                             BufferId x, BufferId w, const LayerCache& cache,
+                             BufferId dy, bool relu, bool want_dx) {
+  const AggMode f = io.model.f;
+  const EdgeWeightMode g = io.model.g;
+  napa::DenseGrads grads;
+  if (!cache.comb_first) {
+    napa::DenseGrads dense = napa::apply_dense_backward(
+        io.dev, cache.aggr, w, cache.pre_act, dy, relu, want_dx);
+    grads.dw = dense.dw;
+    grads.db = dense.db;
+    if (want_dx) {
+      grads.dx = dl::backward_aggregate(io.dev, csr, x, cache.weights,
+                                        dense.dx, f, g);
+      io.dev.free(dense.dx);
+    }
+    return grads;
+  }
+  // Combination-first backward: bias/act, scatter-back in hidden space,
+  // then the matmul backward. dW needs dT, so the graph traversal cannot
+  // be skipped even for the first layer.
+  napa::BiasActGrads bias =
+      napa::apply_bias_act_backward(io.dev, cache.pre_act, dy, relu);
+  grads.db = bias.db;
+  BufferId dt = dl::backward_aggregate(io.dev, csr, cache.transformed,
+                                       kInvalidBuffer, bias.dx, f,
+                                       EdgeWeightMode::kNone);
+  napa::MatmulGrads mm =
+      napa::apply_matmul_backward(io.dev, x, w, dt, want_dx);
+  grads.dw = mm.dw;
+  grads.dx = mm.dx;
+  io.dev.free(dt);
+  io.dev.free(bias.dx);
+  return grads;
+}
+
+LayerCache forward_graph(LayerIo io, const kernels::DeviceCoo& coo,
+                         BufferId x, BufferId w, BufferId b, bool relu,
+                         bool comb_first) {
+  LayerCache cache;
+  cache.comb_first = comb_first;
+  const AggMode f = io.model.f;
+  const EdgeWeightMode g = io.model.g;
+  if (g != EdgeWeightMode::kNone)
+    cache.weights = graphsim::sddmm_edgewise(io.dev, coo, x, g);
+  if (comb_first) cache.transformed = napa::apply_matmul(io.dev, x, w);
+  // SpMM needs per-dst source lists: pay the COO -> CSR translation.
+  cache.translated_csr = graphsim::translate_to_csr(io.dev, coo);
+  cache.has_translated = true;
+  cache.aggr = graphsim::spmm_edgewise(
+      io.dev, cache.translated_csr,
+      comb_first ? cache.transformed : x, cache.weights, f, g);
+  if (comb_first) {
+    cache.out = napa::apply_bias_act(io.dev, cache.aggr, b, relu,
+                                     &cache.pre_act);
+  } else {
+    cache.out = napa::apply_dense(io.dev, cache.aggr, w, b, relu,
+                                  &cache.pre_act);
+  }
+  return cache;
+}
+
+napa::DenseGrads backward_graph(LayerIo io, const kernels::DeviceCoo& coo,
+                                BufferId x, BufferId w,
+                                const LayerCache& cache, BufferId dy,
+                                bool relu, bool want_dx) {
+  const AggMode f = io.model.f;
+  const EdgeWeightMode g = io.model.g;
+  napa::DenseGrads grads;
+  if (!cache.comb_first) {
+    napa::DenseGrads dense = napa::apply_dense_backward(
+        io.dev, cache.aggr, w, cache.pre_act, dy, relu, want_dx);
+    grads.dw = dense.dw;
+    grads.db = dense.db;
+    if (want_dx) {
+      // Backward traverses dst -> src: the framework materializes the
+      // reverse format first (paper: COO -> CSC translation in BWP).
+      kernels::DeviceCsc csc = graphsim::translate_to_csc(io.dev, coo);
+      grads.dx = graphsim::backward_edgewise(
+          io.dev, coo, cache.translated_csr, x, cache.weights, dense.dx, f, g);
+      kernels::free_graph(io.dev, csc);
+      io.dev.free(dense.dx);
+    }
+    return grads;
+  }
+  napa::BiasActGrads bias =
+      napa::apply_bias_act_backward(io.dev, cache.pre_act, dy, relu);
+  grads.db = bias.db;
+  kernels::DeviceCsc csc = graphsim::translate_to_csc(io.dev, coo);
+  BufferId dt = graphsim::backward_edgewise(io.dev, coo, cache.translated_csr,
+                                            cache.transformed, kInvalidBuffer,
+                                            bias.dx, f,
+                                            EdgeWeightMode::kNone);
+  kernels::free_graph(io.dev, csc);
+  napa::MatmulGrads mm =
+      napa::apply_matmul_backward(io.dev, x, w, dt, want_dx);
+  grads.dw = mm.dw;
+  grads.dx = mm.dx;
+  io.dev.free(dt);
+  io.dev.free(bias.dx);
+  return grads;
+}
+
+void release_cache(gpusim::Device& dev, LayerCache& cache) {
+  if (cache.weights != kInvalidBuffer) dev.free(cache.weights);
+  if (cache.aggr != kInvalidBuffer) dev.free(cache.aggr);
+  if (cache.transformed != kInvalidBuffer) dev.free(cache.transformed);
+  if (cache.pre_act != kInvalidBuffer) dev.free(cache.pre_act);
+  if (cache.has_translated) kernels::free_graph(dev, cache.translated_csr);
+}
+
+}  // namespace
+
+RunReport BaselineFramework::run_batch(const Dataset& data,
+                                       const models::GnnModelConfig& model,
+                                       models::ModelParams& params,
+                                       const BatchSpec& spec) {
+  RunReport report;
+  report.framework = name_;
+  report.model = model.name;
+  report.dataset = data.spec.name;
+
+  const std::uint32_t L = model.num_layers;
+  const bool graph_compute =
+      options_.compute == BaselineOptions::Compute::kGraph;
+  sampling::ReindexFormats formats;
+  if (graph_compute) {
+    formats.coo = true;  // DGL ships COO and translates on device
+  } else {
+    formats.csr = true;
+  }
+
+  pipeline::PlanOptions plan;
+  plan.strategy = options_.strategy;
+  plan.pinned_memory = options_.pinned_memory;
+  plan.pipelined_kt = options_.pipelined_kt;
+
+  detail::PreprocOutcome pre =
+      detail::preprocess(data, spec, L, formats, plan);
+  report.input_table_bytes = pre.data.embeddings.bytes();
+
+  // Explicit combination-first programming exists only for unweighted
+  // models in the baselines' user code.
+  const bool comb_first = spec.order == OrderPolicy::kCombinationFirst &&
+                          model.g == EdgeWeightMode::kNone;
+
+  try {
+    auto session = detail::open_session(pre, params, formats);
+    gpusim::Device& dev = session->dev;
+    LayerIo io{dev, model, options_};
+
+    std::vector<LayerCache> caches;
+    BufferId x = session->input;
+    for (std::uint32_t l = 0; l < L; ++l) {
+      const bool relu = model.relu_at(l);
+      LayerCache cache =
+          graph_compute
+              ? forward_graph(io, session->coo[l], x, session->w[l],
+                              session->b[l], relu, comb_first)
+              : forward_dl(io, session->csr[l], x, session->w[l],
+                           session->b[l], relu, comb_first,
+                           options_.compute ==
+                               BaselineOptions::Compute::kAdvisor);
+      if (comb_first)
+        report.layer_comb_first_fwd[l] = report.layer_comb_first_bwd[l] = 1;
+      x = cache.out;
+      caches.push_back(cache);
+    }
+
+    if (spec.inference) {
+      detail::finalize_report(report, dev, pre, options_.overlap_compute);
+      return report;
+    }
+
+    gpusim::BufferId dy = kInvalidBuffer;
+    report.loss = detail::loss_head(dev, x, pre.data, model.output_dim,
+                                    spec.seed, &dy);
+
+    for (std::uint32_t li = L; li-- > 0;) {
+      const BufferId x_in = li == 0 ? session->input : caches[li - 1].out;
+      const bool relu = model.relu_at(li);
+      const bool want_dx = li > 0;
+      napa::DenseGrads grads =
+          graph_compute
+              ? backward_graph(io, session->coo[li], x_in, session->w[li],
+                               caches[li], dy, relu, want_dx)
+              : backward_dl(io, session->csr[li], x_in, session->w[li],
+                            caches[li], dy, relu, want_dx);
+      detail::apply_sgd(dev, params, li, grads.dw, grads.db,
+                        spec.learning_rate);
+      dev.free(grads.dw);
+      dev.free(grads.db);
+      dev.free(dy);
+      dy = grads.dx;
+      release_cache(dev, caches[li]);
+    }
+
+    detail::finalize_report(report, dev, pre, options_.overlap_compute);
+  } catch (const gpusim::GpuOomError& e) {
+    report.oom = true;
+    report.oom_what = e.what();
+    report.schedule = pre.schedule;
+    report.preproc_makespan_us = pre.schedule.makespan_us;
+  }
+  return report;
+}
+
+}  // namespace gt::frameworks

@@ -1,0 +1,110 @@
+#include "frameworks/common.hpp"
+
+#include "datasets/embedding.hpp"
+#include "tensor/ops.hpp"
+
+namespace gt::frameworks::detail {
+
+gpusim::DeviceConfig eval_device_config() {
+  gpusim::DeviceConfig cfg;
+  // 24 GB scaled by the dataset scale factor (~1/128): big enough for every
+  // NAPA / Graph-approach workload, small enough that the DL-approach's
+  // densified NGCF tensors on livejournal (the largest sampled subgraph x
+  // the widest features) do not fit — reproducing the paper's OOM.
+  cfg.memory_capacity_bytes = 96ull << 20;
+  return cfg;
+}
+
+PreprocOutcome preprocess(const Dataset& data, const BatchSpec& spec,
+                          std::uint32_t num_layers,
+                          const sampling::ReindexFormats& formats,
+                          const pipeline::PlanOptions& plan) {
+  PreprocOutcome out;
+  pipeline::PreprocExecutor exec(data.csr, data.embeddings, data.spec.fanout,
+                                 num_layers, spec.seed, formats);
+  const std::vector<Vid> batch =
+      exec.sampler().pick_batch(spec.batch_size, spec.batch_index);
+  out.data = exec.run_serial(batch);
+  out.workload = pipeline::workload_from(out.data.batch,
+                                         data.spec.feature_dim);
+  out.schedule = pipeline::plan_preprocessing(out.workload, plan);
+  return out;
+}
+
+std::unique_ptr<DeviceSession> open_session(
+    const PreprocOutcome& pre, const models::ModelParams& params,
+    const sampling::ReindexFormats& formats, bool upload_input) {
+  auto session = std::make_unique<DeviceSession>(eval_device_config());
+  gpusim::Device& dev = session->dev;
+
+  if (upload_input) {
+    session->input =
+        kernels::upload_matrix(dev, pre.data.embeddings, "input-table");
+  }
+  session->input_table_bytes = pre.data.embeddings.bytes();
+
+  for (const auto& layer : pre.data.layers) {
+    if (formats.csr)
+      session->csr.push_back(
+          kernels::upload_csr(dev, layer.csr, layer.n_dst));
+    if (formats.csc)
+      session->csc.push_back(
+          kernels::upload_csc(dev, layer.csr, layer.n_dst));
+    if (formats.coo)
+      session->coo.push_back(
+          kernels::upload_coo(dev, layer.coo, layer.n_dst));
+  }
+  for (std::uint32_t l = 0; l < params.num_layers(); ++l) {
+    session->w.push_back(
+        kernels::upload_matrix(dev, params.w(l), "w" + std::to_string(l)));
+    session->b.push_back(
+        kernels::upload_matrix(dev, params.b(l), "b" + std::to_string(l)));
+  }
+  dev.clear_profile();  // kernel profile measures FWP/BWP only
+  return session;
+}
+
+float loss_head(gpusim::Device& dev, gpusim::BufferId logits,
+                const pipeline::PreprocResult& data,
+                std::uint32_t num_classes, std::uint64_t seed,
+                gpusim::BufferId* dlogits) {
+  Matrix host_logits = kernels::download_matrix(dev, logits);
+  std::vector<std::uint32_t> labels;
+  labels.reserve(host_logits.rows());
+  for (std::size_t i = 0; i < host_logits.rows(); ++i)
+    labels.push_back(
+        synthetic_label(data.batch.vid_order[i], num_classes, seed));
+  Matrix grad;
+  const float loss = softmax_cross_entropy(host_logits, labels, &grad);
+  *dlogits = kernels::upload_matrix(dev, grad, "dlogits");
+  return loss;
+}
+
+void apply_sgd(gpusim::Device& dev, models::ModelParams& params,
+               std::uint32_t layer, gpusim::BufferId dw, gpusim::BufferId db,
+               float lr) {
+  params.sgd_update(layer, kernels::download_matrix(dev, dw),
+                    kernels::download_matrix(dev, db), lr);
+}
+
+void finalize_report(RunReport& report, const gpusim::Device& dev,
+                     const PreprocOutcome& pre, bool overlap_compute) {
+  for (const auto& k : dev.profile()) {
+    report.kernel_total_us += k.latency_us;
+    report.kernel_category_us[static_cast<std::size_t>(k.category)] +=
+        k.latency_us;
+    report.kernel_category_flops[static_cast<std::size_t>(k.category)] +=
+        k.flops;
+    report.flops += k.flops;
+    report.global_bytes += k.global_bytes;
+    report.cache_loaded_bytes += k.cache_loaded_bytes;
+    report.atomic_ops += k.atomic_ops;
+  }
+  report.peak_memory_bytes = dev.memory_stats().peak_bytes;
+  report.schedule = pre.schedule;
+  report.preproc_makespan_us = pre.schedule.makespan_us;
+  report.end_to_end_us = pipeline::end_to_end_us(
+      pre.schedule, report.kernel_total_us, overlap_compute);
+}
+
+}  // namespace gt::frameworks::detail

@@ -1,0 +1,70 @@
+// Shared machinery for framework implementations: preprocessing + schedule,
+// device session setup (uploads), the loss head, and SGD application.
+#pragma once
+
+#include "frameworks/framework.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/common.hpp"
+#include "pipeline/executor.hpp"
+
+namespace gt::frameworks::detail {
+
+/// Device configuration used for every evaluation run: the scaled-down
+/// RTX 3090 (DESIGN.md §2). Capacity is scaled with the datasets so that
+/// the paper's livejournal/NGCF DL-approach out-of-memory reproduces.
+gpusim::DeviceConfig eval_device_config();
+
+struct PreprocOutcome {
+  pipeline::PreprocResult data;
+  pipeline::BatchWorkload workload;
+  pipeline::PreprocSchedule schedule;
+};
+
+/// Sample + reindex + lookup (real data, serial executor) and price the
+/// schedule under the framework's strategy.
+PreprocOutcome preprocess(const Dataset& data, const BatchSpec& spec,
+                          std::uint32_t num_layers,
+                          const sampling::ReindexFormats& formats,
+                          const pipeline::PlanOptions& plan);
+
+/// Uploaded device state for one batch.
+struct DeviceSession {
+  gpusim::Device dev;
+  gpusim::BufferId input = gpusim::kInvalidBuffer;  // layer-0 feature table
+  std::vector<kernels::DeviceCsr> csr;              // per exec-layer
+  std::vector<kernels::DeviceCsc> csc;
+  std::vector<kernels::DeviceCoo> coo;
+  std::vector<gpusim::BufferId> w;
+  std::vector<gpusim::BufferId> b;
+  std::size_t input_table_bytes = 0;
+
+  explicit DeviceSession(gpusim::DeviceConfig cfg) : dev(std::move(cfg)) {}
+};
+
+/// Upload embeddings, structures, and parameters. Throws GpuOomError if the
+/// batch does not fit. The device profile is cleared afterwards so the
+/// kernel profile covers FWP/BWP only (Nsight-style measurement, §VI).
+/// `upload_input == false` skips uploading the layer-0 feature table
+/// (the caller assembles it, e.g. from an embedding cache).
+std::unique_ptr<DeviceSession> open_session(
+    const PreprocOutcome& pre, const models::ModelParams& params,
+    const sampling::ReindexFormats& formats, bool upload_input = true);
+
+/// Softmax cross-entropy head over the batch's logits; labels are the
+/// deterministic synthetic labels of the original dst vertices. Returns the
+/// loss and uploads dL/dlogits as a device buffer.
+float loss_head(gpusim::Device& dev, gpusim::BufferId logits,
+                const pipeline::PreprocResult& data, std::uint32_t num_classes,
+                std::uint64_t seed, gpusim::BufferId* dlogits);
+
+/// Download a layer's parameter gradients and apply SGD host-side.
+void apply_sgd(gpusim::Device& dev, models::ModelParams& params,
+               std::uint32_t layer, gpusim::BufferId dw, gpusim::BufferId db,
+               float lr);
+
+/// Fill the RunReport's GPU-side fields from the device profile and
+/// combine preprocessing + compute into the end-to-end latency.
+void finalize_report(RunReport& report, const gpusim::Device& dev,
+                     const PreprocOutcome& pre, bool overlap_compute);
+
+}  // namespace gt::frameworks::detail

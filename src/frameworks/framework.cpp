@@ -1,0 +1,41 @@
+#include "frameworks/framework.hpp"
+
+#include <stdexcept>
+
+#include "frameworks/baselines.hpp"
+#include "frameworks/graphtensor.hpp"
+
+namespace gt::frameworks {
+
+std::unique_ptr<Framework> make_framework(const std::string& name) {
+  if (name == "PyG")
+    return std::make_unique<BaselineFramework>("PyG", pyg_options());
+  if (name == "PyG-MT")
+    return std::make_unique<BaselineFramework>("PyG-MT", pyg_mt_options());
+  if (name == "DGL")
+    return std::make_unique<BaselineFramework>("DGL", dgl_options());
+  if (name == "GNNAdvisor")
+    return std::make_unique<BaselineFramework>("GNNAdvisor",
+                                               gnnadvisor_options());
+  if (name == "SALIENT")
+    return std::make_unique<BaselineFramework>("SALIENT", salient_options());
+  if (name == "Base-GT")
+    return std::make_unique<GraphTensorFramework>(
+        GraphTensorFramework::Variant::kBase);
+  if (name == "Dynamic-GT")
+    return std::make_unique<GraphTensorFramework>(
+        GraphTensorFramework::Variant::kDynamic);
+  if (name == "Prepro-GT")
+    return std::make_unique<GraphTensorFramework>(
+        GraphTensorFramework::Variant::kPrepro);
+  throw std::out_of_range("unknown framework: " + name);
+}
+
+const std::vector<std::string>& framework_names() {
+  static const std::vector<std::string> names = {
+      "PyG",     "PyG-MT",  "DGL",        "GNNAdvisor",
+      "SALIENT", "Base-GT", "Dynamic-GT", "Prepro-GT"};
+  return names;
+}
+
+}  // namespace gt::frameworks

@@ -1,0 +1,102 @@
+// Framework interface: one training batch, end to end, fully instrumented.
+//
+// Every evaluated system (Base-GT / Dynamic-GT / Prepro-GT and the PyG /
+// DGL / GNNAdvisor / SALIENT baselines) implements run_batch: preprocess
+// (sample, reindex, lookup, transfer), execute FWP + loss + BWP on the
+// simulated GPU, apply SGD, and report the Nsight-style kernel profile,
+// memory statistics, and the preprocessing schedule. Benchmarks reproduce
+// the paper's tables and figures from these reports alone.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "datasets/catalog.hpp"
+#include "gpusim/stats.hpp"
+#include "models/config.hpp"
+#include "models/params.hpp"
+#include "pipeline/plan.hpp"
+
+namespace gt::frameworks {
+
+/// Kernel placement directive for a batch (Fig 15's error bars come from
+/// running baselines explicitly in both orders).
+enum class OrderPolicy {
+  kAggregationFirst,  // the default static placement everywhere
+  kCombinationFirst,  // explicit user reordering (GCN-style models only)
+  kDynamic,           // Cost-DKP decides per layer (GraphTensor only)
+};
+
+struct BatchSpec {
+  std::size_t batch_size = 300;   // paper §VI: 300 dst vertices per batch
+  std::uint64_t batch_index = 0;  // selects the batch deterministically
+  std::uint64_t seed = 42;
+  OrderPolicy order = OrderPolicy::kAggregationFirst;
+  float learning_rate = 0.01f;
+  /// FWP only (no loss/BWP/SGD): the paper's inference service. Dynamic
+  /// kernel placement decides per the forward-only cost model, where the
+  /// combination-first benefit is largest (no first-layer backward skip to
+  /// credit the conventional order).
+  bool inference = false;
+};
+
+struct RunReport {
+  std::string framework;
+  std::string model;
+  std::string dataset;
+  bool oom = false;           // GPU out-of-memory (run aborted)
+  std::string oom_what;
+
+  // -- GPU side (kernel profile, Nsight-equivalent) -------------------------
+  double kernel_total_us = 0.0;
+  std::array<double, 7> kernel_category_us{};  // by gpusim::KernelCategory
+  std::uint64_t flops = 0;
+  std::array<std::uint64_t, 7> kernel_category_flops{};
+  std::size_t global_bytes = 0;
+  std::size_t cache_loaded_bytes = 0;
+  std::uint64_t atomic_ops = 0;
+  std::size_t peak_memory_bytes = 0;
+  std::size_t input_table_bytes = 0;  // normalizer for bloat metrics
+
+  // -- Host side -------------------------------------------------------------
+  pipeline::PreprocSchedule schedule;
+  double preproc_makespan_us = 0.0;
+  double end_to_end_us = 0.0;
+
+  // -- Training --------------------------------------------------------------
+  float loss = 0.0f;
+  std::array<std::uint32_t, 8> layer_comb_first_fwd{};  // DKP decisions
+  std::array<std::uint32_t, 8> layer_comb_first_bwd{};
+
+  double kernel_us(gpusim::KernelCategory c) const {
+    return kernel_category_us[static_cast<std::size_t>(c)];
+  }
+  /// FLOPs executed by the irregular graph kernels (everything except the
+  /// dense combination GEMMs).
+  std::uint64_t graph_kernel_flops() const {
+    return flops - kernel_category_flops[static_cast<std::size_t>(
+                       gpusim::KernelCategory::kCombination)];
+  }
+};
+
+class Framework {
+ public:
+  virtual ~Framework() = default;
+  virtual std::string name() const = 0;
+
+  /// Train one batch end to end. Must not throw on GPU OOM — reports it.
+  virtual RunReport run_batch(const Dataset& data,
+                              const models::GnnModelConfig& model,
+                              models::ModelParams& params,
+                              const BatchSpec& spec) = 0;
+};
+
+/// Factory. Known names: "PyG", "PyG-MT", "DGL", "GNNAdvisor", "SALIENT",
+/// "Base-GT", "Dynamic-GT", "Prepro-GT". Throws std::out_of_range otherwise.
+std::unique_ptr<Framework> make_framework(const std::string& name);
+
+/// All framework names in evaluation order.
+const std::vector<std::string>& framework_names();
+
+}  // namespace gt::frameworks

@@ -1,0 +1,193 @@
+#include "frameworks/graphtensor.hpp"
+
+#include "dfg/executor.hpp"
+#include "dfg/graph.hpp"
+#include "frameworks/common.hpp"
+#include "sampling/embedding_cache.hpp"
+
+namespace gt::frameworks {
+
+using dfg::KernelOrder;
+using dfg::LayerDims;
+
+std::string GraphTensorFramework::name() const {
+  switch (variant_) {
+    case Variant::kBase:    return "Base-GT";
+    case Variant::kDynamic: return "Dynamic-GT";
+    case Variant::kPrepro:  return "Prepro-GT";
+  }
+  return "?";
+}
+
+RunReport GraphTensorFramework::run_batch(const Dataset& data,
+                                          const models::GnnModelConfig& model,
+                                          models::ModelParams& params,
+                                          const BatchSpec& spec) {
+  RunReport report;
+  report.framework = name();
+  report.model = model.name;
+  report.dataset = data.spec.name;
+
+  const std::uint32_t L = model.num_layers;
+  const sampling::ReindexFormats formats{.coo = false, .csr = true,
+                                         .csc = true};
+  pipeline::PlanOptions plan;
+  if (variant_ == Variant::kPrepro) {
+    plan.strategy = pipeline::PreprocStrategy::kServiceWide;
+    plan.pinned_memory = true;
+    plan.pipelined_kt = true;
+  } else {
+    plan.strategy = pipeline::PreprocStrategy::kParallelTasks;
+  }
+
+  detail::PreprocOutcome pre =
+      detail::preprocess(data, spec, L, formats, plan);
+  report.input_table_bytes = pre.data.embeddings.bytes();
+  const bool use_cache = cache_bytes_ > 0;
+
+  const bool dkp_active = variant_ != Variant::kBase &&
+                          kernels::dkp_compatible(model.g);
+  dfg::DfgGraph graph = dfg::build_gnn_dfg(L, model.edge_weighted());
+  if (dkp_active) graph.rewrite_dkp();
+
+  try {
+    auto session = detail::open_session(pre, params, formats,
+                                        /*upload_input=*/!use_cache);
+    gpusim::Device& dev = session->dev;
+
+    if (use_cache) {
+      // PaGraph-style extension: hot rows are device-resident across
+      // batches; only misses are gathered and transferred, so the
+      // preprocessing schedule is re-priced with the reduced K/T volume.
+      sampling::EmbeddingCache cache(dev, data.csr, data.embeddings,
+                                     cache_bytes_);
+      const auto part = cache.partition(pre.data.batch.vid_order);
+      last_hit_rate_ = part.hit_rate();
+      pre.workload.cached_rows = part.hit_rows.size();
+      pre.schedule = pipeline::plan_preprocessing(pre.workload, plan);
+
+      Matrix misses(part.miss_vids.size(), data.spec.feature_dim);
+      for (std::size_t m = 0; m < part.miss_vids.size(); ++m)
+        data.embeddings.gather_row(part.miss_vids[m], misses.row(m));
+      gpusim::BufferId miss_buf = gpusim::kInvalidBuffer;
+      if (!part.miss_vids.empty())
+        miss_buf = kernels::upload_matrix(dev, misses, "cache.misses");
+      session->input = cache.assemble(dev, part, miss_buf,
+                                      pre.data.batch.vid_order.size());
+      if (miss_buf != gpusim::kInvalidBuffer) dev.free(miss_buf);
+      dev.clear_profile();  // assembly is not FWP/BWP work
+    }
+
+    dfg::LayerExecutor exec(dev, model.f, model.g);
+
+    std::vector<dfg::LayerDeviceGraph> lg(L);
+    for (std::uint32_t l = 0; l < L; ++l)
+      lg[l] = dfg::LayerDeviceGraph{session->csr[l], session->csc[l]};
+
+    auto dims_of = [&](std::uint32_t l) {
+      return LayerDims{pre.data.batch.layer_vertices(l),
+                       pre.data.batch.layer_dst(l),
+                       pre.data.batch.layer_edges(l), params.in_dim(l),
+                       params.out_dim(l)};
+    };
+
+    // Placement decision per layer (one decision covers FWP + BWP; the
+    // backward pass reuses the forward's cached tensors).
+    std::vector<KernelOrder> orders(L, KernelOrder::kAggregationFirst);
+    for (std::uint32_t l = 0; l < L; ++l) {
+      if (spec.order == OrderPolicy::kCombinationFirst &&
+          kernels::dkp_compatible(model.g)) {
+        orders[l] = KernelOrder::kCombinationFirst;
+      } else if (spec.order == OrderPolicy::kDynamic && dkp_active &&
+                 graph.has_dkp(l)) {
+        if (cost_model_.fitted()) {
+          orders[l] = spec.inference
+                          ? cost_model_.decide(dims_of(l), false, false,
+                                               model.edge_weighted())
+                          : cost_model_.decide_training(
+                                dims_of(l), l == 0, model.edge_weighted());
+        } else if (spec.inference) {
+          orders[l] = cost_model_.decide(dims_of(l), false, false,
+                                         model.edge_weighted());
+        } else {
+          // Exploration phase: alternate placements across batches so the
+          // least-squares fit sees both.
+          orders[l] = (spec.batch_index + l) % 2 == 0
+                          ? KernelOrder::kAggregationFirst
+                          : KernelOrder::kCombinationFirst;
+        }
+      }
+      if (orders[l] == KernelOrder::kCombinationFirst)
+        report.layer_comb_first_fwd[l] = report.layer_comb_first_bwd[l] = 1;
+    }
+
+    // ---- FWP ----------------------------------------------------------------
+    std::vector<dfg::LayerForward> fwds;
+    gpusim::BufferId x = session->input;
+    for (std::uint32_t l = 0; l < L; ++l) {
+      const double before = dev.profile_latency_us();
+      fwds.push_back(exec.forward(
+          lg[l], x, dfg::LayerParams{session->w[l], session->b[l]},
+          model.relu_at(l), orders[l]));
+      if (dkp_active)
+        cost_model_.record(
+            dims_of(l),
+            dfg::PlacementCase{orders[l], /*backward=*/false,
+                               /*first_layer=*/l == 0,
+                               model.edge_weighted()},
+            dev.profile_latency_us() - before);
+      x = fwds.back().out;
+    }
+
+    if (spec.inference) {
+      detail::finalize_report(report, dev, pre, /*overlap_compute=*/true);
+      ++batches_seen_;
+      return report;
+    }
+
+    // ---- Loss ----------------------------------------------------------------
+    gpusim::BufferId dy = gpusim::kInvalidBuffer;
+    report.loss = detail::loss_head(dev, x, pre.data, model.output_dim,
+                                    spec.seed, &dy);
+
+    // ---- BWP ----------------------------------------------------------------
+    for (std::uint32_t li = L; li-- > 0;) {
+      const gpusim::BufferId x_in =
+          li == 0 ? session->input : fwds[li - 1].out;
+      const double before = dev.profile_latency_us();
+      dfg::LayerBackward grads = exec.backward(
+          lg[li], x_in, dfg::LayerParams{session->w[li], session->b[li]},
+          model.relu_at(li), fwds[li], dy, /*want_dx=*/li > 0);
+      if (dkp_active)
+        cost_model_.record(
+            dims_of(li),
+            dfg::PlacementCase{orders[li], /*backward=*/true,
+                               /*first_layer=*/li == 0,
+                               model.edge_weighted()},
+            dev.profile_latency_us() - before);
+      detail::apply_sgd(dev, params, li, grads.dw, grads.db,
+                        spec.learning_rate);
+      dev.free(grads.dw);
+      dev.free(grads.db);
+      dev.free(dy);
+      dy = grads.dx;  // invalid at li == 0 (skipped), loop ends anyway
+      exec.release_cache(fwds[li]);
+    }
+
+    detail::finalize_report(report, dev, pre, /*overlap_compute=*/true);
+  } catch (const gpusim::GpuOomError& e) {
+    report.oom = true;
+    report.oom_what = e.what();
+    report.schedule = pre.schedule;
+    report.preproc_makespan_us = pre.schedule.makespan_us;
+  }
+
+  ++batches_seen_;
+  if (dkp_active && !cost_model_.fitted() &&
+      batches_seen_ >= kFitAfterBatches) {
+    cost_model_.fit();
+  }
+  return report;
+}
+
+}  // namespace gt::frameworks

@@ -1,0 +1,55 @@
+// The three GraphTensor variants of the evaluation (§VI):
+//  * Base-GT    — NAPA kernels, static aggregation-first placement,
+//                 type-parallel (barriered) preprocessing.
+//  * Dynamic-GT — Base-GT + the kernel orchestrator: the model DFG is
+//                 rewritten with Cost-DKP nodes; during the first batches
+//                 both placements are measured, the Table-I cost model is
+//                 least-squares fitted, and afterwards each layer runs in
+//                 the predicted-cheaper order.
+//  * Prepro-GT  — Dynamic-GT + the service-wide tensor scheduler (pipelined
+//                 per-layer subtasks, contention relaxing, pinned-memory
+//                 chunked K->T transfers).
+#pragma once
+
+#include "dfg/cost_model.hpp"
+#include "frameworks/framework.hpp"
+
+namespace gt::frameworks {
+
+class GraphTensorFramework : public Framework {
+ public:
+  enum class Variant { kBase, kDynamic, kPrepro };
+
+  /// `embedding_cache_bytes` > 0 enables the PaGraph-style GPU-resident
+  /// cache of the highest-out-degree vertices' embeddings (extension, see
+  /// sampling/embedding_cache.hpp): per-batch lookup and transfer then
+  /// cover only cache misses.
+  explicit GraphTensorFramework(Variant variant,
+                                std::size_t embedding_cache_bytes = 0)
+      : variant_(variant), cache_bytes_(embedding_cache_bytes) {}
+
+  std::string name() const override;
+
+  RunReport run_batch(const Dataset& data, const models::GnnModelConfig& model,
+                      models::ModelParams& params,
+                      const BatchSpec& spec) override;
+
+  /// Expose the orchestrator's cost model (Table I benchmarks read the fit
+  /// error and coefficients).
+  const dfg::DkpCostModel& cost_model() const noexcept { return cost_model_; }
+
+  /// Batches used to collect both-placement measurements before fitting.
+  static constexpr std::uint64_t kFitAfterBatches = 4;
+
+  /// Cache hit rate observed by the last cache-enabled batch.
+  double last_cache_hit_rate() const noexcept { return last_hit_rate_; }
+
+ private:
+  Variant variant_;
+  std::size_t cache_bytes_ = 0;
+  double last_hit_rate_ = 0.0;
+  dfg::DkpCostModel cost_model_;
+  std::uint64_t batches_seen_ = 0;
+};
+
+}  // namespace gt::frameworks

@@ -1,0 +1,37 @@
+#include "gpusim/cache.hpp"
+
+namespace gt::gpusim {
+
+bool SmCache::access(const CacheKey& key, std::size_t bytes) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Hit: move to front.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hit_bytes_ += bytes;
+    return true;
+  }
+  // Miss: evict until the new line fits. A line larger than the whole cache
+  // still loads (streamed) but is not retained.
+  loaded_bytes_ += bytes;
+  if (bytes > capacity_bytes_) return false;
+  while (resident_bytes_ + bytes > capacity_bytes_ && !lru_.empty()) {
+    const Line& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Line{key, bytes});
+  map_[key] = lru_.begin();
+  resident_bytes_ += bytes;
+  return false;
+}
+
+void SmCache::clear() {
+  lru_.clear();
+  map_.clear();
+  resident_bytes_ = 0;
+  loaded_bytes_ = 0;
+  hit_bytes_ = 0;
+}
+
+}  // namespace gt::gpusim

@@ -1,0 +1,65 @@
+// Per-SM cache model.
+//
+// Lines are keyed at (buffer, row, chunk) granularity — one vertex's feature
+// vector (or one feature-chunk of it) is the unit GNN kernels move, and the
+// paper's "cache bloat" metric is defined exactly as bytes of embedding data
+// loaded into SM caches relative to the embedding table size (Fig 6b). LRU
+// replacement, write-allocate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace gt::gpusim {
+
+struct CacheKey {
+  std::uint32_t buffer = 0;
+  std::uint32_t row = 0;
+  std::uint32_t chunk = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    std::uint64_t x = (static_cast<std::uint64_t>(k.buffer) << 40) ^
+                      (static_cast<std::uint64_t>(k.row) << 8) ^ k.chunk;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+class SmCache {
+ public:
+  explicit SmCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Touch a line of `bytes`. Returns true on hit. On miss the line is
+  /// loaded (LRU evictions as needed) and `loaded_bytes` grows.
+  bool access(const CacheKey& key, std::size_t bytes);
+
+  void clear();
+
+  std::size_t loaded_bytes() const noexcept { return loaded_bytes_; }
+  std::size_t hit_bytes() const noexcept { return hit_bytes_; }
+  std::size_t resident_bytes() const noexcept { return resident_bytes_; }
+
+ private:
+  struct Line {
+    CacheKey key;
+    std::size_t bytes;
+  };
+
+  std::size_t capacity_bytes_;
+  std::size_t resident_bytes_ = 0;
+  std::size_t loaded_bytes_ = 0;  // cumulative fill traffic (misses)
+  std::size_t hit_bytes_ = 0;
+  std::list<Line> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<Line>::iterator, CacheKeyHash> map_;
+};
+
+}  // namespace gt::gpusim

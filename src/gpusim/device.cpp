@@ -1,0 +1,263 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gt::gpusim {
+
+const char* to_string(KernelCategory c) {
+  switch (c) {
+    case KernelCategory::kAggregation:     return "aggregation";
+    case KernelCategory::kEdgeWeight:      return "edge-weight";
+    case KernelCategory::kCombination:     return "combination";
+    case KernelCategory::kSparse2Dense:    return "sparse2dense";
+    case KernelCategory::kFormatTranslate: return "format-translate";
+    case KernelCategory::kSampling:        return "sampling";
+    case KernelCategory::kOther:           return "other";
+  }
+  return "?";
+}
+
+KernelStats accumulate(const std::vector<KernelStats>& profile) {
+  KernelStats total;
+  total.name = "total";
+  for (const auto& k : profile) {
+    total.latency_us += k.latency_us;
+    total.flops += k.flops;
+    total.global_bytes += k.global_bytes;
+    total.cache_loaded_bytes += k.cache_loaded_bytes;
+    total.cache_hit_bytes += k.cache_hit_bytes;
+    total.atomic_ops += k.atomic_ops;
+    total.blocks += k.blocks;
+  }
+  return total;
+}
+
+KernelStats accumulate(const std::vector<KernelStats>& profile,
+                       KernelCategory category) {
+  std::vector<KernelStats> filtered;
+  for (const auto& k : profile)
+    if (k.category == category) filtered.push_back(k);
+  KernelStats total = accumulate(filtered);
+  total.name = to_string(category);
+  total.category = category;
+  return total;
+}
+
+// ---- BlockCtx ---------------------------------------------------------------
+
+void BlockCtx::load(BufferId buf, std::uint32_t row, std::size_t bytes,
+                    std::uint32_t chunk) {
+  auto& sm = dev_.sms_[sm_];
+  sm.cache.access(CacheKey{buf, row, chunk}, bytes);
+}
+
+void BlockCtx::store(BufferId buf, std::uint32_t row, std::size_t bytes,
+                     std::uint32_t chunk) {
+  auto& sm = dev_.sms_[sm_];
+  // Write-through: the store always reaches DRAM; write-allocate keeps the
+  // line resident for subsequent reuse (NAPA accumulators rely on this).
+  sm.raw_global_bytes += bytes;
+  sm.cache.access(CacheKey{buf, row, chunk}, bytes);
+}
+
+void BlockCtx::global_read(std::size_t bytes) {
+  dev_.sms_[sm_].raw_global_bytes += bytes;
+}
+
+void BlockCtx::global_write(std::size_t bytes) {
+  dev_.sms_[sm_].raw_global_bytes += bytes;
+}
+
+void BlockCtx::flops(std::uint64_t n) { dev_.sms_[sm_].flops += n; }
+
+void BlockCtx::atomic(std::uint64_t n) { dev_.sms_[sm_].atomics += n; }
+
+// ---- Device -----------------------------------------------------------------
+
+Device::Device(DeviceConfig config) : config_(config) {
+  sms_.reserve(config_.num_sms);
+  for (std::size_t i = 0; i < config_.num_sms; ++i)
+    sms_.emplace_back(config_.cache_bytes_per_sm);
+}
+
+void Device::track_alloc(std::size_t bytes) {
+  if (used_bytes_ + bytes > config_.memory_capacity_bytes)
+    throw GpuOomError(bytes, config_.memory_capacity_bytes - used_bytes_);
+  used_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, used_bytes_);
+  ++alloc_count_;
+}
+
+BufferId Device::alloc_f32(std::size_t rows, std::size_t cols,
+                           std::string name) {
+  if (in_kernel_)
+    throw std::logic_error("device allocation inside a kernel is forbidden");
+  track_alloc(rows * cols * sizeof(float));
+  Buffer b;
+  b.name = std::move(name);
+  b.rows = rows;
+  b.cols = cols;
+  b.f32.assign(rows * cols, 0.0f);
+  b.live = true;
+  buffers_.push_back(std::move(b));
+  return static_cast<BufferId>(buffers_.size() - 1);
+}
+
+BufferId Device::alloc_u32(std::size_t count, std::string name) {
+  if (in_kernel_)
+    throw std::logic_error("device allocation inside a kernel is forbidden");
+  track_alloc(count * sizeof(std::uint32_t));
+  Buffer b;
+  b.name = std::move(name);
+  b.rows = count;
+  b.cols = 1;
+  b.u32.assign(count, 0);
+  b.live = true;
+  buffers_.push_back(std::move(b));
+  return static_cast<BufferId>(buffers_.size() - 1);
+}
+
+void Device::free(BufferId id) {
+  Buffer& b = live_buffer(id);
+  used_bytes_ -= b.bytes();
+  b.f32.clear();
+  b.f32.shrink_to_fit();
+  b.u32.clear();
+  b.u32.shrink_to_fit();
+  b.live = false;
+}
+
+Device::Buffer& Device::live_buffer(BufferId id) {
+  if (id >= buffers_.size() || !buffers_[id].live)
+    throw std::out_of_range("invalid or freed device buffer");
+  return buffers_[id];
+}
+
+const Device::Buffer& Device::live_buffer(BufferId id) const {
+  if (id >= buffers_.size() || !buffers_[id].live)
+    throw std::out_of_range("invalid or freed device buffer");
+  return buffers_[id];
+}
+
+std::span<float> Device::f32(BufferId id) { return live_buffer(id).f32; }
+std::span<const float> Device::f32(BufferId id) const {
+  return live_buffer(id).f32;
+}
+std::span<std::uint32_t> Device::u32(BufferId id) {
+  return live_buffer(id).u32;
+}
+std::span<const std::uint32_t> Device::u32(BufferId id) const {
+  return live_buffer(id).u32;
+}
+
+std::size_t Device::rows(BufferId id) const { return live_buffer(id).rows; }
+std::size_t Device::cols(BufferId id) const { return live_buffer(id).cols; }
+std::size_t Device::buffer_bytes(BufferId id) const {
+  return live_buffer(id).bytes();
+}
+
+MemoryStats Device::memory_stats() const noexcept {
+  return MemoryStats{used_bytes_, peak_bytes_, config_.memory_capacity_bytes,
+                     alloc_count_};
+}
+
+void Device::reset_peak() noexcept { peak_bytes_ = used_bytes_; }
+
+KernelStats Device::run_kernel(const std::string& name,
+                               KernelCategory category,
+                               std::size_t num_blocks,
+                               const std::function<void(BlockCtx&)>& body) {
+  // Fresh per-kernel SM state: caches do not persist useful data across
+  // kernel boundaries in this model.
+  for (auto& sm : sms_) {
+    sm.cache.clear();
+    sm.flops = 0;
+    sm.raw_global_bytes = 0;
+    sm.atomics = 0;
+  }
+
+  in_kernel_ = true;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    BlockCtx ctx(*this, b, b % config_.num_sms);
+    body(ctx);
+  }
+  in_kernel_ = false;
+
+  // Price the kernel. Compute throughput and DRAM bandwidth are
+  // device-wide resources shared by all SMs; a single SM can draw at most
+  // ~1/8 of the DRAM bandwidth and 1/num_sms of the FLOP rate. The kernel
+  // finishes when both the device-wide totals are served and the hottest
+  // SM (load imbalance) is done.
+  const CostParams& cp = config_.cost;
+  KernelStats ks;
+  ks.name = name;
+  ks.category = category;
+  ks.blocks = num_blocks;
+  const double flop_rate = category == KernelCategory::kCombination
+                               ? cp.dense_flops_per_us
+                               : cp.flops_per_us;
+  const double sm_flop_rate = flop_rate / static_cast<double>(config_.num_sms);
+  const double sm_bw = cp.global_bw_bytes_per_us / 8.0;
+  double max_sm_us = 0.0;
+  for (const auto& sm : sms_) {
+    const std::size_t miss = sm.cache.loaded_bytes();
+    const std::size_t hit = sm.cache.hit_bytes();
+    const double t = static_cast<double>(sm.flops) / sm_flop_rate +
+                     static_cast<double>(miss + sm.raw_global_bytes) / sm_bw +
+                     static_cast<double>(hit) / cp.cache_bw_bytes_per_us +
+                     static_cast<double>(sm.atomics) * cp.atomic_penalty_us;
+    max_sm_us = std::max(max_sm_us, t);
+    ks.flops += sm.flops;
+    ks.global_bytes += miss + sm.raw_global_bytes;
+    ks.cache_loaded_bytes += miss;
+    ks.cache_hit_bytes += hit;
+    ks.atomic_ops += sm.atomics;
+  }
+  const double device_us =
+      static_cast<double>(ks.flops) / flop_rate +
+      static_cast<double>(ks.global_bytes) / cp.global_bw_bytes_per_us;
+  ks.latency_us = cp.launch_overhead_us + std::max(device_us, max_sm_us);
+  profile_.push_back(ks);
+  return ks;
+}
+
+KernelStats Device::charge_kernel(const std::string& name,
+                                  KernelCategory category,
+                                  std::uint64_t flops,
+                                  std::size_t global_bytes, double extra_us) {
+  const CostParams& cp = config_.cost;
+  KernelStats ks;
+  ks.name = name;
+  ks.category = category;
+  ks.flops = flops;
+  ks.global_bytes = global_bytes;
+  // Synthetic kernels (sorts, memsets) are bandwidth-dominated and spread
+  // across all SMs; we charge aggregate traffic at full device bandwidth.
+  const double flop_rate = category == KernelCategory::kCombination
+                               ? cp.dense_flops_per_us
+                               : cp.flops_per_us;
+  ks.latency_us = cp.launch_overhead_us + extra_us +
+                  static_cast<double>(flops) /
+                      (flop_rate * static_cast<double>(config_.num_sms)) +
+                  static_cast<double>(global_bytes) / cp.global_bw_bytes_per_us;
+  profile_.push_back(ks);
+  return ks;
+}
+
+void Device::charge_alloc_overhead(const std::string& name,
+                                   std::size_t count) {
+  KernelStats ks;
+  ks.name = name;
+  ks.category = KernelCategory::kOther;
+  ks.latency_us = config_.cost.alloc_overhead_us * static_cast<double>(count);
+  profile_.push_back(ks);
+}
+
+double Device::profile_latency_us() const noexcept {
+  double total = 0.0;
+  for (const auto& k : profile_) total += k.latency_us;
+  return total;
+}
+
+}  // namespace gt::gpusim

@@ -1,0 +1,5 @@
+#include "gpusim/pcie.hpp"
+
+// Header-only today; translation unit kept so the library always has an
+// archive member for this component.
+namespace gt::gpusim {}

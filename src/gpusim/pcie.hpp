@@ -1,0 +1,41 @@
+// Host <-> device interconnect model.
+//
+// The service-wide tensor scheduler's T subtasks move re-indexed subgraphs
+// and gathered embedding tables over PCIe. SALIENT and Prepro-GT stage
+// embeddings in page-locked (pinned) host memory so the driver can DMA
+// directly; pageable transfers pay an extra staging copy (paper §V-B).
+#pragma once
+
+#include <cstddef>
+
+namespace gt::gpusim {
+
+struct PcieParams {
+  // Scaled by the same ~1/8 factor as host preprocessing speed relative to
+  // dataset scale (DESIGN.md S2): effective PCIe 4.0 x16 ~24 GB/s.
+  double bw_bytes_per_us = 3.0e3;
+  double staging_copy_bw_bytes_per_us = 1.25e3;  // host memcpy into DMA buffer
+  double latency_us = 8.0;                // per-transfer setup cost
+};
+
+class PcieModel {
+ public:
+  explicit PcieModel(PcieParams params = {}) : params_(params) {}
+
+  const PcieParams& params() const noexcept { return params_; }
+
+  /// Time to move `bytes` host->device. Pinned memory skips the staging
+  /// copy the driver otherwise performs.
+  double transfer_us(std::size_t bytes, bool pinned) const noexcept {
+    double t = params_.latency_us +
+               static_cast<double>(bytes) / params_.bw_bytes_per_us;
+    if (!pinned)
+      t += static_cast<double>(bytes) / params_.staging_copy_bw_bytes_per_us;
+    return t;
+  }
+
+ private:
+  PcieParams params_;
+};
+
+}  // namespace gt::gpusim

@@ -1,0 +1,51 @@
+// Execution statistics surfaced by the GPU simulator: the reproduction's
+// stand-in for Nsight Systems kernel profiles (paper §VI evaluation method).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gt::gpusim {
+
+/// Which evaluation bucket a kernel belongs to — the decomposition used in
+/// Figure 16 (aggregation / edge weighting / combination / sparse2dense /
+/// format translation).
+enum class KernelCategory {
+  kAggregation,
+  kEdgeWeight,
+  kCombination,
+  kSparse2Dense,
+  kFormatTranslate,
+  kSampling,   // device-side helpers, unused by most frameworks
+  kOther,
+};
+
+const char* to_string(KernelCategory c);
+
+struct KernelStats {
+  std::string name;
+  KernelCategory category = KernelCategory::kOther;
+  double latency_us = 0.0;
+  std::uint64_t flops = 0;
+  std::size_t global_bytes = 0;       // DRAM traffic (misses + writes + raw)
+  std::size_t cache_loaded_bytes = 0; // fills across all SMs ("cache bloat")
+  std::size_t cache_hit_bytes = 0;
+  std::uint64_t atomic_ops = 0;
+  std::size_t blocks = 0;
+};
+
+struct MemoryStats {
+  std::size_t current_bytes = 0;
+  std::size_t peak_bytes = 0;
+  std::size_t capacity_bytes = 0;
+  std::size_t alloc_count = 0;
+};
+
+/// Sum of a profile, optionally filtered by category.
+KernelStats accumulate(const std::vector<KernelStats>& profile);
+KernelStats accumulate(const std::vector<KernelStats>& profile,
+                       KernelCategory category);
+
+}  // namespace gt::gpusim

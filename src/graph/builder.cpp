@@ -1,0 +1,58 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gt {
+
+void GraphBuilder::add_edge(Vid src, Vid dst) {
+  if (src >= num_vertices_ || dst >= num_vertices_)
+    throw std::out_of_range("GraphBuilder::add_edge: VID out of range");
+  src_.push_back(src);
+  dst_.push_back(dst);
+}
+
+void GraphBuilder::dedup() {
+  const std::size_t n = src_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (dst_[a] != dst_[b]) return dst_[a] < dst_[b];
+    return src_[a] < src_[b];
+  });
+  std::vector<Vid> s, d;
+  s.reserve(n);
+  d.reserve(n);
+  for (std::size_t i : order) {
+    if (!s.empty() && s.back() == src_[i] && d.back() == dst_[i]) continue;
+    s.push_back(src_[i]);
+    d.push_back(dst_[i]);
+  }
+  src_ = std::move(s);
+  dst_ = std::move(d);
+}
+
+void GraphBuilder::drop_self_loops() {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < src_.size(); ++i) {
+    if (src_[i] == dst_[i]) continue;
+    src_[w] = src_[i];
+    dst_[w] = dst_[i];
+    ++w;
+  }
+  src_.resize(w);
+  dst_.resize(w);
+}
+
+Coo GraphBuilder::build_coo() {
+  Coo coo;
+  coo.num_vertices = num_vertices_;
+  coo.src = std::move(src_);
+  coo.dst = std::move(dst_);
+  src_.clear();
+  dst_.clear();
+  return coo;
+}
+
+}  // namespace gt

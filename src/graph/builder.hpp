@@ -1,0 +1,43 @@
+// Incremental edge-list builder with optional de-duplication; the synthetic
+// dataset generators and tests construct graphs through this.
+#pragma once
+
+#include <vector>
+
+#include "graph/coo.hpp"
+
+namespace gt {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vid num_vertices) : num_vertices_(num_vertices) {}
+
+  Vid num_vertices() const noexcept { return num_vertices_; }
+  Eid num_edges() const noexcept { return src_.size(); }
+
+  /// Append edge src -> dst. VIDs must be < num_vertices.
+  void add_edge(Vid src, Vid dst);
+
+  /// Append both directions.
+  void add_undirected(Vid a, Vid b) {
+    add_edge(a, b);
+    add_edge(b, a);
+  }
+
+  /// Remove exact duplicate (src, dst) pairs; keeps first occurrence order
+  /// after a sort (result is dst-major sorted).
+  void dedup();
+
+  /// Remove self loops (src == dst).
+  void drop_self_loops();
+
+  /// Finalize into COO; the builder is left empty.
+  Coo build_coo();
+
+ private:
+  Vid num_vertices_;
+  std::vector<Vid> src_;
+  std::vector<Vid> dst_;
+};
+
+}  // namespace gt

@@ -1,0 +1,112 @@
+#include "graph/convert.hpp"
+
+#include <algorithm>
+
+namespace gt {
+
+namespace {
+void charge(TranslationCost* cost, std::size_t sorted, std::size_t read,
+            std::size_t written, std::size_t temp) {
+  if (cost == nullptr) return;
+  cost->elements_sorted += sorted;
+  cost->bytes_read += read;
+  cost->bytes_written += written;
+  cost->temp_bytes = std::max(cost->temp_bytes, temp);
+}
+}  // namespace
+
+Csr coo_to_csr(const Coo& coo, TranslationCost* cost) {
+  Csr csr;
+  csr.num_vertices = coo.num_vertices;
+  csr.row_ptr.assign(static_cast<std::size_t>(coo.num_vertices) + 1, 0);
+  for (Vid d : coo.dst) ++csr.row_ptr[d + 1];
+  for (std::size_t i = 1; i < csr.row_ptr.size(); ++i)
+    csr.row_ptr[i] += csr.row_ptr[i - 1];
+  csr.col_idx.resize(coo.num_edges());
+  std::vector<Eid> cursor(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
+  for (Eid e = 0; e < coo.num_edges(); ++e)
+    csr.col_idx[cursor[coo.dst[e]]++] = coo.src[e];
+  charge(cost, coo.num_edges(), coo.storage_bytes(), csr.storage_bytes(),
+         cursor.size() * sizeof(Eid));
+  return csr;
+}
+
+Csc coo_to_csc(const Coo& coo, TranslationCost* cost) {
+  Csc csc;
+  csc.num_vertices = coo.num_vertices;
+  csc.col_ptr.assign(static_cast<std::size_t>(coo.num_vertices) + 1, 0);
+  for (Vid s : coo.src) ++csc.col_ptr[s + 1];
+  for (std::size_t i = 1; i < csc.col_ptr.size(); ++i)
+    csc.col_ptr[i] += csc.col_ptr[i - 1];
+  csc.row_idx.resize(coo.num_edges());
+  std::vector<Eid> cursor(csc.col_ptr.begin(), csc.col_ptr.end() - 1);
+  for (Eid e = 0; e < coo.num_edges(); ++e)
+    csc.row_idx[cursor[coo.src[e]]++] = coo.dst[e];
+  charge(cost, coo.num_edges(), coo.storage_bytes(), csc.storage_bytes(),
+         cursor.size() * sizeof(Eid));
+  return csc;
+}
+
+Coo csr_to_coo(const Csr& csr, TranslationCost* cost) {
+  Coo coo;
+  coo.num_vertices = csr.num_vertices;
+  coo.src.reserve(csr.num_edges());
+  coo.dst.reserve(csr.num_edges());
+  for (Vid d = 0; d < csr.num_vertices; ++d) {
+    for (Vid s : csr.neighbors(d)) {
+      coo.src.push_back(s);
+      coo.dst.push_back(d);
+    }
+  }
+  charge(cost, 0, csr.storage_bytes(), coo.storage_bytes(), 0);
+  return coo;
+}
+
+Coo csc_to_coo(const Csc& csc, TranslationCost* cost) {
+  Coo coo;
+  coo.num_vertices = csc.num_vertices;
+  coo.src.reserve(csc.num_edges());
+  coo.dst.reserve(csc.num_edges());
+  for (Vid s = 0; s < csc.num_vertices; ++s) {
+    for (Vid d : csc.neighbors(s)) {
+      coo.src.push_back(s);
+      coo.dst.push_back(d);
+    }
+  }
+  charge(cost, 0, csc.storage_bytes(), coo.storage_bytes(), 0);
+  return coo;
+}
+
+Csc csr_to_csc(const Csr& csr, TranslationCost* cost) {
+  Csc csc;
+  csc.num_vertices = csr.num_vertices;
+  csc.col_ptr.assign(static_cast<std::size_t>(csr.num_vertices) + 1, 0);
+  for (Vid s : csr.col_idx) ++csc.col_ptr[s + 1];
+  for (std::size_t i = 1; i < csc.col_ptr.size(); ++i)
+    csc.col_ptr[i] += csc.col_ptr[i - 1];
+  csc.row_idx.resize(csr.num_edges());
+  std::vector<Eid> cursor(csc.col_ptr.begin(), csc.col_ptr.end() - 1);
+  for (Vid d = 0; d < csr.num_vertices; ++d)
+    for (Vid s : csr.neighbors(d)) csc.row_idx[cursor[s]++] = d;
+  charge(cost, csr.num_edges(), csr.storage_bytes(), csc.storage_bytes(),
+         cursor.size() * sizeof(Eid));
+  return csc;
+}
+
+Csr csc_to_csr(const Csc& csc, TranslationCost* cost) {
+  Csr csr;
+  csr.num_vertices = csc.num_vertices;
+  csr.row_ptr.assign(static_cast<std::size_t>(csc.num_vertices) + 1, 0);
+  for (Vid d : csc.row_idx) ++csr.row_ptr[d + 1];
+  for (std::size_t i = 1; i < csr.row_ptr.size(); ++i)
+    csr.row_ptr[i] += csr.row_ptr[i - 1];
+  csr.col_idx.resize(csc.num_edges());
+  std::vector<Eid> cursor(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
+  for (Vid s = 0; s < csc.num_vertices; ++s)
+    for (Vid d : csc.neighbors(s)) csr.col_idx[cursor[d]++] = s;
+  charge(cost, csc.num_edges(), csc.storage_bytes(), csr.storage_bytes(),
+         cursor.size() * sizeof(Eid));
+  return csr;
+}
+
+}  // namespace gt

@@ -1,0 +1,52 @@
+// Format translations between COO / CSR / CSC.
+//
+// The Graph-approach baseline pays for these on the GPU critical path
+// (paper Figure 5c / Figure 16 "format translation"); GraphTensor's NAPA
+// avoids them entirely by consuming CSR directly. Every conversion returns a
+// TranslationCost describing the work done so the GPU simulator can charge a
+// faithful latency for it.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/coo.hpp"
+#include "graph/csc.hpp"
+#include "graph/csr.hpp"
+
+namespace gt {
+
+/// Work accounting for one format translation.
+struct TranslationCost {
+  std::size_t elements_sorted = 0;  // edge entries passed through a sort
+  std::size_t bytes_read = 0;
+  std::size_t bytes_written = 0;
+  std::size_t temp_bytes = 0;  // peak scratch allocation (extra GPU buffers)
+
+  TranslationCost& operator+=(const TranslationCost& o) noexcept {
+    elements_sorted += o.elements_sorted;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    temp_bytes = temp_bytes > o.temp_bytes ? temp_bytes : o.temp_bytes;
+    return *this;
+  }
+};
+
+/// COO -> CSR (dst-indexed): counting sort over dst VIDs.
+Csr coo_to_csr(const Coo& coo, TranslationCost* cost = nullptr);
+
+/// COO -> CSC (src-indexed): counting sort over src VIDs.
+Csc coo_to_csc(const Coo& coo, TranslationCost* cost = nullptr);
+
+/// CSR -> COO: expand the pointer array back to per-edge dst VIDs.
+Coo csr_to_coo(const Csr& csr, TranslationCost* cost = nullptr);
+
+/// CSC -> COO.
+Coo csc_to_coo(const Csc& csc, TranslationCost* cost = nullptr);
+
+/// CSR -> CSC without materializing COO (single counting pass).
+Csc csr_to_csc(const Csr& csr, TranslationCost* cost = nullptr);
+
+/// CSC -> CSR.
+Csr csc_to_csr(const Csc& csc, TranslationCost* cost = nullptr);
+
+}  // namespace gt

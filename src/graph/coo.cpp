@@ -1,0 +1,40 @@
+#include "graph/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gt {
+
+bool Coo::valid() const noexcept {
+  if (src.size() != dst.size()) return false;
+  for (Vid v : src)
+    if (v >= num_vertices) return false;
+  for (Vid v : dst)
+    if (v >= num_vertices) return false;
+  return true;
+}
+
+namespace {
+void sort_edges(std::vector<Vid>& key, std::vector<Vid>& other) {
+  const std::size_t n = key.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (key[a] != key[b]) return key[a] < key[b];
+                     return other[a] < other[b];
+                   });
+  std::vector<Vid> k(n), o(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k[i] = key[order[i]];
+    o[i] = other[order[i]];
+  }
+  key = std::move(k);
+  other = std::move(o);
+}
+}  // namespace
+
+void Coo::sort_by_dst() { sort_edges(dst, src); }
+void Coo::sort_by_src() { sort_edges(src, dst); }
+
+}  // namespace gt

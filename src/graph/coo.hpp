@@ -1,0 +1,38 @@
+// Coordinate-list (COO) storage format: two parallel arrays of src and dst
+// VIDs indexed by edge id (paper Figure 1b). Edge-centric: the natural input
+// of SDDMM-style edge weighting in the Graph-approach baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gt {
+
+struct Coo {
+  Vid num_vertices = 0;
+  std::vector<Vid> src;  // src[e] = source VID of edge e
+  std::vector<Vid> dst;  // dst[e] = destination VID of edge e
+
+  Eid num_edges() const noexcept { return src.size(); }
+
+  /// Bytes this structure occupies when materialized on a device.
+  std::size_t storage_bytes() const noexcept {
+    return (src.size() + dst.size()) * sizeof(Vid);
+  }
+
+  /// True iff arrays are consistent and every VID < num_vertices.
+  bool valid() const noexcept;
+
+  /// Stable sort of the edge list by dst VID (then src). This is the first
+  /// half of the COO->CSR format translation the Graph-approach pays for.
+  void sort_by_dst();
+
+  /// Stable sort by src VID (then dst): first half of COO->CSC.
+  void sort_by_src();
+
+  bool operator==(const Coo&) const = default;
+};
+
+}  // namespace gt

@@ -1,0 +1,17 @@
+#include "graph/csc.hpp"
+
+namespace gt {
+
+bool Csc::valid() const noexcept {
+  if (col_ptr.size() != static_cast<std::size_t>(num_vertices) + 1)
+    return false;
+  if (col_ptr.front() != 0) return false;
+  for (std::size_t i = 1; i < col_ptr.size(); ++i)
+    if (col_ptr[i] < col_ptr[i - 1]) return false;
+  if (col_ptr.back() != row_idx.size()) return false;
+  for (Vid v : row_idx)
+    if (v >= num_vertices) return false;
+  return true;
+}
+
+}  // namespace gt

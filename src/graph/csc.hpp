@@ -1,0 +1,41 @@
+// Source-indexed compressed sparse columns (the paper's CSC): col_ptr is
+// indexed by src VID and row_idx holds the dst VIDs it points to. Backward
+// propagation traverses this direction (loss flows dst -> src, §II-A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gt {
+
+struct Csc {
+  Vid num_vertices = 0;
+  std::vector<Eid> col_ptr;  // size num_vertices + 1; indexed by src VID
+  std::vector<Vid> row_idx;  // dst VIDs, grouped by src
+
+  Eid num_edges() const noexcept { return row_idx.size(); }
+
+  /// Out-neighbors (destinations) of `src`.
+  std::span<const Vid> neighbors(Vid src) const noexcept {
+    return {row_idx.data() + col_ptr[src],
+            row_idx.data() + col_ptr[src + 1]};
+  }
+
+  /// Out-degree of `src`.
+  Eid degree(Vid src) const noexcept {
+    return col_ptr[src + 1] - col_ptr[src];
+  }
+
+  std::size_t storage_bytes() const noexcept {
+    return col_ptr.size() * sizeof(Eid) + row_idx.size() * sizeof(Vid);
+  }
+
+  bool valid() const noexcept;
+
+  bool operator==(const Csc&) const = default;
+};
+
+}  // namespace gt

@@ -1,0 +1,17 @@
+#include "graph/csr.hpp"
+
+namespace gt {
+
+bool Csr::valid() const noexcept {
+  if (row_ptr.size() != static_cast<std::size_t>(num_vertices) + 1)
+    return false;
+  if (row_ptr.front() != 0) return false;
+  for (std::size_t i = 1; i < row_ptr.size(); ++i)
+    if (row_ptr[i] < row_ptr[i - 1]) return false;
+  if (row_ptr.back() != col_idx.size()) return false;
+  for (Vid v : col_idx)
+    if (v >= num_vertices) return false;
+  return true;
+}
+
+}  // namespace gt

@@ -1,0 +1,42 @@
+// Destination-indexed compressed sparse rows (the paper's CSR, Figure 1b):
+// row_ptr is indexed by dst VID and col_idx holds the src VIDs of its
+// incoming edges. This is the only format NAPA kernels consume.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gt {
+
+struct Csr {
+  Vid num_vertices = 0;
+  std::vector<Eid> row_ptr;  // size num_vertices + 1; indexed by dst VID
+  std::vector<Vid> col_idx;  // src VIDs, grouped by dst
+
+  Eid num_edges() const noexcept { return col_idx.size(); }
+
+  /// In-neighbors (sources) of `dst`.
+  std::span<const Vid> neighbors(Vid dst) const noexcept {
+    return {col_idx.data() + row_ptr[dst],
+            col_idx.data() + row_ptr[dst + 1]};
+  }
+
+  /// In-degree of `dst`.
+  Eid degree(Vid dst) const noexcept {
+    return row_ptr[dst + 1] - row_ptr[dst];
+  }
+
+  std::size_t storage_bytes() const noexcept {
+    return row_ptr.size() * sizeof(Eid) + col_idx.size() * sizeof(Vid);
+  }
+
+  /// Structural invariants: monotone pointers, bounds, sizes.
+  bool valid() const noexcept;
+
+  bool operator==(const Csr&) const = default;
+};
+
+}  // namespace gt

@@ -1,0 +1,33 @@
+#include "graph/degree.hpp"
+
+namespace gt {
+
+std::vector<double> in_degrees(const Coo& coo) {
+  std::vector<double> deg(coo.num_vertices, 0.0);
+  for (Vid d : coo.dst) deg[d] += 1.0;
+  return deg;
+}
+
+std::vector<double> in_degrees(const Csr& csr) {
+  std::vector<double> deg(csr.num_vertices, 0.0);
+  for (Vid v = 0; v < csr.num_vertices; ++v)
+    deg[v] = static_cast<double>(csr.degree(v));
+  return deg;
+}
+
+DegreeSummary summarize_degrees(const std::vector<double>& degrees,
+                                bool exclude_isolated) {
+  OnlineStats stats;
+  for (double d : degrees) {
+    if (exclude_isolated && d == 0.0) continue;
+    stats.add(d);
+  }
+  DegreeSummary s;
+  s.mean = stats.mean();
+  s.stdev = stats.stdev();
+  s.max = stats.count() > 0 ? stats.max() : 0.0;
+  s.vertices = stats.count();
+  return s;
+}
+
+}  // namespace gt

@@ -1,0 +1,30 @@
+// Degree statistics (paper Figure 8): average degree, stdev, and CDF of
+// original vs sampled graphs motivate feature-wise scheduling.
+#pragma once
+
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "util/stats.hpp"
+
+namespace gt {
+
+/// In-degree of every vertex (number of incoming edges).
+std::vector<double> in_degrees(const Coo& coo);
+std::vector<double> in_degrees(const Csr& csr);
+
+/// Degree summary over vertices that have at least one incoming edge
+/// (isolated vertices are excluded, matching how sampled-subgraph degree is
+/// reported: only materialized vertices count).
+struct DegreeSummary {
+  double mean = 0.0;
+  double stdev = 0.0;
+  double max = 0.0;
+  std::size_t vertices = 0;  // vertices with degree > 0
+};
+
+DegreeSummary summarize_degrees(const std::vector<double>& degrees,
+                                bool exclude_isolated = true);
+
+}  // namespace gt

@@ -1,0 +1,26 @@
+// Fundamental graph identifier types shared by every module.
+//
+// Conventions (following the paper, §II-A and Figure 1):
+//  * An edge (src -> dst) contributes src's embedding to dst's aggregation.
+//  * CSR in this codebase is *destination-indexed*: for each dst VID the
+//    pointer array locates the list of its src (in-)neighbors. This is the
+//    layout GNN forward aggregation wants ("CSR fits well with FWP").
+//  * CSC is *source-indexed*: for each src VID the list of its dst
+//    (out-)neighbors — the layout backward propagation wants.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gt {
+
+/// Vertex identifier. 32 bits: the largest scaled dataset here has ~10^5
+/// vertices, and subgraph re-indexing always produces dense small ids.
+using Vid = std::uint32_t;
+
+/// Edge identifier / edge count.
+using Eid = std::uint64_t;
+
+inline constexpr Vid kInvalidVid = std::numeric_limits<Vid>::max();
+
+}  // namespace gt

@@ -1,0 +1,367 @@
+#include "kernels/dl_approach.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace gt::kernels::dl {
+
+using gpusim::BlockCtx;
+using gpusim::BufferId;
+using gpusim::Device;
+using gpusim::KernelCategory;
+
+BufferId gather_rows(Device& dev, BufferId x, BufferId ids,
+                     const char* name) {
+  const std::size_t n = dev.rows(ids);
+  const std::size_t feat = dev.cols(x);
+  const BufferId out = dev.alloc_f32(n, feat, name);
+  dev.charge_alloc_overhead(name);
+
+  auto xv = dev.f32(x);
+  auto ov = dev.f32(out);
+  auto iv = dev.u32(ids);
+  const std::size_t fb = feat * sizeof(float);
+
+  dev.run_kernel("dl.Gather", KernelCategory::kSparse2Dense, n,
+                 [&](BlockCtx& ctx) {
+    const std::size_t k = ctx.block_id();
+    ctx.global_read(sizeof(std::uint32_t));
+    const std::uint32_t v = iv[k];
+    ctx.load(x, v, fb);
+    std::copy_n(&xv[static_cast<std::size_t>(v) * feat], feat, &ov[k * feat]);
+    ctx.store(out, static_cast<std::uint32_t>(k), fb);
+  });
+  return out;
+}
+
+BufferId expand_dst_ids(Device& dev, const DeviceCsr& csr) {
+  const BufferId out = dev.alloc_u32(csr.n_edges, "dl.dst_ids");
+  dev.charge_alloc_overhead("dl.dst_ids");
+  auto rp = dev.u32(csr.row_ptr);
+  auto ov = dev.u32(out);
+  for (Vid d = 0; d < csr.n_dst; ++d)
+    for (std::uint32_t k = rp[d]; k < rp[d + 1]; ++k) ov[k] = d;
+  dev.charge_kernel("dl.ExpandDst", KernelCategory::kSparse2Dense, 0,
+                    (csr.n_edges + csr.n_dst) * sizeof(std::uint32_t));
+  return out;
+}
+
+BufferId edge_weight_dense(Device& dev, BufferId dense_src,
+                           BufferId dense_dst, EdgeWeightMode gmode) {
+  if (gmode == EdgeWeightMode::kNone)
+    throw std::invalid_argument("edge_weight_dense: needs a weight mode");
+  const std::size_t n = dev.rows(dense_src);
+  const std::size_t feat = dev.cols(dense_src);
+  const std::size_t wcols = gmode == EdgeWeightMode::kDot ? 1 : feat;
+  const BufferId out = dev.alloc_f32(n, wcols, "dl.weights");
+  dev.charge_alloc_overhead("dl.weights");
+
+  auto sv = dev.f32(dense_src);
+  auto dv = dev.f32(dense_dst);
+  auto ov = dev.f32(out);
+  const std::size_t fb = feat * sizeof(float);
+
+  dev.run_kernel("dl.EdgeWeight", KernelCategory::kEdgeWeight, n,
+                 [&](BlockCtx& ctx) {
+    const std::size_t k = ctx.block_id();
+    ctx.load(dense_src, static_cast<std::uint32_t>(k), fb);
+    ctx.load(dense_dst, static_cast<std::uint32_t>(k), fb);
+    const float* s = &sv[k * feat];
+    const float* d = &dv[k * feat];
+    if (gmode == EdgeWeightMode::kDot) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < feat; ++c) acc += s[c] * d[c];
+      ov[k] = acc * dot_weight_scale(feat);
+      ctx.flops(2 * feat);
+      ctx.store(out, static_cast<std::uint32_t>(k), sizeof(float));
+    } else {
+      for (std::size_t c = 0; c < feat; ++c) ov[k * feat + c] = s[c] * d[c];
+      ctx.flops(feat);
+      ctx.store(out, static_cast<std::uint32_t>(k), fb);
+    }
+  });
+  return out;
+}
+
+BufferId apply_weights_dense(Device& dev, BufferId dense_src,
+                             BufferId weights, EdgeWeightMode gmode) {
+  const std::size_t n = dev.rows(dense_src);
+  const std::size_t feat = dev.cols(dense_src);
+  const std::size_t wcols = dev.cols(weights);
+  const BufferId out = dev.alloc_f32(n, feat, "dl.weighted");
+  dev.charge_alloc_overhead("dl.weighted");
+
+  auto sv = dev.f32(dense_src);
+  auto wv = dev.f32(weights);
+  auto ov = dev.f32(out);
+  const std::size_t fb = feat * sizeof(float);
+
+  dev.run_kernel("dl.ApplyWeights", KernelCategory::kEdgeWeight, n,
+                 [&](BlockCtx& ctx) {
+    const std::size_t k = ctx.block_id();
+    ctx.load(dense_src, static_cast<std::uint32_t>(k), fb);
+    ctx.load(weights, static_cast<std::uint32_t>(k), wcols * sizeof(float));
+    for (std::size_t c = 0; c < feat; ++c) {
+      const float w = gmode == EdgeWeightMode::kDot ? wv[k * wcols]
+                                                    : wv[k * wcols + c];
+      ov[k * feat + c] = sv[k * feat + c] * w;
+    }
+    ctx.flops(feat);
+    ctx.store(out, static_cast<std::uint32_t>(k), fb);
+  });
+  return out;
+}
+
+BufferId scatter_aggregate(Device& dev, const DeviceCsr& csr,
+                           BufferId dense_rows, AggMode f) {
+  const std::size_t feat = dev.cols(dense_rows);
+  const BufferId out = dev.alloc_f32(csr.n_dst, feat, "dl.aggr");
+  dev.charge_alloc_overhead("dl.aggr");
+
+  auto rv = dev.f32(dense_rows);
+  auto ov = dev.f32(out);
+  auto rp = dev.u32(csr.row_ptr);
+  const std::size_t fb = feat * sizeof(float);
+
+  dev.run_kernel("dl.ScatterAggregate", KernelCategory::kAggregation,
+                 csr.n_dst, [&](BlockCtx& ctx) {
+    const std::uint32_t d = static_cast<std::uint32_t>(ctx.block_id());
+    ctx.global_read(2 * sizeof(std::uint32_t));
+    const std::uint32_t begin = rp[d], end = rp[d + 1];
+    float* od = &ov[static_cast<std::size_t>(d) * feat];
+    bool first = true;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      ctx.load(dense_rows, k, fb);
+      const float* row = &rv[static_cast<std::size_t>(k) * feat];
+      for (std::size_t c = 0; c < feat; ++c) {
+        if (f == AggMode::kMax) {
+          od[c] = first ? row[c] : std::max(od[c], row[c]);
+        } else {
+          od[c] += row[c];
+        }
+      }
+      first = false;
+      ctx.flops(feat);
+    }
+    if (f == AggMode::kMean && end > begin) {
+      const float inv = 1.0f / static_cast<float>(end - begin);
+      for (std::size_t c = 0; c < feat; ++c) od[c] *= inv;
+      ctx.flops(feat);
+    }
+    ctx.store(out, d, fb);
+  });
+  return out;
+}
+
+BufferId forward_aggregate(Device& dev, const DeviceCsr& csr, BufferId x,
+                           AggMode f, EdgeWeightMode gmode,
+                           BufferId* weights_out) {
+  *weights_out = gpusim::kInvalidBuffer;
+  const BufferId dense_src = gather_rows(dev, x, csr.col_idx, "dl.dense_src");
+  BufferId to_reduce = dense_src;
+  BufferId weighted = gpusim::kInvalidBuffer;
+  if (gmode != EdgeWeightMode::kNone) {
+    const BufferId dst_ids = expand_dst_ids(dev, csr);
+    const BufferId dense_dst = gather_rows(dev, x, dst_ids, "dl.dense_dst");
+    *weights_out = edge_weight_dense(dev, dense_src, dense_dst, gmode);
+    weighted = apply_weights_dense(dev, dense_src, *weights_out, gmode);
+    to_reduce = weighted;
+    dev.free(dense_dst);
+    dev.free(dst_ids);
+  }
+  const BufferId out = scatter_aggregate(dev, csr, to_reduce, f);
+  if (weighted != gpusim::kInvalidBuffer) dev.free(weighted);
+  dev.free(dense_src);
+  return out;
+}
+
+BufferId backward_aggregate(Device& dev, const DeviceCsr& csr, BufferId x,
+                            BufferId weights, BufferId da, AggMode f,
+                            EdgeWeightMode gmode) {
+  if (f == AggMode::kMax)
+    throw std::invalid_argument("backward_aggregate: max unsupported");
+  const std::size_t feat = dev.cols(x);
+  const BufferId dx = dev.alloc_f32(csr.n_vertices, feat, "dl.dx");
+  dev.charge_alloc_overhead("dl.dx");
+
+  // Dense gradient temporary (memory bloat again): dDense[k] = coeff*dA[d].
+  const BufferId ddense = dev.alloc_f32(csr.n_edges, feat, "dl.ddense");
+  dev.charge_alloc_overhead("dl.ddense");
+
+  auto dav = dev.f32(da);
+  auto ddv = dev.f32(ddense);
+  auto rp = dev.u32(csr.row_ptr);
+  auto ci = dev.u32(csr.col_idx);
+  const std::size_t fb = feat * sizeof(float);
+
+  dev.run_kernel("dl.GatherGrad", KernelCategory::kSparse2Dense, csr.n_dst,
+                 [&](BlockCtx& ctx) {
+    const std::uint32_t d = static_cast<std::uint32_t>(ctx.block_id());
+    ctx.global_read(2 * sizeof(std::uint32_t));
+    const std::uint32_t begin = rp[d], end = rp[d + 1];
+    if (begin == end) return;
+    const float coeff =
+        f == AggMode::kMean ? 1.0f / static_cast<float>(end - begin) : 1.0f;
+    ctx.load(da, d, fb);
+    const float* dad = &dav[static_cast<std::size_t>(d) * feat];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      for (std::size_t c = 0; c < feat; ++c)
+        ddv[static_cast<std::size_t>(k) * feat + c] = coeff * dad[c];
+      ctx.store(ddense, k, fb);
+      ctx.flops(feat);
+    }
+  });
+
+  auto xv = dev.f32(x);
+  auto dxv = dev.f32(dx);
+  std::span<const float> wv;
+  std::size_t wcols = 0;
+  if (gmode != EdgeWeightMode::kNone) {
+    wv = dev.f32(weights);
+    wcols = dev.cols(weights);
+  }
+  std::vector<std::uint32_t> dst_of(csr.n_edges);
+  for (Vid d = 0; d < csr.n_dst; ++d)
+    for (std::uint32_t k = rp[d]; k < rp[d + 1]; ++k) dst_of[k] = d;
+
+  dev.run_kernel("dl.ScatterAddGrad", KernelCategory::kSparse2Dense,
+                 csr.n_edges, [&](BlockCtx& ctx) {
+    const std::size_t k = ctx.block_id();
+    ctx.global_read(2 * sizeof(std::uint32_t));
+    const std::uint32_t s = ci[k];
+    const std::uint32_t d = dst_of[k];
+    ctx.load(ddense, static_cast<std::uint32_t>(k), fb);
+    ctx.load(dx, s, fb);
+    ctx.atomic(feat);
+    const float* dh = &ddv[k * feat];
+    float* dxs = &dxv[static_cast<std::size_t>(s) * feat];
+    switch (gmode) {
+      case EdgeWeightMode::kNone:
+        for (std::size_t c = 0; c < feat; ++c) dxs[c] += dh[c];
+        ctx.flops(feat);
+        break;
+      case EdgeWeightMode::kDot: {
+        ctx.load(x, s, fb);
+        ctx.load(x, d, fb);
+        ctx.load(weights, static_cast<std::uint32_t>(k), sizeof(float));
+        ctx.load(dx, d, fb);
+        ctx.atomic(feat);
+        const float* xs = &xv[static_cast<std::size_t>(s) * feat];
+        const float* xd = &xv[static_cast<std::size_t>(d) * feat];
+        float* dxd = &dxv[static_cast<std::size_t>(d) * feat];
+        const float we = wv[k * wcols];
+        float dwe = 0.0f;
+        for (std::size_t c = 0; c < feat; ++c) dwe += dh[c] * xs[c];
+        dwe *= dot_weight_scale(feat);
+        for (std::size_t c = 0; c < feat; ++c) {
+          dxs[c] += we * dh[c] + dwe * xd[c];
+          dxd[c] += dwe * xs[c];
+        }
+        ctx.flops(6 * feat);
+        ctx.store(dx, d, fb);
+        break;
+      }
+      case EdgeWeightMode::kElemProduct: {
+        ctx.load(x, s, fb);
+        ctx.load(x, d, fb);
+        ctx.load(weights, static_cast<std::uint32_t>(k), fb);
+        ctx.load(dx, d, fb);
+        ctx.atomic(feat);
+        const float* xs = &xv[static_cast<std::size_t>(s) * feat];
+        const float* xd = &xv[static_cast<std::size_t>(d) * feat];
+        float* dxd = &dxv[static_cast<std::size_t>(d) * feat];
+        for (std::size_t c = 0; c < feat; ++c) {
+          const float dwe = dh[c] * xs[c];
+          dxs[c] += wv[k * wcols + c] * dh[c] + dwe * xd[c];
+          dxd[c] += dwe * xs[c];
+        }
+        ctx.flops(6 * feat);
+        ctx.store(dx, d, fb);
+        break;
+      }
+    }
+    ctx.store(dx, s, fb);
+  });
+
+  dev.free(ddense);
+  return dx;
+}
+
+BufferId aggregate_neighbor_groups(Device& dev, const DeviceCsr& csr,
+                                   BufferId x, AggMode f,
+                                   std::size_t group_size) {
+  if (group_size == 0)
+    throw std::invalid_argument("group_size must be > 0");
+  const std::size_t feat = dev.cols(x);
+  const BufferId out = dev.alloc_f32(csr.n_dst, feat, "advisor.aggr");
+  dev.charge_alloc_overhead("advisor.aggr");
+
+  auto xv = dev.f32(x);
+  auto ov = dev.f32(out);
+  auto rp = dev.u32(csr.row_ptr);
+  auto ci = dev.u32(csr.col_idx);
+  const std::size_t fb = feat * sizeof(float);
+
+  // Precompute the group list: (dst, first-edge, last-edge).
+  struct Group {
+    std::uint32_t d, begin, end;
+  };
+  std::vector<Group> groups;
+  std::vector<std::uint32_t> groups_of_dst(csr.n_dst, 0);
+  for (Vid d = 0; d < csr.n_dst; ++d) {
+    for (std::uint32_t k = rp[d]; k < rp[d + 1];
+         k += static_cast<std::uint32_t>(group_size)) {
+      groups.push_back(Group{
+          d, k,
+          std::min(k + static_cast<std::uint32_t>(group_size), rp[d + 1])});
+      ++groups_of_dst[d];
+    }
+  }
+  if (f == AggMode::kMax)
+    throw std::invalid_argument(
+        "aggregate_neighbor_groups: atomic max unsupported");
+
+  dev.run_kernel("advisor.GroupAggregate", KernelCategory::kAggregation,
+                 groups.size(), [&](BlockCtx& ctx) {
+    const Group& g = groups[ctx.block_id()];
+    ctx.global_read(3 * sizeof(std::uint32_t));
+    std::vector<float> acc(feat, 0.0f);
+    for (std::uint32_t k = g.begin; k < g.end; ++k) {
+      ctx.global_read(sizeof(std::uint32_t));
+      const std::uint32_t s = ci[k];
+      ctx.load(x, s, fb);
+      const float* xs = &xv[static_cast<std::size_t>(s) * feat];
+      for (std::size_t c = 0; c < feat; ++c) acc[c] += xs[c];
+      ctx.flops(feat);
+    }
+    // Multiple groups of one dst run on different SMs: each loads the
+    // output row and atomically merges its partial sum (GNNAdvisor's
+    // synchronization overhead).
+    ctx.load(out, g.d, fb);
+    if (groups_of_dst[g.d] > 1) ctx.atomic(feat);
+    float* od = &ov[static_cast<std::size_t>(g.d) * feat];
+    for (std::size_t c = 0; c < feat; ++c) od[c] += acc[c];
+    ctx.flops(feat);
+    ctx.store(out, g.d, fb);
+  });
+
+  if (f == AggMode::kMean) {
+    dev.run_kernel("advisor.Normalize", KernelCategory::kAggregation,
+                   csr.n_dst, [&](BlockCtx& ctx) {
+      const std::uint32_t d = static_cast<std::uint32_t>(ctx.block_id());
+      ctx.global_read(2 * sizeof(std::uint32_t));
+      const std::uint32_t deg = rp[d + 1] - rp[d];
+      if (deg == 0) return;
+      ctx.load(out, d, fb);
+      float* od = &ov[static_cast<std::size_t>(d) * feat];
+      const float inv = 1.0f / static_cast<float>(deg);
+      for (std::size_t c = 0; c < feat; ++c) od[c] *= inv;
+      ctx.flops(feat);
+      ctx.store(out, d, fb);
+    });
+  }
+  return out;
+}
+
+}  // namespace gt::kernels::dl

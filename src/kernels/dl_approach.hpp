@@ -1,0 +1,76 @@
+// DL-approach kernels (PyG / NeuGraph / FlexGraph style, paper §III).
+//
+// GNN steps are lowered onto dense DL primitives, which first requires a
+// sparse-to-dense conversion: per-edge gathers materialize [E, F] matrices
+// of source (and, for edge weighting, destination) embeddings. Rows of the
+// embedding table referenced by several edges are replicated — the paper's
+// GPU *memory bloat* (Fig 6a) — before scatter_sum/scatter_mean reduce them
+// per destination. The backward pass materializes the same dense
+// temporaries again and scatter-adds into the gradient table with atomics.
+//
+// GNNAdvisor's aggregation variant is also here: it skips the dense
+// detour for aggregation (neighbor groups over CSR) but pays atomic
+// synchronization when several SMs update one destination, and it has no
+// edge-weighting mechanism, falling back to these DL ops (paper §VI-A).
+#pragma once
+
+#include "kernels/common.hpp"
+
+namespace gt::kernels::dl {
+
+/// Sparse-to-dense gather: out[k] = x[ids[k]] for every row index in the
+/// u32 buffer `ids`. The returned [|ids|, F] dense matrix is the memory
+/// bloat the DL-approach pays per step.
+gpusim::BufferId gather_rows(gpusim::Device& dev, gpusim::BufferId x,
+                             gpusim::BufferId ids, const char* name);
+
+/// Expand per-dst pointers into a per-edge dst id buffer (edge k -> its
+/// dst), i.e. the index DL scatter ops consume.
+gpusim::BufferId expand_dst_ids(gpusim::Device& dev, const DeviceCsr& csr);
+
+/// Edge weighting with dense DL ops over gathered [E, F] matrices:
+/// returns weights in CSR edge order ([E,1] kDot / [E,F] kElemProduct).
+gpusim::BufferId edge_weight_dense(gpusim::Device& dev,
+                                   gpusim::BufferId dense_src,
+                                   gpusim::BufferId dense_dst,
+                                   EdgeWeightMode gmode);
+
+/// h over dense matrices: weighted[k] = w[k] * dense_src[k].
+gpusim::BufferId apply_weights_dense(gpusim::Device& dev,
+                                     gpusim::BufferId dense_src,
+                                     gpusim::BufferId weights,
+                                     EdgeWeightMode gmode);
+
+/// scatter_sum / scatter_mean / scatter_max: reduce dense edge rows into
+/// per-dst rows using the CSR segment boundaries.
+gpusim::BufferId scatter_aggregate(gpusim::Device& dev, const DeviceCsr& csr,
+                                   gpusim::BufferId dense_rows, AggMode f);
+
+/// Convenience wrapper: the full DL-approach forward aggregation pipeline
+/// (gathers -> optional weighting -> scatter). Returns the aggregation
+/// output and, via out-params, the weights buffer (caller frees; invalid
+/// for kNone).
+gpusim::BufferId forward_aggregate(gpusim::Device& dev, const DeviceCsr& csr,
+                                   gpusim::BufferId x, AggMode f,
+                                   EdgeWeightMode gmode,
+                                   gpusim::BufferId* weights_out);
+
+/// Backward of the DL pipeline: dense temporaries again, then an atomic
+/// scatter-add into dX by source (and dst for weighted modes). kMax
+/// unsupported.
+gpusim::BufferId backward_aggregate(gpusim::Device& dev, const DeviceCsr& csr,
+                                    gpusim::BufferId x,
+                                    gpusim::BufferId weights,
+                                    gpusim::BufferId da, AggMode f,
+                                    EdgeWeightMode gmode);
+
+/// GNNAdvisor-style aggregation: neighbor lists are split into groups of
+/// `group_size`, one block per group; groups of the same dst run on
+/// different SMs and atomically combine into the output row. Unweighted
+/// only (GNNAdvisor has no edge-weighting mechanism).
+gpusim::BufferId aggregate_neighbor_groups(gpusim::Device& dev,
+                                           const DeviceCsr& csr,
+                                           gpusim::BufferId x, AggMode f,
+                                           std::size_t group_size);
+
+}  // namespace gt::kernels::dl

@@ -1,0 +1,48 @@
+// Graph-approach kernels (DGL / FeatGraph / G3 style, paper §III).
+//
+// The graph arrives in COO; SpMM needs per-dst source lists, so the
+// framework pays a GPU-side COO->CSR format translation before forward
+// aggregation (and COO->CSC before backward). Both SpMM and SDDMM are
+// *edge-wise* scheduled: one thread block per edge, threads over features.
+// Edges sharing a destination land on different SMs, so the destination's
+// embedding (SDDMM) or accumulator row (SpMM) is cached redundantly in each
+// of them — the paper's cache bloat — and concurrent accumulation needs
+// atomics.
+#pragma once
+
+#include "kernels/common.hpp"
+
+namespace gt::kernels::graphsim {
+
+/// GPU-side COO -> CSR translation (paper Fig 5c top): sorts the edge list
+/// by dst and derives the pointer array. Charged as a format-translation
+/// kernel plus the temporary sort buffers' allocations. The result carries
+/// edge_id back-references into COO order.
+DeviceCsr translate_to_csr(gpusim::Device& dev, const DeviceCoo& coo);
+
+/// GPU-side COO -> CSC translation (needed before backward).
+DeviceCsc translate_to_csc(gpusim::Device& dev, const DeviceCoo& coo);
+
+/// SDDMM edge weighting over COO: one block per edge. Weights come back in
+/// COO edge order ([E,1] for kDot, [E,F] for kElemProduct).
+gpusim::BufferId sddmm_edgewise(gpusim::Device& dev, const DeviceCoo& coo,
+                                gpusim::BufferId x, EdgeWeightMode gmode);
+
+/// SpMM aggregation over the translated CSR, edge-wise scheduled with
+/// atomic accumulation into the per-dst output row. `weights` are in COO
+/// order and addressed through csr.edge_id (pass kInvalidBuffer for kNone).
+gpusim::BufferId spmm_edgewise(gpusim::Device& dev, const DeviceCsr& csr,
+                               gpusim::BufferId x, gpusim::BufferId weights,
+                               AggMode f, EdgeWeightMode gmode);
+
+/// Full backward of (weighting + aggregation) in one edge-wise pass over
+/// COO: computes both source- and destination-side gradient terms with
+/// atomics (edge-centric traversal, §II-A). `csr` supplies per-dst degrees
+/// for mean. kMax unsupported.
+gpusim::BufferId backward_edgewise(gpusim::Device& dev, const DeviceCoo& coo,
+                                   const DeviceCsr& csr, gpusim::BufferId x,
+                                   gpusim::BufferId weights,
+                                   gpusim::BufferId da, AggMode f,
+                                   EdgeWeightMode gmode);
+
+}  // namespace gt::kernels::graphsim

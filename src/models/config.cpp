@@ -1,0 +1,32 @@
+#include "models/config.hpp"
+
+namespace gt::models {
+
+using kernels::AggMode;
+using kernels::EdgeWeightMode;
+
+GnnModelConfig gcn(std::uint32_t hidden, std::uint32_t out,
+                   std::uint32_t layers) {
+  return GnnModelConfig{"GCN", AggMode::kMean, EdgeWeightMode::kNone, layers,
+                        hidden, out};
+}
+
+GnnModelConfig ngcf(std::uint32_t hidden, std::uint32_t out,
+                    std::uint32_t layers) {
+  return GnnModelConfig{"NGCF", AggMode::kMean, EdgeWeightMode::kDot, layers,
+                        hidden, out};
+}
+
+GnnModelConfig graphsage_sum(std::uint32_t hidden, std::uint32_t out,
+                             std::uint32_t layers) {
+  return GnnModelConfig{"GraphSAGE-sum", AggMode::kSum, EdgeWeightMode::kNone,
+                        layers, hidden, out};
+}
+
+GnnModelConfig gat_like(std::uint32_t hidden, std::uint32_t out,
+                        std::uint32_t layers) {
+  return GnnModelConfig{"GAT-like", AggMode::kMean,
+                        EdgeWeightMode::kElemProduct, layers, hidden, out};
+}
+
+}  // namespace gt::models

@@ -1,0 +1,120 @@
+#include "pipeline/executor.hpp"
+
+#include <future>
+#include <stdexcept>
+
+namespace gt::pipeline {
+
+using sampling::HopEdges;
+using sampling::LayerGraphHost;
+using sampling::SampledBatch;
+using sampling::VidHashTable;
+
+PreprocExecutor::PreprocExecutor(const Csr& graph,
+                                 const EmbeddingTable& embeddings,
+                                 std::uint32_t fanout,
+                                 std::uint32_t num_layers, std::uint64_t seed,
+                                 sampling::ReindexFormats formats)
+    : graph_(graph),
+      sampler_(graph, fanout, seed),
+      lookup_(embeddings),
+      num_layers_(num_layers),
+      formats_(formats) {
+  if (num_layers == 0) throw std::invalid_argument("need >= 1 layer");
+}
+
+PreprocResult PreprocExecutor::run_serial(
+    std::span<const Vid> batch_vids) const {
+  PreprocResult result;
+  VidHashTable table;
+  result.batch = sampler_.sample(batch_vids, num_layers_, table);
+  for (std::uint32_t l = 0; l < num_layers_; ++l)
+    result.layers.push_back(
+        sampling::reindex_layer(result.batch, table, l, formats_));
+  result.embeddings = lookup_.gather_all(result.batch.vid_order);
+  result.hash_acquisitions = table.lock_acquisitions();
+  result.hash_contended = table.contended_acquisitions();
+  return result;
+}
+
+PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
+                                            ThreadPool& pool,
+                                            std::size_t chunks) const {
+  if (chunks == 0) chunks = 1;
+  PreprocResult result;
+  VidHashTable table;
+
+  SampledBatch& sb = result.batch;
+  sb.num_layers = num_layers_;
+  sb.batch.assign(batch_vids.begin(), batch_vids.end());
+
+  // Hop 0: batch insert (a serialized hash update).
+  for (Vid v : batch_vids) {
+    bool is_new = false;
+    table.insert_or_get(v, &is_new);
+    if (!is_new)
+      throw std::invalid_argument("run_parallel: duplicate batch vertex");
+  }
+  sb.set_sizes.push_back(table.size());
+
+  std::vector<Vid> frontier(batch_vids.begin(), batch_vids.end());
+  for (std::uint32_t h = 1; h <= num_layers_; ++h) {
+    // A part: chunks of the frontier expand concurrently (per-vertex RNG
+    // keeps the result partition-invariant).
+    const std::size_t n = frontier.size();
+    const std::size_t per_chunk = (n + chunks - 1) / chunks;
+    std::vector<std::future<HopEdges>> parts;
+    for (std::size_t begin = 0; begin < n; begin += per_chunk) {
+      const std::size_t end = std::min(begin + per_chunk, n);
+      parts.push_back(pool.submit([this, &frontier, begin, end, h] {
+        return sampler_.choose_neighbors(
+            std::span(frontier).subspan(begin, end - begin), h);
+      }));
+    }
+    // H part: serialized, in chunk order -> deterministic VID assignment.
+    HopEdges edges;
+    for (auto& part : parts) {
+      HopEdges chunk = part.get();
+      sampling::NeighborSampler::insert_vertices(table, chunk);
+      edges.src.insert(edges.src.end(), chunk.src.begin(), chunk.src.end());
+      edges.dst.insert(edges.dst.end(), chunk.dst.begin(), chunk.dst.end());
+    }
+    const Vid prev_size = sb.set_sizes.back();
+    sb.set_sizes.push_back(table.size());
+    sb.hops.push_back(std::move(edges));
+    if (h < num_layers_) {
+      const auto order = table.insertion_order();
+      frontier.assign(order.begin() + prev_size,
+                      order.begin() + table.size());
+    }
+  }
+  sb.vid_order = table.insertion_order();
+
+  // R: layers reindex concurrently (read-only table traffic).
+  std::vector<std::future<LayerGraphHost>> layer_futures;
+  for (std::uint32_t l = 0; l < num_layers_; ++l) {
+    layer_futures.push_back(pool.submit([this, &sb, &table, l] {
+      return sampling::reindex_layer(sb, table, l, formats_);
+    }));
+  }
+
+  // K: disjoint row ranges of the gathered table fill concurrently.
+  result.embeddings = Matrix(sb.vid_order.size(), lookup_.table().dim());
+  const std::size_t rows = sb.vid_order.size();
+  const std::size_t rows_per_chunk = (rows + chunks - 1) / chunks;
+  std::vector<std::future<void>> k_futures;
+  for (std::size_t begin = 0; begin < rows; begin += rows_per_chunk) {
+    const std::size_t end = std::min(begin + rows_per_chunk, rows);
+    k_futures.push_back(pool.submit([this, &sb, &result, begin, end] {
+      lookup_.gather_chunk(sb.vid_order, begin, end, result.embeddings);
+    }));
+  }
+
+  for (auto& f : layer_futures) result.layers.push_back(f.get());
+  for (auto& f : k_futures) f.get();
+  result.hash_acquisitions = table.lock_acquisitions();
+  result.hash_contended = table.contended_acquisitions();
+  return result;
+}
+
+}  // namespace gt::pipeline

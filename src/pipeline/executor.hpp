@@ -1,0 +1,61 @@
+// Real (data-producing) preprocessing executors.
+//
+// The discrete-event planner prices schedules; these executors actually
+// run sampling, reindexing, and embedding lookup — serially or across a
+// thread pool structured like the service-wide tensor scheduler (parallel
+// algorithm chunks, hash updates serialized in deterministic order). The
+// parallel path must produce bit-identical results to the serial one;
+// tests enforce it. Real hash-table contention counters are reported for
+// the Fig 14 measurements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "datasets/embedding.hpp"
+#include "graph/csr.hpp"
+#include "sampling/lookup.hpp"
+#include "sampling/reindex.hpp"
+#include "sampling/sampler.hpp"
+#include "tensor/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gt::pipeline {
+
+struct PreprocResult {
+  sampling::SampledBatch batch;
+  std::vector<sampling::LayerGraphHost> layers;  // per exec-layer
+  Matrix embeddings;                             // layer-0 input table
+  std::uint64_t hash_acquisitions = 0;
+  std::uint64_t hash_contended = 0;
+};
+
+class PreprocExecutor {
+ public:
+  PreprocExecutor(const Csr& graph, const EmbeddingTable& embeddings,
+                  std::uint32_t fanout, std::uint32_t num_layers,
+                  std::uint64_t seed, sampling::ReindexFormats formats);
+
+  const sampling::NeighborSampler& sampler() const noexcept {
+    return sampler_;
+  }
+
+  /// Single-threaded: S hops, then R per layer, then K.
+  PreprocResult run_serial(std::span<const Vid> batch_vids) const;
+
+  /// Service-wide structured: A chunks fan out over the pool, H updates
+  /// apply serially in chunk order (deterministic VIDs), R layers and K
+  /// chunks run concurrently afterwards.
+  PreprocResult run_parallel(std::span<const Vid> batch_vids,
+                             ThreadPool& pool,
+                             std::size_t chunks = 8) const;
+
+ private:
+  const Csr& graph_;
+  sampling::NeighborSampler sampler_;
+  sampling::EmbeddingLookup lookup_;
+  std::uint32_t num_layers_;
+  sampling::ReindexFormats formats_;
+};
+
+}  // namespace gt::pipeline

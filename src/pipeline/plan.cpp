@@ -1,0 +1,377 @@
+#include "pipeline/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gt::pipeline {
+
+const char* to_string(PreprocStrategy s) {
+  switch (s) {
+    case PreprocStrategy::kSerial:             return "serial";
+    case PreprocStrategy::kParallelTasks:      return "parallel-tasks";
+    case PreprocStrategy::kServiceWideNoRelax: return "service-wide-norelax";
+    case PreprocStrategy::kServiceWide:        return "service-wide";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Tagged {
+  SimTaskId id;
+  TaskType type;
+  double weight;  // work items, for the nodes-processed timeline
+};
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const BatchWorkload& w, const PlanOptions& opt)
+      : w_(w), opt_(opt), pcie_model_(opt.pcie) {
+    const bool serial = opt.strategy == PreprocStrategy::kSerial;
+    cpu_ = sim_.add_resource("cpu", serial ? 1 : opt.cost.num_cores);
+    pcie_ = sim_.add_resource("pcie", 1);
+    hash_group_ = sim_.add_serial_group();
+  }
+
+  PreprocSchedule build() {
+    switch (opt_.strategy) {
+      case PreprocStrategy::kSerial:
+        build_serial();
+        break;
+      case PreprocStrategy::kParallelTasks:
+        build_parallel_tasks();
+        break;
+      case PreprocStrategy::kServiceWideNoRelax:
+        build_service_wide(/*relaxed=*/false);
+        break;
+      case PreprocStrategy::kServiceWide:
+        build_service_wide(/*relaxed=*/true);
+        break;
+    }
+    return finish();
+  }
+
+ private:
+  // -- Cost helpers -----------------------------------------------------------
+  double sample_us(std::uint64_t edges) const {
+    return static_cast<double>(edges) * opt_.cost.us_per_sampled_edge;
+  }
+  /// Per-chunk duration of work split across parallel chunks, inflated by
+  /// the host's memory-bound parallel efficiency.
+  double chunked(double total_us, std::size_t chunks) const {
+    return total_us / (static_cast<double>(chunks) *
+                       opt_.cost.parallel_efficiency);
+  }
+  double hash_us(std::uint64_t ops) const {
+    return static_cast<double>(ops) * opt_.cost.us_per_hash_op;
+  }
+  double reindex_us(std::uint64_t edges) const {
+    return static_cast<double>(edges) * opt_.cost.us_per_reindex_edge;
+  }
+  double lookup_us(std::uint64_t rows) const {
+    return static_cast<double>(rows * w_.feature_dim * sizeof(float)) *
+           opt_.cost.us_per_lookup_byte;
+  }
+  double transfer_us(std::size_t bytes) const {
+    return pcie_model_.transfer_us(bytes, opt_.pinned_memory);
+  }
+
+  SimTaskId add(std::string name, TaskType type, double dur,
+                SimResourceId res, std::vector<SimTaskId> deps,
+                double weight, SimGroupId group = kNoGroup) {
+    const SimTaskId id =
+        sim_.add_task(std::move(name), dur, res, std::move(deps), group);
+    tagged_.push_back(Tagged{id, type, weight});
+    return id;
+  }
+
+  // -- Strategies -------------------------------------------------------------
+
+  void build_serial() {
+    // One chain on one core: batch insert, all hops, reindex per layer,
+    // lookup, then transfers.
+    SimTaskId prev = add("S.batch-insert", TaskType::kSample,
+                         hash_us(w_.batch_size), cpu_, {},
+                         static_cast<double>(w_.batch_size));
+    for (std::size_t h = 0; h < w_.hops.size(); ++h) {
+      prev = add("S.hop" + std::to_string(h + 1), TaskType::kSample,
+                 sample_us(w_.hops[h].edges) +
+                     hash_us(w_.hops[h].hash_inserts),
+                 cpu_, {prev}, static_cast<double>(w_.hops[h].new_vertices));
+    }
+    for (std::size_t l = 0; l < w_.layer_reindex_edges.size(); ++l) {
+      prev = add("R.layer" + std::to_string(l), TaskType::kReindex,
+                 reindex_us(w_.layer_reindex_edges[l]), cpu_, {prev},
+                 static_cast<double>(w_.layer_reindex_edges[l]));
+    }
+    prev = add("K.all", TaskType::kLookup, lookup_us(w_.lookup_rows()), cpu_,
+               {prev}, static_cast<double>(w_.lookup_rows()));
+    prev = add("T.emb", TaskType::kTransfer, transfer_us(w_.embedding_bytes()),
+               pcie_, {prev}, static_cast<double>(w_.lookup_rows()));
+    add("T.struct", TaskType::kTransfer, transfer_us(w_.structure_bytes()),
+        pcie_, {prev}, 1.0);
+  }
+
+  void build_parallel_tasks() {
+    // Each type fans out over the cores, with a barrier between types.
+    const std::size_t c = opt_.cost.num_cores;
+    SimTaskId batch_ins =
+        add("S.batch-insert", TaskType::kSample, hash_us(w_.batch_size),
+            cpu_, {}, static_cast<double>(w_.batch_size));
+    std::vector<SimTaskId> prev_hop{batch_ins};
+    for (std::size_t h = 0; h < w_.hops.size(); ++h) {
+      std::vector<SimTaskId> chunks;
+      // The hash-update portion of every chunk serializes on the table
+      // lock: each thread pays its algorithm share plus the full lock
+      // queue (classic contended-lock behaviour).
+      const double dur = chunked(sample_us(w_.hops[h].edges), c) +
+                         hash_us(w_.hops[h].hash_inserts);
+      for (std::size_t i = 0; i < c; ++i) {
+        chunks.push_back(add(
+            "S.hop" + std::to_string(h + 1) + "." + std::to_string(i),
+            TaskType::kSample, dur, cpu_, prev_hop,
+            static_cast<double>(w_.hops[h].new_vertices) / c));
+      }
+      prev_hop = std::move(chunks);
+    }
+    // R barrier-follows S.
+    std::vector<SimTaskId> r_tasks;
+    for (std::size_t l = 0; l < w_.layer_reindex_edges.size(); ++l) {
+      for (std::size_t i = 0; i < c; ++i) {
+        r_tasks.push_back(add(
+            "R.layer" + std::to_string(l) + "." + std::to_string(i),
+            TaskType::kReindex,
+            chunked(reindex_us(w_.layer_reindex_edges[l]), c),
+            cpu_, prev_hop,
+            static_cast<double>(w_.layer_reindex_edges[l]) / c));
+      }
+    }
+    // K barrier-follows R.
+    std::vector<SimTaskId> k_tasks;
+    for (std::size_t i = 0; i < c; ++i) {
+      k_tasks.push_back(add("K." + std::to_string(i), TaskType::kLookup,
+                            chunked(lookup_us(w_.lookup_rows()), c),
+                            cpu_, r_tasks,
+                            static_cast<double>(w_.lookup_rows()) / c));
+    }
+    if (opt_.pipelined_kt) {
+      // SALIENT: each lookup share streams out as soon as it is gathered.
+      for (std::size_t i = 0; i < c; ++i) {
+        add("T.emb." + std::to_string(i), TaskType::kTransfer,
+            transfer_us(w_.embedding_bytes() / c), pcie_,
+            {k_tasks[i]}, static_cast<double>(w_.lookup_rows()) / c);
+      }
+      add("T.struct", TaskType::kTransfer,
+          transfer_us(w_.structure_bytes()), pcie_, r_tasks, 1.0);
+    } else {
+      SimTaskId t_emb =
+          add("T.emb", TaskType::kTransfer, transfer_us(w_.embedding_bytes()),
+              pcie_, k_tasks, static_cast<double>(w_.total_vertices));
+      add("T.struct", TaskType::kTransfer, transfer_us(w_.structure_bytes()),
+          pcie_, {t_emb}, 1.0);
+    }
+  }
+
+  void build_service_wide(bool relaxed) {
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min(opt_.cost.chunks_per_task, opt_.cost.num_cores));
+
+    // Hop 0: insert the batch (a hash update).
+    std::vector<std::vector<SimTaskId>> hop_done(w_.hops.size() + 1);
+    hop_done[0].push_back(
+        relaxed ? add("S.batch-insert", TaskType::kSample,
+                      hash_us(w_.batch_size), cpu_, {},
+                      static_cast<double>(w_.batch_size), hash_group_)
+                : add("S.batch-insert", TaskType::kSample,
+                      hash_us(w_.batch_size), cpu_, {},
+                      static_cast<double>(w_.batch_size)));
+
+    // Sampling hops: A chunks (parallel) feeding H updates.
+    for (std::size_t h = 0; h < w_.hops.size(); ++h) {
+      const double a_chunk_us =
+          chunked(sample_us(w_.hops[h].edges), chunks);
+      const double h_total_us = hash_us(w_.hops[h].hash_inserts);
+      for (std::size_t i = 0; i < chunks; ++i) {
+        const std::string tag =
+            ".hop" + std::to_string(h + 1) + "." + std::to_string(i);
+        const double weight =
+            static_cast<double>(w_.hops[h].new_vertices) / chunks;
+        if (relaxed) {
+          // A runs lock-free; its H part is serialized on the hash group
+          // (uncontended by construction).
+          SimTaskId a = add("S.A" + tag, TaskType::kSample, a_chunk_us, cpu_,
+                            hop_done[h], 0.0);
+          hop_done[h + 1].push_back(
+              add("S.H" + tag, TaskType::kSample,
+                  h_total_us / static_cast<double>(chunks), cpu_, {a},
+                  weight, hash_group_));
+        } else {
+          // Fused A+H: every chunk queues behind the full lock traffic,
+          // inflated by the thrashing cost of a contended lock.
+          hop_done[h + 1].push_back(
+              add("S.AH" + tag, TaskType::kSample,
+                  a_chunk_us +
+                      h_total_us * opt_.cost.ss_contention_factor,
+                  cpu_, hop_done[h], weight));
+        }
+      }
+    }
+
+    // Allocation barrier: transfer buffer sizes are known only once the
+    // last hop's table updates finish (paper Fig 13).
+    SimTaskId barrier = sim_.add_task("T.alloc-barrier", 0.0, kNoResource,
+                                      hop_done[w_.hops.size()]);
+
+    // Reindexing: chunked per (exec-layer, hop), each runnable as soon as
+    // that hop's table entries exist.
+    const std::uint32_t L = w_.num_layers;
+    std::vector<std::vector<SimTaskId>> layer_parts(L);
+    for (std::uint32_t l = 0; l < L; ++l) {
+      for (std::uint32_t h = 0; h < L - l; ++h) {
+        double dur = chunked(reindex_us(w_.hops[h].edges), chunks);
+        if (!relaxed) dur *= opt_.cost.sr_contention_factor;
+        for (std::size_t i = 0; i < chunks; ++i) {
+          layer_parts[l].push_back(add(
+              "R.layer" + std::to_string(l) + ".hop" +
+                  std::to_string(h + 1) + "." + std::to_string(i),
+              TaskType::kReindex, dur, cpu_, hop_done[h + 1],
+              static_cast<double>(w_.hops[h].edges) / chunks));
+        }
+      }
+    }
+
+    // Lookup: chunks per hop segment (vertices discovered in that hop),
+    // each runnable right after the hop's updates.
+    std::vector<std::pair<SimTaskId, double>> k_chunks;  // (task, bytes)
+    auto add_segment = [&](std::uint64_t rows, std::size_t hop_idx,
+                           const char* name) {
+      if (rows == 0) return;
+      // Chunk so a big segment fans out over at least 2x the cores.
+      const std::uint64_t by_cores =
+          (rows + 2 * opt_.cost.num_cores - 1) / (2 * opt_.cost.num_cores);
+      const std::uint64_t per_chunk = std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(opt_.cost.kt_chunk_rows, by_cores));
+      for (std::uint64_t begin = 0; begin < rows; begin += per_chunk) {
+        const std::uint64_t n = std::min(per_chunk, rows - begin);
+        // Lookup scans the embedding table by original VID and never
+        // touches the shared hash table: no contention either way.
+        const double dur = lookup_us(n) / opt_.cost.parallel_efficiency;
+        SimTaskId k = add(std::string("K.") + name + "." +
+                              std::to_string(begin / per_chunk),
+                          TaskType::kLookup, dur, cpu_, hop_done[hop_idx],
+                          static_cast<double>(n));
+        k_chunks.emplace_back(
+            k, static_cast<double>(n * w_.feature_dim * sizeof(float)));
+      }
+    };
+    // With an embedding cache, each segment only gathers its miss share
+    // (hits are uniformly approximated across hops).
+    const double miss = w_.miss_fraction();
+    add_segment(static_cast<std::uint64_t>(w_.batch_size * miss), 0, "batch");
+    for (std::size_t h = 0; h < w_.hops.size(); ++h)
+      add_segment(
+          static_cast<std::uint64_t>(w_.hops[h].new_vertices * miss), h + 1,
+          ("hop" + std::to_string(h + 1)).c_str());
+
+    // Transfers: embedding chunks pipeline behind their lookups (and the
+    // allocation barrier); structures follow their layer's reindex parts.
+    if (opt_.pipelined_kt) {
+      // Coalesce consecutive lookup chunks into pinned staging buffers of
+      // >= 256 KiB before ringing the DMA doorbell — fine-grained lookups,
+      // coarse-grained transfers.
+      std::vector<SimTaskId> group_deps{barrier};
+      double group_bytes = 0.0;
+      auto flush_group = [&] {
+        if (group_bytes <= 0.0) return;
+        add("T.emb-chunk", TaskType::kTransfer,
+            transfer_us(static_cast<std::size_t>(group_bytes)), pcie_,
+            group_deps, group_bytes / 1024.0);
+        group_deps.assign({barrier});
+        group_bytes = 0.0;
+      };
+      for (const auto& [k, bytes] : k_chunks) {
+        group_deps.push_back(k);
+        group_bytes += bytes;
+        if (group_bytes >= 256.0 * 1024.0) flush_group();
+      }
+      flush_group();
+    } else {
+      std::vector<SimTaskId> deps{barrier};
+      for (const auto& [k, bytes] : k_chunks) deps.push_back(k);
+      add("T.emb", TaskType::kTransfer, transfer_us(w_.embedding_bytes()),
+          pcie_, deps, static_cast<double>(w_.total_vertices));
+    }
+    for (std::uint32_t l = 0; l < L; ++l) {
+      std::vector<SimTaskId> deps = layer_parts[l];
+      deps.push_back(barrier);
+      const std::size_t bytes =
+          (2 * w_.layer_reindex_edges[l] + w_.total_vertices) *
+          sizeof(std::uint32_t);
+      add("T.struct.layer" + std::to_string(l), TaskType::kTransfer,
+          transfer_us(bytes), pcie_, deps, 1.0);
+    }
+  }
+
+  PreprocSchedule finish() {
+    PreprocSchedule sched;
+    sched.sim = sim_.run();
+    sched.makespan_us = sched.sim.makespan;
+
+    double total_weight[4] = {0, 0, 0, 0};
+    for (const auto& t : tagged_)
+      total_weight[static_cast<int>(t.type)] += t.weight;
+
+    // Busy time, last finish, and the cumulative-completion timeline.
+    std::vector<std::pair<double, double>> events[4];  // (finish, weight)
+    for (const auto& t : tagged_) {
+      const auto& task = sched.sim.tasks[t.id];
+      const int type = static_cast<int>(t.type);
+      sched.type_busy_us[type] += task.finish - task.start;
+      sched.type_finish_us[type] =
+          std::max(sched.type_finish_us[type], task.finish);
+      events[type].emplace_back(task.finish, t.weight);
+    }
+    for (int type = 0; type < 4; ++type) {
+      std::sort(events[type].begin(), events[type].end());
+      double done = 0.0;
+      for (const auto& [finish, weight] : events[type]) {
+        done += weight;
+        sched.timeline[type].push_back(TimelinePoint{
+            finish, total_weight[type] > 0 ? done / total_weight[type] : 1.0});
+      }
+    }
+    return sched;
+  }
+
+  const BatchWorkload& w_;
+  const PlanOptions& opt_;
+  gpusim::PcieModel pcie_model_;
+  EventSim sim_;
+  SimResourceId cpu_ = 0;
+  SimResourceId pcie_ = 0;
+  SimGroupId hash_group_ = 0;
+  std::vector<Tagged> tagged_;
+};
+
+}  // namespace
+
+PreprocSchedule plan_preprocessing(const BatchWorkload& workload,
+                                   const PlanOptions& options) {
+  if (workload.num_layers == 0 ||
+      workload.hops.size() != workload.num_layers ||
+      workload.layer_reindex_edges.size() != workload.num_layers)
+    throw std::invalid_argument("plan_preprocessing: malformed workload");
+  PlanBuilder builder(workload, options);
+  return builder.build();
+}
+
+double end_to_end_us(const PreprocSchedule& schedule, double gpu_compute_us,
+                     bool overlap_compute) {
+  // In steady state, frameworks that overlap preprocessing with FWP/BWP
+  // hide the shorter of the two behind the longer.
+  if (overlap_compute)
+    return std::max(schedule.makespan_us, gpu_compute_us);
+  return schedule.makespan_us + gpu_compute_us;
+}
+
+}  // namespace gt::pipeline

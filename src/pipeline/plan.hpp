@@ -1,0 +1,73 @@
+// Preprocessing schedule construction (paper §V-B, Figs 12-14).
+//
+// Four strategies are modelled:
+//  * kSerial            — single-threaded S -> R -> K -> T chain (stock PyG).
+//  * kParallelTasks     — each task type fans out over all cores, but task
+//                         types are barrier-separated (multi-threaded PyG /
+//                         DGL / SALIENT preprocessing).
+//  * kServiceWideNoRelax— the per-layer/per-type subtask pipeline of the
+//                         service-wide tensor scheduler, *without* the
+//                         contention relaxing: sampling chunks fuse their
+//                         hash updates (lock serializes them) and reindex
+//                         chunks race the sampler for the table.
+//  * kServiceWide       — the full scheduler: algorithm (A) and hash (H)
+//                         parts split, H serialized on its own, reindex
+//                         ordered after the hash updates it reads, K->T
+//                         chunks pipelined through pinned memory behind the
+//                         allocation barrier (sizes known after the last
+//                         sampling hop).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/pcie.hpp"
+#include "pipeline/workload.hpp"
+#include "util/discrete_event.hpp"
+
+namespace gt::pipeline {
+
+enum class PreprocStrategy {
+  kSerial,
+  kParallelTasks,
+  kServiceWideNoRelax,
+  kServiceWide,
+};
+
+const char* to_string(PreprocStrategy s);
+
+/// Task-type attribution of simulated time, for Fig 12/20-style reports.
+enum class TaskType { kSample, kReindex, kLookup, kTransfer };
+
+struct PlanOptions {
+  PreprocStrategy strategy = PreprocStrategy::kServiceWide;
+  bool pinned_memory = false;     // SALIENT / Prepro-GT transfer path
+  bool pipelined_kt = false;      // transfer each lookup chunk when ready
+  HostCostParams cost;
+  gpusim::PcieParams pcie;
+};
+
+struct TimelinePoint {
+  double time_us = 0.0;
+  double fraction = 0.0;  // of that task type's work items completed
+};
+
+struct PreprocSchedule {
+  double makespan_us = 0.0;
+  double type_busy_us[4] = {0, 0, 0, 0};      // indexed by TaskType
+  double type_finish_us[4] = {0, 0, 0, 0};    // last finish per type
+  std::vector<TimelinePoint> timeline[4];     // Fig 20 series per type
+  SimResult sim;                               // full task-level detail
+};
+
+/// Build and run the schedule for one batch's preprocessing.
+PreprocSchedule plan_preprocessing(const BatchWorkload& workload,
+                                   const PlanOptions& options);
+
+/// Steady-state end-to-end batch latency: preprocessing combined with GPU
+/// compute (FWP+BWP). Frameworks that overlap preprocessing with training
+/// hide the shorter of the two (common DL-framework practice, §V-B).
+double end_to_end_us(const PreprocSchedule& schedule, double gpu_compute_us,
+                     bool overlap_compute);
+
+}  // namespace gt::pipeline

@@ -1,0 +1,27 @@
+#include "pipeline/workload.hpp"
+
+namespace gt::pipeline {
+
+BatchWorkload workload_from(const sampling::SampledBatch& batch,
+                            std::size_t feature_dim) {
+  BatchWorkload w;
+  w.num_layers = batch.num_layers;
+  w.batch_size = batch.batch.size();
+  for (std::uint32_t h = 0; h < batch.num_layers; ++h) {
+    HopWork hop;
+    hop.frontier = h == 0
+                       ? batch.set_sizes[0]
+                       : batch.set_sizes[h] - batch.set_sizes[h - 1];
+    hop.edges = batch.hops[h].num_edges();
+    hop.hash_inserts = batch.hops[h].num_edges();  // one insert_or_get per src
+    hop.new_vertices = batch.set_sizes[h + 1] - batch.set_sizes[h];
+    w.hops.push_back(hop);
+  }
+  for (std::uint32_t l = 0; l < batch.num_layers; ++l)
+    w.layer_reindex_edges.push_back(batch.layer_edges(l));
+  w.total_vertices = batch.total_vertices();
+  w.feature_dim = feature_dim;
+  return w;
+}
+
+}  // namespace gt::pipeline

@@ -1,0 +1,93 @@
+#include "sampling/embedding_cache.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gt::sampling {
+
+EmbeddingCache::EmbeddingCache(gpusim::Device& dev, const Csr& graph,
+                               const EmbeddingTable& table,
+                               std::size_t budget_bytes)
+    : dev_(dev), dim_(table.dim()), row_bytes_(table.dim() * sizeof(float)) {
+  const std::size_t max_rows = budget_bytes / std::max<std::size_t>(
+                                                  row_bytes_, 1);
+  if (max_rows == 0) return;
+
+  // Out-degree of each vertex = how often it can appear as a sampled
+  // source. graph is dst-indexed CSR, so out-degree = occurrences in
+  // col_idx.
+  std::vector<std::uint32_t> out_degree(graph.num_vertices, 0);
+  for (Vid s : graph.col_idx) ++out_degree[s];
+  std::vector<Vid> order(graph.num_vertices);
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t rows = std::min<std::size_t>(max_rows, order.size());
+  std::partial_sort(order.begin(), order.begin() + rows, order.end(),
+                    [&](Vid a, Vid b) {
+                      if (out_degree[a] != out_degree[b])
+                        return out_degree[a] > out_degree[b];
+                      return a < b;
+                    });
+  order.resize(rows);
+
+  buffer_ = dev_.alloc_f32(rows, dim_, "embedding-cache");
+  dev_.charge_alloc_overhead("embedding-cache");
+  auto data = dev_.f32(buffer_);
+  for (std::size_t slot = 0; slot < rows; ++slot) {
+    table.gather_row(order[slot],
+                     data.subspan(slot * dim_, dim_));
+    slot_of_.emplace(order[slot], static_cast<std::uint32_t>(slot));
+  }
+}
+
+EmbeddingCache::Partition EmbeddingCache::partition(
+    std::span<const Vid> vid_order) const {
+  Partition part;
+  for (std::size_t row = 0; row < vid_order.size(); ++row) {
+    auto it = slot_of_.find(vid_order[row]);
+    if (it != slot_of_.end()) {
+      part.hit_slots.push_back(it->second);
+      part.hit_rows.push_back(static_cast<std::uint32_t>(row));
+    } else {
+      part.miss_vids.push_back(vid_order[row]);
+      part.miss_rows.push_back(static_cast<std::uint32_t>(row));
+    }
+  }
+  return part;
+}
+
+gpusim::BufferId EmbeddingCache::assemble(gpusim::Device& dev,
+                                          const Partition& part,
+                                          gpusim::BufferId miss_buffer,
+                                          std::size_t total_rows) const {
+  const gpusim::BufferId out =
+      dev.alloc_f32(total_rows, dim_, "cache.assembled");
+  dev.charge_alloc_overhead("cache.assembled");
+  auto ov = dev.f32(out);
+  auto cv = dev.f32(buffer_);
+  std::span<const float> mv;
+  if (miss_buffer != gpusim::kInvalidBuffer) mv = dev.f32(miss_buffer);
+
+  const std::size_t hits = part.hit_rows.size();
+  const std::size_t total = hits + part.miss_rows.size();
+  dev.run_kernel("cache.Assemble", gpusim::KernelCategory::kOther, total,
+                 [&](gpusim::BlockCtx& ctx) {
+    const std::size_t i = ctx.block_id();
+    if (i < hits) {
+      const std::uint32_t slot = part.hit_slots[i];
+      const std::uint32_t row = part.hit_rows[i];
+      ctx.load(buffer_, slot, row_bytes_);
+      std::copy_n(&cv[static_cast<std::size_t>(slot) * dim_], dim_,
+                  &ov[static_cast<std::size_t>(row) * dim_]);
+      ctx.store(out, row, row_bytes_);
+    } else {
+      const std::size_t m = i - hits;
+      const std::uint32_t row = part.miss_rows[m];
+      ctx.load(miss_buffer, static_cast<std::uint32_t>(m), row_bytes_);
+      std::copy_n(&mv[m * dim_], dim_, &ov[static_cast<std::size_t>(row) * dim_]);
+      ctx.store(out, row, row_bytes_);
+    }
+  });
+  return out;
+}
+
+}  // namespace gt::sampling

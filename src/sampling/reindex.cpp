@@ -1,0 +1,57 @@
+#include "sampling/reindex.hpp"
+
+#include <stdexcept>
+
+#include "graph/convert.hpp"
+
+namespace gt::sampling {
+
+LayerGraphHost reindex_layer(const SampledBatch& batch,
+                             const VidHashTable& table,
+                             std::uint32_t exec_layer,
+                             const ReindexFormats& formats) {
+  if (exec_layer >= batch.num_layers)
+    throw std::out_of_range("reindex_layer: bad layer index");
+  LayerGraphHost out;
+  out.n_dst = batch.layer_dst(exec_layer);
+  out.n_vertices = batch.layer_vertices(exec_layer);
+
+  // Resolve every endpoint of hops 1 .. L-exec_layer through the table.
+  Coo coo;
+  coo.num_vertices = out.n_vertices;
+  const std::uint32_t num_hops = batch.num_layers - exec_layer;
+  for (std::uint32_t h = 0; h < num_hops; ++h) {
+    const HopEdges& edges = batch.hops[h];
+    for (std::size_t e = 0; e < edges.num_edges(); ++e) {
+      const Vid s = table.lookup(edges.src[e]);
+      const Vid d = table.lookup(edges.dst[e]);
+      out.hash_lookups += 2;
+      if (s == kInvalidVid || d == kInvalidVid)
+        throw std::logic_error("reindex_layer: endpoint missing from table");
+      coo.src.push_back(s);
+      coo.dst.push_back(d);
+    }
+  }
+
+  if (formats.csr) {
+    // Every dst id is < n_dst by the dense-prefix invariant; rows beyond
+    // it come out empty, keeping the structure a valid full-height CSR.
+    for (Vid d : coo.dst)
+      if (d >= out.n_dst)
+        throw std::logic_error("reindex_layer: dst outside dense prefix");
+    out.csr = coo_to_csr(coo);
+  }
+  if (formats.csc) out.csc = coo_to_csc(coo);
+  if (formats.coo) out.coo = std::move(coo);
+  return out;
+}
+
+std::vector<Vid> map_vids(const VidHashTable& table,
+                          std::span<const Vid> orig) {
+  std::vector<Vid> out;
+  out.reserve(orig.size());
+  for (Vid v : orig) out.push_back(table.lookup(v));
+  return out;
+}
+
+}  // namespace gt::sampling

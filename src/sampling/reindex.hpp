@@ -1,0 +1,46 @@
+// Graph reindexing (the R task, paper §II-B / Fig 4b): translate a sampled
+// layer's edges from original VIDs to the dense new VIDs by querying the
+// shared hash table, and materialize the storage format(s) each framework
+// wants on device: CSR (+CSC for backward) for GraphTensor and PyG-style
+// frameworks, COO for DGL-style frameworks.
+#pragma once
+
+#include "graph/coo.hpp"
+#include "graph/csc.hpp"
+#include "graph/csr.hpp"
+#include "sampling/hash_table.hpp"
+#include "sampling/sampler.hpp"
+
+namespace gt::sampling {
+
+/// Which structures a framework needs per layer.
+struct ReindexFormats {
+  bool coo = false;
+  bool csr = false;
+  bool csc = false;
+};
+
+struct LayerGraphHost {
+  Vid n_dst = 0;
+  Vid n_vertices = 0;  // input-table rows of this layer
+  Coo coo;             // empty unless requested
+  Csr csr;
+  Csc csc;
+  std::uint64_t hash_lookups = 0;  // work done against the shared table
+};
+
+/// Build execution-layer `exec_layer`'s structure. Every edge endpoint is
+/// resolved through `table` (contention with S is real and counted).
+/// Vertex-count fields are sized to the layer: CSR has n_dst rows, CSC and
+/// COO span n_vertices.
+LayerGraphHost reindex_layer(const SampledBatch& batch,
+                             const VidHashTable& table,
+                             std::uint32_t exec_layer,
+                             const ReindexFormats& formats);
+
+/// Map a span of original VIDs through the table (used by tests and the
+/// chunked pipeline executor).
+std::vector<Vid> map_vids(const VidHashTable& table,
+                          std::span<const Vid> orig);
+
+}  // namespace gt::sampling

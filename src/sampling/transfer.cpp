@@ -1,0 +1,41 @@
+#include "sampling/transfer.hpp"
+
+namespace gt::sampling {
+
+TransferResult Transfer::upload(const Matrix& m, std::string name) {
+  TransferResult result;
+  result.buffer = kernels::upload_matrix(dev_, m, std::move(name));
+  result.bytes = m.bytes();
+  result.pcie_us = pcie_.transfer_us(result.bytes, pinned_);
+  return result;
+}
+
+Transfer::LayerUpload Transfer::upload_layer(const LayerGraphHost& layer,
+                                             const ReindexFormats& formats) {
+  if (formats.csc && !formats.csr)
+    throw std::invalid_argument(
+        "upload_layer: CSC upload derives from the host CSR; request both");
+  LayerUpload up;
+  if (formats.csr) {
+    up.csr = kernels::upload_csr(dev_, layer.csr, layer.n_dst);
+    up.bytes += (static_cast<std::size_t>(layer.n_dst) + 1 +
+                 layer.csr.num_edges()) *
+                sizeof(std::uint32_t);
+  }
+  if (formats.csc) {
+    // Built on device from the CSR upload path in kernels::upload_csc,
+    // which also needs the host CSR.
+    up.csc = kernels::upload_csc(dev_, layer.csr, layer.n_dst);
+    up.bytes += (static_cast<std::size_t>(layer.n_vertices) + 1 +
+                 2 * layer.csr.num_edges()) *
+                sizeof(std::uint32_t);
+  }
+  if (formats.coo) {
+    up.coo = kernels::upload_coo(dev_, layer.coo, layer.n_dst);
+    up.bytes += 2 * layer.coo.num_edges() * sizeof(std::uint32_t);
+  }
+  up.pcie_us = pcie_.transfer_us(up.bytes, pinned_);
+  return up;
+}
+
+}  // namespace gt::sampling

@@ -1,0 +1,54 @@
+// Host -> device transfers (the T task): upload the gathered embedding
+// table and the re-indexed subgraph structures, pricing each move through
+// the PCIe model. SALIENT-style frameworks and Prepro-GT stage embeddings
+// in pinned memory; baseline frameworks pay the pageable staging copy.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/pcie.hpp"
+#include "kernels/common.hpp"
+#include "sampling/reindex.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gt::sampling {
+
+struct TransferResult {
+  gpusim::BufferId buffer = gpusim::kInvalidBuffer;
+  std::size_t bytes = 0;
+  double pcie_us = 0.0;
+};
+
+class Transfer {
+ public:
+  Transfer(gpusim::Device& dev, gpusim::PcieModel pcie, bool pinned)
+      : dev_(dev), pcie_(pcie), pinned_(pinned) {}
+
+  bool pinned() const noexcept { return pinned_; }
+
+  /// Upload a host matrix (embedding table chunk or whole).
+  TransferResult upload(const Matrix& m, std::string name);
+
+  /// Upload graph structures for one layer; returns total structure bytes
+  /// and time. Only the requested formats are moved.
+  struct LayerUpload {
+    kernels::DeviceCsr csr;
+    kernels::DeviceCsc csc;
+    kernels::DeviceCoo coo;
+    std::size_t bytes = 0;
+    double pcie_us = 0.0;
+  };
+  LayerUpload upload_layer(const LayerGraphHost& layer,
+                           const ReindexFormats& formats);
+
+  /// Time to move `bytes` under this transfer's pinning mode.
+  double transfer_us(std::size_t bytes) const {
+    return pcie_.transfer_us(bytes, pinned_);
+  }
+
+ private:
+  gpusim::Device& dev_;
+  gpusim::PcieModel pcie_;
+  bool pinned_;
+};
+
+}  // namespace gt::sampling

@@ -1,0 +1,38 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gt {
+
+Matrix Matrix::glorot(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  Matrix m(rows, cols);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (float& v : m.data_) v = rng.uniform_float(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::uniform(std::size_t rows, std::size_t cols, Xoshiro256& rng,
+                       float lo, float hi) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) v = rng.uniform_float(lo, hi);
+  return m;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) return std::numeric_limits<float>::infinity();
+  float worst = 0.0f;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    worst = std::max(worst, std::abs(da[i] - db[i]));
+  return worst;
+}
+
+bool allclose(const Matrix& a, const Matrix& b, float tol) {
+  return max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace gt

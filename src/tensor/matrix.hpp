@@ -1,0 +1,75 @@
+// Dense row-major float32 matrix: the embedding tables, MLP weights, and
+// all intermediate activations of the DFG. Kept deliberately simple — the
+// interesting execution modelling lives in gpusim; this type provides
+// correct, testable numerics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gt {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0f);
+  }
+
+  /// Glorot/Xavier-uniform init used for MLP weights.
+  static Matrix glorot(std::size_t rows, std::size_t cols, Xoshiro256& rng);
+
+  /// Entries iid uniform in [lo, hi) — synthetic embedding tables.
+  static Matrix uniform(std::size_t rows, std::size_t cols, Xoshiro256& rng,
+                        float lo = -1.0f, float hi = 1.0f);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(float); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_shape(const Matrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Max absolute elementwise difference; infinity if shapes differ.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// True iff all elements differ by at most `tol`.
+bool allclose(const Matrix& a, const Matrix& b, float tol = 1e-4f);
+
+}  // namespace gt

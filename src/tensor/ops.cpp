@@ -1,0 +1,203 @@
+#include "tensor/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gt {
+
+FlopCounter& FlopCounter::instance() {
+  thread_local FlopCounter counter;
+  return counter;
+}
+
+namespace {
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) continue;
+      const auto brow = b.row(p);
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  FlopCounter::instance().add(2ull * m * k * n);
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_at_b: leading dimensions differ");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const auto arow = a.row(p);
+    const auto brow = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  FlopCounter::instance().add(2ull * m * k * n);
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_a_bt: inner dimensions differ");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto arow = a.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c.at(i, j) = acc;
+    }
+  }
+  FlopCounter::instance().add(2ull * m * k * n);
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
+  return t;
+}
+
+Matrix add_bias(const Matrix& a, const Matrix& bias) {
+  require(bias.rows() == 1 && bias.cols() == a.cols(),
+          "add_bias: bias must be 1 x cols");
+  Matrix out(a.rows(), a.cols());
+  const auto brow = bias.row(0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto arow = a.row(r);
+    auto orow = out.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) orow[c] = arow[c] + brow[c];
+  }
+  FlopCounter::instance().add(a.size());
+  return out;
+}
+
+namespace {
+template <typename F>
+Matrix zip(const Matrix& a, const Matrix& b, F&& f, const char* what) {
+  if (!a.same_shape(b)) throw std::invalid_argument(what);
+  Matrix out(a.rows(), a.cols());
+  const auto da = a.data();
+  const auto db = b.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i]);
+  FlopCounter::instance().add(da.size());
+  return out;
+}
+}  // namespace
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  return zip(a, b, [](float x, float y) { return x + y; },
+             "add: shape mismatch");
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  return zip(a, b, [](float x, float y) { return x - y; },
+             "sub: shape mismatch");
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  return zip(a, b, [](float x, float y) { return x * y; },
+             "hadamard: shape mismatch");
+}
+
+Matrix scale(const Matrix& a, float s) {
+  Matrix out(a.rows(), a.cols());
+  const auto da = a.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dout[i] = da[i] * s;
+  FlopCounter::instance().add(da.size());
+  return out;
+}
+
+Matrix relu(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  const auto da = a.data();
+  auto dout = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    dout[i] = da[i] > 0.0f ? da[i] : 0.0f;
+  FlopCounter::instance().add(da.size());
+  return out;
+}
+
+Matrix relu_backward(const Matrix& grad_out, const Matrix& x) {
+  return zip(grad_out, x, [](float g, float xv) { return xv > 0.0f ? g : 0.0f; },
+             "relu_backward: shape mismatch");
+}
+
+Matrix softmax_rows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto arow = a.row(r);
+    auto orow = out.row(r);
+    float mx = arow[0];
+    for (float v : arow) mx = std::max(mx, v);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      orow[c] = std::exp(arow[c] - mx);
+      sum += orow[c];
+    }
+    for (std::size_t c = 0; c < a.cols(); ++c) orow[c] /= sum;
+  }
+  FlopCounter::instance().add(4ull * a.size());
+  return out;
+}
+
+float softmax_cross_entropy(const Matrix& logits,
+                            const std::vector<std::uint32_t>& labels,
+                            Matrix* grad) {
+  require(labels.size() == logits.rows(),
+          "softmax_cross_entropy: one label per row required");
+  Matrix probs = softmax_rows(logits);
+  const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  float loss = 0.0f;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    require(labels[r] < logits.cols(), "softmax_cross_entropy: bad label");
+    loss -= std::log(std::max(probs.at(r, labels[r]), 1e-12f));
+  }
+  loss *= inv_n;
+  if (grad != nullptr) {
+    *grad = probs;
+    for (std::size_t r = 0; r < logits.rows(); ++r)
+      grad->at(r, labels[r]) -= 1.0f;
+    *grad = scale(*grad, inv_n);
+  }
+  return loss;
+}
+
+Matrix col_sum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto arow = a.row(r);
+    auto orow = out.row(0);
+    for (std::size_t c = 0; c < a.cols(); ++c) orow[c] += arow[c];
+  }
+  FlopCounter::instance().add(a.size());
+  return out;
+}
+
+float fro_norm(const Matrix& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace gt

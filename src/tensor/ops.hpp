@@ -1,0 +1,67 @@
+// Dense linear-algebra kernels with FLOP accounting.
+//
+// These are the "combination" (MLP) building blocks: the paper's Apply
+// primitive delegates dense math to the underlying DL framework
+// (tf.matmul / bias_add / relu); here they are implemented directly.
+// Every op adds its floating-point work to the thread-local FlopCounter so
+// benchmarks (Fig 18) can report FLOPs without instrumenting call sites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace gt {
+
+/// Thread-local floating-point-operation counter.
+class FlopCounter {
+ public:
+  static FlopCounter& instance();
+  void add(std::uint64_t flops) noexcept { count_ += flops; }
+  std::uint64_t count() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// C = A * B.           A: [m,k], B: [k,n] -> C: [m,n].   2*m*k*n FLOPs.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.         A: [k,m], B: [k,n] -> C: [m,n].
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.         A: [m,k], B: [n,k] -> C: [m,n].
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& a);
+
+/// Row-broadcast bias add: out[r,c] = a[r,c] + bias[0,c].
+Matrix add_bias(const Matrix& a, const Matrix& bias);
+
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);  // elementwise product
+Matrix scale(const Matrix& a, float s);
+
+Matrix relu(const Matrix& a);
+/// dL/dx for y = relu(x): grad masked where x <= 0.
+Matrix relu_backward(const Matrix& grad_out, const Matrix& x);
+
+/// Row-wise softmax.
+Matrix softmax_rows(const Matrix& a);
+
+/// Mean softmax cross-entropy over rows; labels[r] in [0, cols).
+/// Also writes dL/dlogits into *grad if non-null (mean-reduced).
+float softmax_cross_entropy(const Matrix& logits,
+                            const std::vector<std::uint32_t>& labels,
+                            Matrix* grad = nullptr);
+
+/// Column sums as a 1 x cols matrix (bias gradient).
+Matrix col_sum(const Matrix& a);
+
+/// Frobenius norm.
+float fro_norm(const Matrix& a);
+
+}  // namespace gt

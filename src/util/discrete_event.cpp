@@ -1,0 +1,138 @@
+#include "util/discrete_event.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace gt {
+
+SimResourceId EventSim::add_resource(std::string name, std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("resource capacity must be > 0");
+  resource_names_.push_back(std::move(name));
+  resource_capacity_.push_back(capacity);
+  return static_cast<SimResourceId>(resource_names_.size() - 1);
+}
+
+SimGroupId EventSim::add_serial_group() {
+  return static_cast<SimGroupId>(group_count_++);
+}
+
+SimTaskId EventSim::add_task(std::string name, double duration,
+                             SimResourceId resource,
+                             std::vector<SimTaskId> deps, SimGroupId group,
+                             int priority) {
+  if (duration < 0.0) throw std::invalid_argument("negative task duration");
+  if (resource != kNoResource && resource >= resource_names_.size())
+    throw std::out_of_range("unknown resource");
+  if (group != kNoGroup && group >= group_count_)
+    throw std::out_of_range("unknown serial group");
+  for (SimTaskId d : deps)
+    if (d >= tasks_.size()) throw std::out_of_range("dependency on future task");
+  tasks_.push_back(Task{std::move(name), duration, resource, std::move(deps),
+                        group, priority});
+  return static_cast<SimTaskId>(tasks_.size() - 1);
+}
+
+SimResult EventSim::run() {
+  const std::size_t n = tasks_.size();
+  SimResult result;
+  result.tasks.resize(n);
+  result.resource_busy.assign(resource_names_.size(), 0.0);
+
+  std::vector<std::size_t> pending_deps(n, 0);
+  std::vector<std::vector<SimTaskId>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending_deps[i] = tasks_[i].deps.size();
+    for (SimTaskId d : tasks_[i].deps)
+      dependents[d].push_back(static_cast<SimTaskId>(i));
+  }
+
+  // Ready queue ordered by (priority, id) for determinism.
+  auto cmp = [this](SimTaskId a, SimTaskId b) {
+    if (tasks_[a].priority != tasks_[b].priority)
+      return tasks_[a].priority > tasks_[b].priority;  // min-heap on priority
+    return a > b;
+  };
+  std::priority_queue<SimTaskId, std::vector<SimTaskId>, decltype(cmp)> ready(
+      cmp);
+  for (std::size_t i = 0; i < n; ++i)
+    if (pending_deps[i] == 0) ready.push(static_cast<SimTaskId>(i));
+
+  std::vector<std::size_t> in_use(resource_names_.size(), 0);
+  std::vector<bool> group_busy(group_count_, false);
+
+  struct Completion {
+    double time;
+    SimTaskId task;
+    bool operator>(const Completion& o) const {
+      return time != o.time ? time > o.time : task > o.task;
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      running;
+
+  double now = 0.0;
+  std::size_t finished = 0;
+  std::vector<SimTaskId> deferred;  // ready but blocked on resource/group
+
+  auto try_start = [&](SimTaskId id) -> bool {
+    const Task& t = tasks_[id];
+    if (t.resource != kNoResource &&
+        in_use[t.resource] >= resource_capacity_[t.resource])
+      return false;
+    if (t.group != kNoGroup && group_busy[t.group]) return false;
+    if (t.resource != kNoResource) {
+      ++in_use[t.resource];
+      result.resource_busy[t.resource] += t.duration;
+    }
+    if (t.group != kNoGroup) group_busy[t.group] = true;
+    result.tasks[id].name = t.name;
+    result.tasks[id].resource = t.resource;
+    result.tasks[id].start = now;
+    result.tasks[id].finish = now + t.duration;
+    running.push(Completion{now + t.duration, id});
+    return true;
+  };
+
+  while (finished < n) {
+    // Start everything startable at `now`.
+    std::vector<SimTaskId> still_blocked;
+    // Merge deferred tasks back into consideration, preserving priority order:
+    for (SimTaskId id : deferred) ready.push(id);
+    deferred.clear();
+    while (!ready.empty()) {
+      SimTaskId id = ready.top();
+      ready.pop();
+      if (!try_start(id)) still_blocked.push_back(id);
+    }
+    deferred = std::move(still_blocked);
+
+    if (running.empty()) {
+      if (finished < n)
+        throw std::logic_error(
+            "EventSim deadlock: cyclic dependencies or unsatisfiable "
+            "resource demand");
+      break;
+    }
+
+    // Advance to the next completion; release everything finishing then.
+    now = running.top().time;
+    while (!running.empty() && running.top().time == now) {
+      SimTaskId id = running.top().task;
+      running.pop();
+      const Task& t = tasks_[id];
+      if (t.resource != kNoResource) --in_use[t.resource];
+      if (t.group != kNoGroup) group_busy[t.group] = false;
+      ++finished;
+      for (SimTaskId dep : dependents[id])
+        if (--pending_deps[dep] == 0) ready.push(dep);
+    }
+  }
+
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace gt

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace gt {
+
+LogLevel log_threshold() {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("GT_LOG");
+    if (env == nullptr) return LogLevel::kOff;
+    const std::string v(env);
+    if (v == "debug") return LogLevel::kDebug;
+    if (v == "info") return LogLevel::kInfo;
+    if (v == "warn") return LogLevel::kWarn;
+    return LogLevel::kOff;
+  }();
+  return level;
+}
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg) {
+  static std::mutex mu;
+  const char* tag = level == LogLevel::kDebug  ? "DEBUG"
+                    : level == LogLevel::kInfo ? "INFO "
+                                               : "WARN ";
+  std::lock_guard lock(mu);
+  std::clog << "[gt:" << tag << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace gt

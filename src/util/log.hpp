@@ -1,0 +1,41 @@
+// Minimal leveled logging. Off by default so bench output stays clean;
+// set GT_LOG=debug|info|warn in the environment to enable.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace gt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+LogLevel log_threshold();
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+
+}  // namespace gt

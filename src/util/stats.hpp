@@ -1,0 +1,53 @@
+// Small statistics helpers used across evaluation harnesses: streaming
+// mean/stdev, percentiles, CDFs (Fig 8), and geometric means (the paper's
+// cross-workload averages are reported as means of per-workload ratios).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gt {
+
+/// Welford online accumulator: numerically stable mean/variance.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Population variance (paper reports stdev of degree over all vertices).
+  double variance() const noexcept;
+  double stdev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `q` in [0, 1]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+/// Empirical CDF sampled at the given x points: returns P(X <= x).
+std::vector<double> empirical_cdf(const std::vector<double>& values,
+                                  const std::vector<double>& at);
+
+/// Geometric mean of strictly positive values; 0 if input empty.
+double geomean(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 if empty.
+double mean(const std::vector<double>& values);
+
+/// Histogram over [0, max_value] in `bins` equal-width buckets.
+std::vector<std::pair<double, std::size_t>> histogram(
+    const std::vector<double>& values, std::size_t bins);
+
+}  // namespace gt

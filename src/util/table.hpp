@@ -1,0 +1,34 @@
+// Console table printer: every bench binary reports its figure/table as
+// aligned rows so EXPERIMENTS.md entries can be pasted straight from stdout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; cells beyond the header count are dropped, missing
+  /// cells render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_ratio(double v);      // "1.53x"
+  static std::string fmt_pct(double v);        // "42.1%"
+  static std::string fmt_bytes(std::size_t b); // "1.2MiB"
+  static std::string fmt_count(std::size_t n); // "1.2M"
+
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gt

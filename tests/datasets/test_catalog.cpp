@@ -1,0 +1,79 @@
+#include "datasets/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt {
+namespace {
+
+TEST(Catalog, HasTenWorkloadsInPaperOrder) {
+  const auto& c = catalog();
+  ASSERT_EQ(c.size(), 10u);
+  EXPECT_EQ(c[0].name, "products");
+  EXPECT_EQ(c[4].name, "reddit2");
+  EXPECT_EQ(c[5].name, "gowalla");
+  EXPECT_EQ(c[9].name, "livejournal");
+}
+
+TEST(Catalog, LightHeavySplitMatchesPaper) {
+  for (const auto& s : catalog()) {
+    if (s.heavy_features) {
+      EXPECT_EQ(s.feature_dim, 544u) << s.name;  // 4353 / 8
+    } else {
+      EXPECT_LT(s.feature_dim, 100u) << s.name;
+      EXPECT_GE(s.paper.feature_dim, 100u) << s.name;
+    }
+    EXPECT_EQ(s.batch_size, 300u) << s.name;  // paper §VI
+    EXPECT_EQ(s.num_layers, 2u) << s.name;
+  }
+}
+
+TEST(Catalog, FindSpecByName) {
+  EXPECT_EQ(find_spec("wiki-talk").heavy_features, true);
+  EXPECT_EQ(find_spec("products").paper.vertices, 2'000'000u);
+  EXPECT_THROW(find_spec("nope"), std::out_of_range);
+}
+
+TEST(Catalog, GenerateProducesConsistentDataset) {
+  Dataset d = generate("products", 42);
+  EXPECT_TRUE(d.coo.valid());
+  EXPECT_TRUE(d.csr.valid());
+  EXPECT_EQ(d.csr.num_edges(), d.coo.num_edges());
+  EXPECT_EQ(d.embeddings.num_vertices(), d.coo.num_vertices);
+  EXPECT_EQ(d.embeddings.dim(), d.spec.feature_dim);
+}
+
+TEST(Catalog, GenerateIsDeterministic) {
+  Dataset a = generate("gowalla", 7);
+  Dataset b = generate("gowalla", 7);
+  EXPECT_EQ(a.coo, b.coo);
+  EXPECT_EQ(a.embeddings.value(3, 2), b.embeddings.value(3, 2));
+}
+
+TEST(Catalog, SeedsChangeGraph) {
+  EXPECT_NE(generate("gowalla", 7).coo, generate("gowalla", 8).coo);
+}
+
+TEST(Catalog, RepresentativeWorkloadsExist) {
+  EXPECT_FALSE(find_spec(kRepresentativeLight).heavy_features);
+  EXPECT_TRUE(find_spec(kRepresentativeHeavy).heavy_features);
+}
+
+class CatalogEveryDataset
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogEveryDataset, GeneratesValidGraph) {
+  Dataset d = generate(GetParam(), 1);
+  EXPECT_TRUE(d.coo.valid());
+  EXPECT_TRUE(d.csr.valid());
+  EXPECT_GT(d.coo.num_edges(), 0u);
+  EXPECT_GT(d.coo.num_vertices, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CatalogEveryDataset,
+    ::testing::Values("products", "citation2", "papers", "amazon", "reddit2",
+                      "gowalla", "google", "roadnet-ca", "wiki-talk",
+                      "livejournal"));
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,72 @@
+#include "datasets/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt {
+namespace {
+
+TEST(EmbeddingTable, Deterministic) {
+  EmbeddingTable a(100, 8, 42), b(100, 8, 42);
+  for (Vid v = 0; v < 100; v += 7)
+    for (std::size_t c = 0; c < 8; ++c) EXPECT_EQ(a.value(v, c), b.value(v, c));
+}
+
+TEST(EmbeddingTable, SeedChangesValues) {
+  EmbeddingTable a(100, 8, 42), b(100, 8, 43);
+  int same = 0;
+  for (Vid v = 0; v < 100; ++v)
+    for (std::size_t c = 0; c < 8; ++c)
+      if (a.value(v, c) == b.value(v, c)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(EmbeddingTable, ValuesInRange) {
+  EmbeddingTable t(1000, 16, 7);
+  for (Vid v = 0; v < 1000; v += 13) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_GE(t.value(v, c), -1.0f);
+      EXPECT_LT(t.value(v, c), 1.0f);
+    }
+  }
+}
+
+TEST(EmbeddingTable, GatherMatchesValue) {
+  EmbeddingTable t(50, 4, 3);
+  std::vector<Vid> vids{5, 0, 49, 5};
+  Matrix m = t.gather(vids);
+  ASSERT_EQ(m.rows(), 4u);
+  ASSERT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < vids.size(); ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(m.at(r, c), t.value(vids[r], c));
+  // Duplicate vids gather identical rows.
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m.at(0, c), m.at(3, c));
+}
+
+TEST(EmbeddingTable, GatherRowOutOfRangeThrows) {
+  EmbeddingTable t(10, 4, 3);
+  std::vector<float> row(4);
+  EXPECT_THROW(t.gather_row(10, row), std::out_of_range);
+}
+
+TEST(EmbeddingTable, TableBytes) {
+  EmbeddingTable t(100, 8, 1);
+  EXPECT_EQ(t.table_bytes(), 100 * 8 * sizeof(float));
+}
+
+TEST(SyntheticLabel, InRangeAndDeterministic) {
+  for (Vid v = 0; v < 500; ++v) {
+    auto l = synthetic_label(v, 7, 11);
+    EXPECT_LT(l, 7u);
+    EXPECT_EQ(l, synthetic_label(v, 7, 11));
+  }
+}
+
+TEST(SyntheticLabel, CoversAllClasses) {
+  std::vector<int> seen(5, 0);
+  for (Vid v = 0; v < 1000; ++v) ++seen[synthetic_label(v, 5, 3)];
+  for (int count : seen) EXPECT_GT(count, 100);
+}
+
+}  // namespace
+}  // namespace gt

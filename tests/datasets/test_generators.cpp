@@ -1,0 +1,80 @@
+#include "datasets/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree.hpp"
+
+namespace gt {
+namespace {
+
+TEST(Generators, PowerLawShape) {
+  Coo g = generate_power_law(1000, 10000, 0.7, 1);
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.num_edges(), 10000u);
+  EXPECT_EQ(g.num_vertices, 1000u);
+  // Heavy tail: max in-degree far above mean.
+  auto s = summarize_degrees(in_degrees(g), false);
+  EXPECT_GT(s.max, 5.0 * s.mean);
+  EXPECT_GT(s.stdev, s.mean);
+}
+
+TEST(Generators, PowerLawDeterministic) {
+  EXPECT_EQ(generate_power_law(500, 2000, 0.7, 9),
+            generate_power_law(500, 2000, 0.7, 9));
+}
+
+TEST(Generators, PowerLawNoSelfLoops) {
+  Coo g = generate_power_law(200, 3000, 0.8, 2);
+  for (Eid e = 0; e < g.num_edges(); ++e) EXPECT_NE(g.src[e], g.dst[e]);
+}
+
+TEST(Generators, BipartiteRespectsPartitions) {
+  const Vid users = 900, items = 100;
+  Coo g = generate_bipartite(users, items, 5000, 0.7, 3);
+  EXPECT_TRUE(g.valid());
+  // Every edge crosses the partition.
+  for (Eid e = 0; e < g.num_edges(); ++e) {
+    const bool src_is_user = g.src[e] < users;
+    const bool dst_is_user = g.dst[e] < users;
+    EXPECT_NE(src_is_user, dst_is_user);
+  }
+}
+
+TEST(Generators, RoadLowDegreeVariance) {
+  Coo g = generate_road(10000, 0.92, 4);
+  EXPECT_TRUE(g.valid());
+  auto s = summarize_degrees(in_degrees(g), false);
+  EXPECT_GT(s.mean, 2.0);
+  EXPECT_LT(s.mean, 4.5);
+  EXPECT_LT(s.stdev, 1.5);
+  EXPECT_LE(s.max, 4.0);
+}
+
+TEST(Generators, RoadIsSymmetric) {
+  Coo g = generate_road(400, 1.0, 5);
+  // With keep prob 1, every edge has its reverse.
+  std::set<std::pair<Vid, Vid>> edges;
+  for (Eid e = 0; e < g.num_edges(); ++e) edges.insert({g.src[e], g.dst[e]});
+  for (const auto& [s, d] : edges)
+    EXPECT_TRUE(edges.count({d, s})) << s << "->" << d;
+}
+
+TEST(Generators, RejectsDegenerateInput) {
+  EXPECT_THROW(generate_power_law(1, 10, 0.7, 1), std::invalid_argument);
+  EXPECT_THROW(generate_road(1, 0.9, 1), std::invalid_argument);
+}
+
+class PowerLawSkew : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawSkew, HigherAlphaMoreSkew) {
+  Coo g = generate_power_law(2000, 20000, GetParam(), 6);
+  auto s = summarize_degrees(in_degrees(g), false);
+  // Skew grows with alpha; just check heavy tail exists for all alphas.
+  EXPECT_GT(s.max, 3.0 * s.mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PowerLawSkew,
+                         ::testing::Values(0.55, 0.65, 0.75, 0.85));
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,78 @@
+#include "dfg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::dfg {
+namespace {
+
+TEST(Dfg, BuildGcnChain) {
+  // 2 layers, no edge weighting: Input + 2*(Pull, MatMul, BiasAdd) + ReLU
+  // between layers + Output = 1 + 3 + 1 + 3 + 1 = 9 nodes.
+  DfgGraph g = build_gnn_dfg(2, /*edge_weighted=*/false);
+  EXPECT_EQ(g.live_size(), 9u);
+  EXPECT_FALSE(g.has_dkp(0));
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("Pull(L0) -> MatMul(L0) -> BiasAdd(L0)"),
+            std::string::npos);
+  EXPECT_EQ(s.find("NeighborApply"), std::string::npos);
+}
+
+TEST(Dfg, BuildNgcfChainHasNeighborApply) {
+  DfgGraph g = build_gnn_dfg(2, /*edge_weighted=*/true);
+  EXPECT_EQ(g.live_size(), 11u);
+  EXPECT_NE(g.to_string().find("NeighborApply(L0)"), std::string::npos);
+}
+
+TEST(Dfg, TopoOrderIsValid) {
+  DfgGraph g = build_gnn_dfg(3, true);
+  auto order = g.topo_order();
+  EXPECT_EQ(order.size(), g.live_size());
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GT(order[i], order[i - 1]);
+}
+
+TEST(Dfg, RewriteReplacesEveryPullMatMulPair) {
+  DfgGraph g = build_gnn_dfg(2, false);
+  const std::size_t before = g.live_size();
+  EXPECT_EQ(g.rewrite_dkp(), 2u);
+  // Each rewrite removes 2 nodes and adds 1.
+  EXPECT_EQ(g.live_size(), before - 2);
+  EXPECT_TRUE(g.has_dkp(0));
+  EXPECT_TRUE(g.has_dkp(1));
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("Cost-DKP(L0)"), std::string::npos);
+  EXPECT_EQ(s.find("Pull"), std::string::npos);
+  EXPECT_EQ(s.find("MatMul"), std::string::npos);
+}
+
+TEST(Dfg, RewritePreservesLinks) {
+  DfgGraph g = build_gnn_dfg(1, true);
+  g.rewrite_dkp();
+  // The BiasAdd node must now consume the Cost-DKP node, and the Cost-DKP
+  // node must consume what Pull consumed (Input + NeighborApply).
+  NodeId dkp = kNoNode, bias = kNoNode;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (g.node(id).erased) continue;
+    if (g.node(id).kind == OpKind::kCostDkp) dkp = id;
+    if (g.node(id).kind == OpKind::kBiasAdd) bias = id;
+  }
+  ASSERT_NE(dkp, kNoNode);
+  ASSERT_NE(bias, kNoNode);
+  ASSERT_EQ(g.node(bias).inputs.size(), 1u);
+  EXPECT_EQ(g.node(bias).inputs[0], dkp);
+  EXPECT_EQ(g.node(dkp).inputs.size(), 2u);  // Input + NeighborApply
+}
+
+TEST(Dfg, RewriteIsIdempotent) {
+  DfgGraph g = build_gnn_dfg(2, false);
+  EXPECT_EQ(g.rewrite_dkp(), 2u);
+  EXPECT_EQ(g.rewrite_dkp(), 0u);
+}
+
+TEST(Dfg, AddNodeRejectsForwardReferences) {
+  DfgGraph g;
+  EXPECT_THROW(g.add_node(OpKind::kPull, 0, {5}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gt::dfg

@@ -1,0 +1,69 @@
+#include "dfg/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gt::dfg {
+namespace {
+
+TEST(LeastSquares, RecoversExactLinearModel) {
+  // y = 3 + 2*x1 - 0.5*x2, noiseless.
+  Xoshiro256 rng(1);
+  std::vector<std::vector<double>> a;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double x1 = rng.uniform_real() * 10;
+    const double x2 = rng.uniform_real() * 10;
+    a.push_back({1.0, x1, x2});
+    y.push_back(3.0 + 2.0 * x1 - 0.5 * x2);
+  }
+  auto c = least_squares(a, y);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 3.0, 1e-6);
+  EXPECT_NEAR(c[1], 2.0, 1e-6);
+  EXPECT_NEAR(c[2], -0.5, 1e-6);
+}
+
+TEST(LeastSquares, HandlesNoise) {
+  Xoshiro256 rng(2);
+  std::vector<std::vector<double>> a;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform_real() * 100;
+    a.push_back({1.0, x});
+    y.push_back(5.0 + 0.25 * x + rng.normal() * 0.5);
+  }
+  auto c = least_squares(a, y);
+  EXPECT_NEAR(c[0], 5.0, 0.2);
+  EXPECT_NEAR(c[1], 0.25, 0.01);
+}
+
+TEST(LeastSquares, SingularDirectionYieldsZeroCoefficient) {
+  // Second feature is always zero: its coefficient must come back 0 rather
+  // than exploding.
+  std::vector<std::vector<double>> a{{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  std::vector<double> y{2.0, 4.0, 6.0};
+  auto c = least_squares(a, y);
+  EXPECT_NEAR(c[0], 2.0, 1e-6);
+  EXPECT_NEAR(c[1], 0.0, 1e-6);
+}
+
+TEST(LeastSquares, RejectsBadInput) {
+  EXPECT_THROW(least_squares({}, {}), std::invalid_argument);
+  EXPECT_THROW(least_squares({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(least_squares({{1.0}, {1.0, 2.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+  // Points not on a line: solution is the classic regression line.
+  std::vector<std::vector<double>> a{{1, 0}, {1, 1}, {1, 2}};
+  std::vector<double> y{0.0, 1.0, 1.0};
+  auto c = least_squares(a, y);
+  EXPECT_NEAR(c[0], 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(c[1], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace gt::dfg

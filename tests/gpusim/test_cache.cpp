@@ -1,0 +1,67 @@
+#include "gpusim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::gpusim {
+namespace {
+
+TEST(SmCache, MissThenHit) {
+  SmCache cache(1024);
+  EXPECT_FALSE(cache.access({0, 0, 0}, 100));
+  EXPECT_TRUE(cache.access({0, 0, 0}, 100));
+  EXPECT_EQ(cache.loaded_bytes(), 100u);
+  EXPECT_EQ(cache.hit_bytes(), 100u);
+}
+
+TEST(SmCache, DistinctKeysAreDistinctLines) {
+  SmCache cache(1024);
+  EXPECT_FALSE(cache.access({0, 0, 0}, 10));
+  EXPECT_FALSE(cache.access({0, 1, 0}, 10));
+  EXPECT_FALSE(cache.access({1, 0, 0}, 10));
+  EXPECT_FALSE(cache.access({0, 0, 1}, 10));
+  EXPECT_EQ(cache.loaded_bytes(), 40u);
+  EXPECT_EQ(cache.resident_bytes(), 40u);
+}
+
+TEST(SmCache, LruEviction) {
+  SmCache cache(100);
+  cache.access({0, 0, 0}, 60);
+  cache.access({0, 1, 0}, 40);
+  // Touch row 0 so row 1 becomes LRU.
+  cache.access({0, 0, 0}, 60);
+  // New line evicts row 1 (LRU), not row 0.
+  cache.access({0, 2, 0}, 40);
+  EXPECT_TRUE(cache.access({0, 0, 0}, 60));   // still resident
+  EXPECT_FALSE(cache.access({0, 1, 0}, 40));  // was evicted
+}
+
+TEST(SmCache, OversizedLineStreamsWithoutResidency) {
+  SmCache cache(100);
+  EXPECT_FALSE(cache.access({0, 0, 0}, 500));
+  EXPECT_EQ(cache.loaded_bytes(), 500u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  // Not retained: next access misses again.
+  EXPECT_FALSE(cache.access({0, 0, 0}, 500));
+}
+
+TEST(SmCache, ClearResetsEverything) {
+  SmCache cache(100);
+  cache.access({0, 0, 0}, 50);
+  cache.access({0, 0, 0}, 50);
+  cache.clear();
+  EXPECT_EQ(cache.loaded_bytes(), 0u);
+  EXPECT_EQ(cache.hit_bytes(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  EXPECT_FALSE(cache.access({0, 0, 0}, 50));
+}
+
+TEST(SmCache, ResidentNeverExceedsCapacity) {
+  SmCache cache(256);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    cache.access({0, r, 0}, 48);
+    EXPECT_LE(cache.resident_bytes(), 256u);
+  }
+}
+
+}  // namespace
+}  // namespace gt::gpusim

@@ -1,0 +1,179 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::gpusim {
+namespace {
+
+DeviceConfig small_config() {
+  DeviceConfig cfg;
+  cfg.num_sms = 4;
+  cfg.cache_bytes_per_sm = 1024;
+  cfg.memory_capacity_bytes = 1 << 20;  // 1 MiB
+  return cfg;
+}
+
+TEST(Device, AllocTracksMemory) {
+  Device dev(small_config());
+  auto a = dev.alloc_f32(100, 10, "a");
+  EXPECT_EQ(dev.memory_stats().current_bytes, 100 * 10 * sizeof(float));
+  auto b = dev.alloc_u32(50, "b");
+  EXPECT_EQ(dev.memory_stats().current_bytes,
+            100 * 10 * sizeof(float) + 50 * sizeof(std::uint32_t));
+  dev.free(a);
+  dev.free(b);
+  EXPECT_EQ(dev.memory_stats().current_bytes, 0u);
+  EXPECT_GT(dev.memory_stats().peak_bytes, 0u);
+}
+
+TEST(Device, OomThrows) {
+  Device dev(small_config());
+  EXPECT_THROW(dev.alloc_f32(1 << 20, 4, "huge"), GpuOomError);
+}
+
+TEST(Device, OomErrorCarriesSizes) {
+  Device dev(small_config());
+  try {
+    dev.alloc_f32(1 << 20, 4, "huge");
+    FAIL() << "expected GpuOomError";
+  } catch (const GpuOomError& e) {
+    EXPECT_EQ(e.requested_bytes, (1 << 20) * 4 * sizeof(float));
+    EXPECT_EQ(e.available_bytes, 1u << 20);
+  }
+}
+
+TEST(Device, UseAfterFreeThrows) {
+  Device dev(small_config());
+  auto a = dev.alloc_f32(2, 2, "a");
+  dev.free(a);
+  EXPECT_THROW(dev.f32(a), std::out_of_range);
+  EXPECT_THROW(dev.free(a), std::out_of_range);
+}
+
+TEST(Device, BuffersHoldRealData) {
+  Device dev(small_config());
+  auto a = dev.alloc_f32(2, 3, "a");
+  dev.f32(a)[4] = 2.5f;
+  EXPECT_FLOAT_EQ(dev.f32(a)[4], 2.5f);
+  EXPECT_EQ(dev.rows(a), 2u);
+  EXPECT_EQ(dev.cols(a), 3u);
+}
+
+TEST(Device, BlocksRoundRobinOverSms) {
+  Device dev(small_config());
+  std::vector<std::size_t> sm_of_block;
+  dev.run_kernel("probe", KernelCategory::kOther, 10, [&](BlockCtx& ctx) {
+    sm_of_block.push_back(ctx.sm_id());
+  });
+  ASSERT_EQ(sm_of_block.size(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(sm_of_block[b], b % 4);
+}
+
+TEST(Device, KernelStatsCountFlopsAndTraffic) {
+  Device dev(small_config());
+  auto buf = dev.alloc_f32(8, 16, "x");
+  auto ks = dev.run_kernel("k", KernelCategory::kAggregation, 8,
+                           [&](BlockCtx& ctx) {
+                             ctx.load(buf, static_cast<std::uint32_t>(
+                                               ctx.block_id()),
+                                      64);
+                             ctx.flops(100);
+                           });
+  EXPECT_EQ(ks.flops, 800u);
+  EXPECT_EQ(ks.cache_loaded_bytes, 8 * 64u);
+  EXPECT_EQ(ks.global_bytes, 8 * 64u);
+  EXPECT_GT(ks.latency_us, 0.0);
+  EXPECT_EQ(ks.blocks, 8u);
+}
+
+TEST(Device, SameRowOnDifferentSmsLoadsTwice) {
+  // The cache-bloat mechanism: two blocks on different SMs touching the
+  // same row each pay a fill.
+  Device dev(small_config());
+  auto buf = dev.alloc_f32(1, 16, "x");
+  auto ks = dev.run_kernel("k", KernelCategory::kEdgeWeight, 2,
+                           [&](BlockCtx& ctx) { ctx.load(buf, 0, 64); });
+  EXPECT_EQ(ks.cache_loaded_bytes, 128u);
+}
+
+TEST(Device, SameRowOnSameSmHitsSecondTime) {
+  DeviceConfig cfg = small_config();
+  cfg.num_sms = 1;
+  Device dev(cfg);
+  auto buf = dev.alloc_f32(1, 16, "x");
+  auto ks = dev.run_kernel("k", KernelCategory::kEdgeWeight, 2,
+                           [&](BlockCtx& ctx) { ctx.load(buf, 0, 64); });
+  EXPECT_EQ(ks.cache_loaded_bytes, 64u);
+  EXPECT_EQ(ks.cache_hit_bytes, 64u);
+}
+
+TEST(Device, CachesResetBetweenKernels) {
+  DeviceConfig cfg = small_config();
+  cfg.num_sms = 1;
+  Device dev(cfg);
+  auto buf = dev.alloc_f32(1, 16, "x");
+  dev.run_kernel("k1", KernelCategory::kOther, 1,
+                 [&](BlockCtx& ctx) { ctx.load(buf, 0, 64); });
+  auto ks = dev.run_kernel("k2", KernelCategory::kOther, 1,
+                           [&](BlockCtx& ctx) { ctx.load(buf, 0, 64); });
+  EXPECT_EQ(ks.cache_loaded_bytes, 64u);  // miss again: no cross-kernel reuse
+}
+
+TEST(Device, AtomicPenaltyIncreasesLatency) {
+  Device dev(small_config());
+  auto no_atomics = dev.run_kernel("a", KernelCategory::kOther, 4,
+                                   [](BlockCtx& ctx) { ctx.flops(100); });
+  auto with_atomics =
+      dev.run_kernel("b", KernelCategory::kOther, 4, [](BlockCtx& ctx) {
+        ctx.flops(100);
+        ctx.atomic(1000);
+      });
+  EXPECT_GT(with_atomics.latency_us, no_atomics.latency_us);
+  EXPECT_EQ(with_atomics.atomic_ops, 4000u);
+}
+
+TEST(Device, AllocInsideKernelForbidden) {
+  Device dev(small_config());
+  EXPECT_THROW(
+      dev.run_kernel("bad", KernelCategory::kOther, 1,
+                     [&](BlockCtx&) { dev.alloc_f32(1, 1, "inner"); }),
+      std::logic_error);
+}
+
+TEST(Device, ProfileAccumulates) {
+  Device dev(small_config());
+  dev.run_kernel("a", KernelCategory::kAggregation, 1,
+                 [](BlockCtx& ctx) { ctx.flops(10); });
+  dev.run_kernel("b", KernelCategory::kCombination, 1,
+                 [](BlockCtx& ctx) { ctx.flops(20); });
+  dev.charge_kernel("c", KernelCategory::kFormatTranslate, 0, 1000);
+  EXPECT_EQ(dev.profile().size(), 3u);
+  auto agg = accumulate(dev.profile(), KernelCategory::kAggregation);
+  EXPECT_EQ(agg.flops, 10u);
+  auto total = accumulate(dev.profile());
+  EXPECT_EQ(total.flops, 30u);
+  EXPECT_GT(dev.profile_latency_us(), 0.0);
+  dev.clear_profile();
+  EXPECT_TRUE(dev.profile().empty());
+}
+
+TEST(Device, ChargeAllocOverheadAddsLatencyOnly) {
+  Device dev(small_config());
+  dev.charge_alloc_overhead("mallocs", 3);
+  ASSERT_EQ(dev.profile().size(), 1u);
+  EXPECT_DOUBLE_EQ(dev.profile()[0].latency_us,
+                   3 * dev.config().cost.alloc_overhead_us);
+  EXPECT_EQ(dev.profile()[0].flops, 0u);
+}
+
+TEST(Device, ResetPeak) {
+  Device dev(small_config());
+  auto a = dev.alloc_f32(100, 100, "a");
+  dev.free(a);
+  EXPECT_GT(dev.memory_stats().peak_bytes, 0u);
+  dev.reset_peak();
+  EXPECT_EQ(dev.memory_stats().peak_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace gt::gpusim

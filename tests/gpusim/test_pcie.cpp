@@ -1,0 +1,39 @@
+#include "gpusim/pcie.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::gpusim {
+namespace {
+
+TEST(Pcie, PinnedFasterThanPageable) {
+  PcieModel pcie;
+  const std::size_t bytes = 10 << 20;
+  EXPECT_LT(pcie.transfer_us(bytes, /*pinned=*/true),
+            pcie.transfer_us(bytes, /*pinned=*/false));
+}
+
+TEST(Pcie, LatencyDominatesSmallTransfers) {
+  PcieModel pcie;
+  const double t1 = pcie.transfer_us(1, true);
+  EXPECT_NEAR(t1, pcie.params().latency_us, 0.01);
+}
+
+TEST(Pcie, ThroughputScalesLinearly) {
+  PcieModel pcie;
+  const double t1 = pcie.transfer_us(1 << 20, true) - pcie.params().latency_us;
+  const double t2 = pcie.transfer_us(2 << 20, true) - pcie.params().latency_us;
+  EXPECT_NEAR(t2, 2 * t1, 1e-9);
+}
+
+TEST(Pcie, ManySmallTransfersSlowerThanOneBig) {
+  // Why the pipelined K->T path still batches rows into buffers.
+  PcieModel pcie;
+  const std::size_t total = 1 << 20;
+  const double big = pcie.transfer_us(total, true);
+  double small = 0.0;
+  for (int i = 0; i < 1024; ++i) small += pcie.transfer_us(total / 1024, true);
+  EXPECT_GT(small, big);
+}
+
+}  // namespace
+}  // namespace gt::gpusim

@@ -1,0 +1,102 @@
+// Latency-model properties: the pricing rules every reproduced figure
+// depends on.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+
+namespace gt::gpusim {
+namespace {
+
+DeviceConfig config() {
+  DeviceConfig cfg;
+  cfg.num_sms = 8;
+  cfg.cache_bytes_per_sm = 4096;
+  return cfg;
+}
+
+TEST(Pricing, DenseKernelsRunAtHigherFlopRate) {
+  Device dev(config());
+  auto graph_k = dev.run_kernel("g", KernelCategory::kAggregation, 8,
+                                [](BlockCtx& ctx) { ctx.flops(1'000'000); });
+  auto dense_k = dev.run_kernel("d", KernelCategory::kCombination, 8,
+                                [](BlockCtx& ctx) { ctx.flops(1'000'000); });
+  EXPECT_GT(graph_k.latency_us, dense_k.latency_us);
+  EXPECT_EQ(graph_k.flops, dense_k.flops);
+}
+
+TEST(Pricing, DeviceWideBandwidthBoundsBalancedKernels) {
+  // Perfectly balanced traffic cannot finish faster than total bytes over
+  // the device bandwidth.
+  Device dev(config());
+  const std::size_t per_block = 100'000;
+  auto buf = dev.alloc_f32(64, 25'000, "x");
+  auto ks = dev.run_kernel("k", KernelCategory::kAggregation, 64,
+                           [&](BlockCtx& ctx) {
+                             ctx.load(buf,
+                                      static_cast<std::uint32_t>(
+                                          ctx.block_id()),
+                                      per_block);
+                           });
+  const double device_floor =
+      static_cast<double>(ks.global_bytes) /
+      dev.config().cost.global_bw_bytes_per_us;
+  EXPECT_GE(ks.latency_us + 1e-9,
+            device_floor + dev.config().cost.launch_overhead_us);
+}
+
+TEST(Pricing, HotSmBoundsImbalancedKernels) {
+  // All traffic on one SM: a single SM draws at most 1/8 of device BW, so
+  // the kernel is slower than the device-wide bound alone would say.
+  Device dev(config());
+  const std::size_t total = 6'400'000;
+  auto hot = dev.run_kernel("hot", KernelCategory::kAggregation, 1,
+                            [&](BlockCtx& ctx) { ctx.global_read(total); });
+  auto balanced = dev.run_kernel(
+      "balanced", KernelCategory::kAggregation, 64, [&](BlockCtx& ctx) {
+        ctx.global_read(total / 64);
+      });
+  EXPECT_EQ(hot.global_bytes, balanced.global_bytes);
+  EXPECT_GT(hot.latency_us, balanced.latency_us);
+}
+
+TEST(Pricing, CacheHitsAreCheaperThanMisses) {
+  DeviceConfig cfg = config();
+  cfg.num_sms = 1;
+  Device dev(cfg);
+  auto buf = dev.alloc_f32(64, 64, "x");
+  // Same logical traffic; second kernel re-reads one hot row.
+  auto misses = dev.run_kernel("m", KernelCategory::kAggregation, 16,
+                               [&](BlockCtx& ctx) {
+                                 ctx.load(buf,
+                                          static_cast<std::uint32_t>(
+                                              ctx.block_id()),
+                                          256);
+                               });
+  auto hits = dev.run_kernel("h", KernelCategory::kAggregation, 16,
+                             [&](BlockCtx& ctx) { ctx.load(buf, 0, 256); });
+  EXPECT_GT(misses.latency_us, hits.latency_us);
+  EXPECT_GT(hits.cache_hit_bytes, 0u);
+}
+
+TEST(Pricing, ChargeKernelUsesDenseRateForCombination) {
+  Device dev(config());
+  auto graph_k =
+      dev.charge_kernel("g", KernelCategory::kAggregation, 10'000'000, 0);
+  auto dense_k =
+      dev.charge_kernel("d", KernelCategory::kCombination, 10'000'000, 0);
+  EXPECT_GT(graph_k.latency_us, dense_k.latency_us);
+}
+
+TEST(Pricing, AtomicsScaleLinearly) {
+  Device dev(config());
+  auto few = dev.run_kernel("few", KernelCategory::kAggregation, 1,
+                            [](BlockCtx& ctx) { ctx.atomic(100); });
+  auto many = dev.run_kernel("many", KernelCategory::kAggregation, 1,
+                             [](BlockCtx& ctx) { ctx.atomic(1000); });
+  const double overhead = dev.config().cost.launch_overhead_us;
+  EXPECT_NEAR((many.latency_us - overhead) / (few.latency_us - overhead),
+              10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gt::gpusim

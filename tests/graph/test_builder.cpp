@@ -1,0 +1,60 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt {
+namespace {
+
+TEST(GraphBuilder, AddsEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Coo coo = b.build_coo();
+  EXPECT_EQ(coo.num_edges(), 2u);
+  EXPECT_TRUE(coo.valid());
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(b.add_edge(3, 0), std::out_of_range);
+}
+
+TEST(GraphBuilder, UndirectedAddsBoth) {
+  GraphBuilder b(2);
+  b.add_undirected(0, 1);
+  Coo coo = b.build_coo();
+  EXPECT_EQ(coo.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, DedupRemovesDuplicates) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);
+  b.dedup();
+  EXPECT_EQ(b.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, DropSelfLoops) {
+  GraphBuilder b(3);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(2, 2);
+  b.drop_self_loops();
+  Coo coo = b.build_coo();
+  EXPECT_EQ(coo.num_edges(), 1u);
+  EXPECT_EQ(coo.src[0], 0u);
+  EXPECT_EQ(coo.dst[0], 1u);
+}
+
+TEST(GraphBuilder, BuildLeavesBuilderEmpty) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.build_coo();
+  EXPECT_EQ(b.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,116 @@
+#include "graph/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gt {
+namespace {
+
+Coo random_coo(Vid vertices, Eid edges, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo coo;
+  coo.num_vertices = vertices;
+  coo.src.reserve(edges);
+  coo.dst.reserve(edges);
+  for (Eid e = 0; e < edges; ++e) {
+    coo.src.push_back(static_cast<Vid>(rng.uniform(vertices)));
+    coo.dst.push_back(static_cast<Vid>(rng.uniform(vertices)));
+  }
+  return coo;
+}
+
+// Canonical representation for equality-of-graph tests.
+Coo canonical(Coo coo) {
+  coo.sort_by_dst();
+  return coo;
+}
+
+TEST(Convert, CooToCsrPreservesEdges) {
+  Coo coo = random_coo(50, 300, 1);
+  Csr csr = coo_to_csr(coo);
+  EXPECT_TRUE(csr.valid());
+  EXPECT_EQ(csr.num_edges(), coo.num_edges());
+  EXPECT_EQ(canonical(csr_to_coo(csr)), canonical(coo));
+}
+
+TEST(Convert, CooToCscPreservesEdges) {
+  Coo coo = random_coo(50, 300, 2);
+  Csc csc = coo_to_csc(coo);
+  EXPECT_TRUE(csc.valid());
+  EXPECT_EQ(csc.num_edges(), coo.num_edges());
+  EXPECT_EQ(canonical(csc_to_coo(csc)), canonical(coo));
+}
+
+TEST(Convert, CsrCscRoundTrip) {
+  // Canonical edge order (dst-major, src-minor) makes the CSR->CSC->CSR
+  // round trip exact: per-dst neighbor lists come back src-sorted.
+  Coo coo = canonical(random_coo(40, 200, 3));
+  Csr csr = coo_to_csr(coo);
+  Csc csc = csr_to_csc(csr);
+  Csr back = csc_to_csr(csc);
+  EXPECT_EQ(back, csr);
+}
+
+TEST(Convert, CsrNeighborsMatchCooEdges) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.src = {2, 3, 0, 1, 3};
+  coo.dst = {0, 0, 1, 2, 2};
+  Csr csr = coo_to_csr(coo);
+  auto n0 = csr.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 2u);
+  EXPECT_EQ(n0[1], 3u);
+  EXPECT_EQ(csr.degree(1), 1u);
+  EXPECT_EQ(csr.degree(3), 0u);
+}
+
+TEST(Convert, CscNeighborsAreOutEdges) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.src = {2, 3, 0, 1, 3};
+  coo.dst = {0, 0, 1, 2, 2};
+  Csc csc = coo_to_csc(coo);
+  auto n3 = csc.neighbors(3);
+  ASSERT_EQ(n3.size(), 2u);
+  EXPECT_EQ(n3[0], 0u);
+  EXPECT_EQ(n3[1], 2u);
+}
+
+TEST(Convert, EmptyGraph) {
+  Coo coo;
+  coo.num_vertices = 5;
+  Csr csr = coo_to_csr(coo);
+  EXPECT_TRUE(csr.valid());
+  EXPECT_EQ(csr.num_edges(), 0u);
+  Csc csc = coo_to_csc(coo);
+  EXPECT_TRUE(csc.valid());
+}
+
+TEST(Convert, CostIsAccounted) {
+  Coo coo = random_coo(30, 100, 4);
+  TranslationCost cost;
+  coo_to_csr(coo, &cost);
+  EXPECT_EQ(cost.elements_sorted, coo.num_edges());
+  EXPECT_GT(cost.bytes_read, 0u);
+  EXPECT_GT(cost.bytes_written, 0u);
+  EXPECT_GT(cost.temp_bytes, 0u);
+}
+
+class ConvertRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvertRoundTrip, AllPathsAgree) {
+  Coo coo = random_coo(64, 512, GetParam());
+  const Coo want = canonical(coo);
+  EXPECT_EQ(canonical(csr_to_coo(coo_to_csr(coo))), want);
+  EXPECT_EQ(canonical(csc_to_coo(coo_to_csc(coo))), want);
+  EXPECT_EQ(canonical(csc_to_coo(csr_to_csc(coo_to_csr(coo)))), want);
+  EXPECT_EQ(canonical(csr_to_coo(csc_to_csr(coo_to_csc(coo)))), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvertRoundTrip,
+                         ::testing::Values(10, 11, 12, 13, 14, 15, 16, 17));
+
+}  // namespace
+}  // namespace gt

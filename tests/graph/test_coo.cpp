@@ -1,0 +1,63 @@
+#include "graph/coo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt {
+namespace {
+
+Coo tiny() {
+  // Graph of paper Figure 1a-ish: 4 vertices.
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.src = {2, 3, 0, 1, 3};
+  coo.dst = {0, 0, 1, 2, 2};
+  return coo;
+}
+
+TEST(Coo, Valid) {
+  EXPECT_TRUE(tiny().valid());
+}
+
+TEST(Coo, InvalidWhenVidOutOfRange) {
+  Coo c = tiny();
+  c.src[0] = 9;
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(Coo, InvalidWhenArraysMismatch) {
+  Coo c = tiny();
+  c.dst.pop_back();
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(Coo, SortByDstGroupsEdges) {
+  Coo c = tiny();
+  c.sort_by_dst();
+  for (std::size_t e = 1; e < c.num_edges(); ++e)
+    EXPECT_LE(c.dst[e - 1], c.dst[e]);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.num_edges(), 5u);
+}
+
+TEST(Coo, SortByDstBreaksTiesBySrc) {
+  Coo c = tiny();
+  c.sort_by_dst();
+  for (std::size_t e = 1; e < c.num_edges(); ++e)
+    if (c.dst[e - 1] == c.dst[e]) {
+      EXPECT_LE(c.src[e - 1], c.src[e]);
+    }
+}
+
+TEST(Coo, SortBySrcGroupsEdges) {
+  Coo c = tiny();
+  c.sort_by_src();
+  for (std::size_t e = 1; e < c.num_edges(); ++e)
+    EXPECT_LE(c.src[e - 1], c.src[e]);
+}
+
+TEST(Coo, StorageBytes) {
+  EXPECT_EQ(tiny().storage_bytes(), 10 * sizeof(Vid));
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,46 @@
+#include "graph/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/convert.hpp"
+
+namespace gt {
+namespace {
+
+Coo tiny() {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.src = {2, 3, 0, 1, 3};
+  coo.dst = {0, 0, 1, 2, 2};
+  return coo;
+}
+
+TEST(Degree, CooInDegrees) {
+  auto deg = in_degrees(tiny());
+  ASSERT_EQ(deg.size(), 4u);
+  EXPECT_DOUBLE_EQ(deg[0], 2.0);
+  EXPECT_DOUBLE_EQ(deg[1], 1.0);
+  EXPECT_DOUBLE_EQ(deg[2], 2.0);
+  EXPECT_DOUBLE_EQ(deg[3], 0.0);
+}
+
+TEST(Degree, CsrMatchesCoo) {
+  Coo coo = tiny();
+  EXPECT_EQ(in_degrees(coo), in_degrees(coo_to_csr(coo)));
+}
+
+TEST(Degree, SummaryExcludesIsolated) {
+  auto s = summarize_degrees(in_degrees(tiny()), /*exclude_isolated=*/true);
+  EXPECT_EQ(s.vertices, 3u);
+  EXPECT_NEAR(s.mean, 5.0 / 3.0, 1e-12);
+}
+
+TEST(Degree, SummaryIncludesIsolatedWhenAsked) {
+  auto s = summarize_degrees(in_degrees(tiny()), /*exclude_isolated=*/false);
+  EXPECT_EQ(s.vertices, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.25);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,50 @@
+// Shared fixture for kernel-family tests: a random layer problem plus its
+// CPU-reference results.
+#pragma once
+
+#include "graph/convert.hpp"
+#include "kernels/common.hpp"
+#include "kernels/reference.hpp"
+#include "util/rng.hpp"
+
+namespace gt::kernels::testing {
+
+struct LayerProblem {
+  Coo coo;       // edge list (Graph-approach input)
+  Csr csr;       // dst-indexed (NAPA / DL input)
+  Matrix x;      // [n_vertices, feat]
+  Matrix w;      // [feat, hidden]
+  Matrix b;      // [1, hidden]
+  Vid n_dst = 0;
+};
+
+inline LayerProblem make_problem(std::uint64_t seed, Vid n_vertices = 20,
+                                 Vid n_dst = 8, Eid n_edges = 60,
+                                 std::size_t feat = 7,
+                                 std::size_t hidden = 5) {
+  Xoshiro256 rng(seed);
+  LayerProblem p;
+  p.coo.num_vertices = n_vertices;
+  for (Eid e = 0; e < n_edges; ++e) {
+    p.coo.src.push_back(static_cast<Vid>(rng.uniform(n_vertices)));
+    p.coo.dst.push_back(static_cast<Vid>(rng.uniform(n_dst)));
+  }
+  p.csr = coo_to_csr(p.coo);
+  p.x = Matrix::uniform(n_vertices, feat, rng, -0.5f, 0.5f);
+  p.w = Matrix::glorot(feat, hidden, rng);
+  p.b = Matrix::uniform(1, hidden, rng, -0.1f, 0.1f);
+  p.n_dst = n_dst;
+  return p;
+}
+
+/// Restrict a host CSR to its first n_dst rows (what upload_csr consumes).
+inline Csr dst_rows(const Csr& csr, Vid n_dst) {
+  Csr out;
+  out.num_vertices = csr.num_vertices;
+  out.row_ptr.assign(csr.row_ptr.begin(), csr.row_ptr.begin() + n_dst + 1);
+  out.col_idx.assign(csr.col_idx.begin(),
+                     csr.col_idx.begin() + out.row_ptr.back());
+  return out;
+}
+
+}  // namespace gt::kernels::testing

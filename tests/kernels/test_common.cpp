@@ -1,0 +1,91 @@
+#include "kernels/common.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/convert.hpp"
+#include "util/rng.hpp"
+
+namespace gt::kernels {
+namespace {
+
+Coo sample_graph() {
+  // 6 vertices, first 3 are destinations.
+  Coo coo;
+  coo.num_vertices = 6;
+  coo.src = {3, 4, 5, 0, 4, 5, 1};
+  coo.dst = {0, 0, 1, 1, 2, 2, 2};
+  return coo;
+}
+
+TEST(KernelsCommon, UploadCsrMirrorsHost) {
+  gpusim::Device dev;
+  Csr csr = coo_to_csr(sample_graph());
+  DeviceCsr g = upload_csr(dev, csr, 3);
+  EXPECT_EQ(g.n_dst, 3u);
+  EXPECT_EQ(g.n_vertices, 6u);
+  EXPECT_EQ(g.n_edges, 7u);
+  auto rp = dev.u32(g.row_ptr);
+  for (Vid v = 0; v <= 3; ++v) EXPECT_EQ(rp[v], csr.row_ptr[v]);
+  auto ci = dev.u32(g.col_idx);
+  for (Eid e = 0; e < 7; ++e) EXPECT_EQ(ci[e], csr.col_idx[e]);
+}
+
+TEST(KernelsCommon, UploadCscInvertsEdgesWithEdgeIds) {
+  gpusim::Device dev;
+  Csr csr = coo_to_csr(sample_graph());
+  DeviceCsc g = upload_csc(dev, csr, 3);
+  auto cp = dev.u32(g.col_ptr);
+  auto ri = dev.u32(g.row_idx);
+  auto ei = dev.u32(g.edge_id);
+  // Every CSC entry must name a CSR edge with matching endpoints.
+  for (Vid s = 0; s < 6; ++s) {
+    for (std::uint32_t k = cp[s]; k < cp[s + 1]; ++k) {
+      const Vid d = ri[k];
+      const Eid e = ei[k];
+      EXPECT_EQ(csr.col_idx[e], s);
+      EXPECT_GE(e, csr.row_ptr[d]);
+      EXPECT_LT(e, csr.row_ptr[d + 1]);
+    }
+  }
+  EXPECT_EQ(cp[6], 7u);
+}
+
+TEST(KernelsCommon, UploadCooRoundTrip) {
+  gpusim::Device dev;
+  Coo coo = sample_graph();
+  DeviceCoo g = upload_coo(dev, coo, 3);
+  auto src = dev.u32(g.src);
+  auto dst = dev.u32(g.dst);
+  for (Eid e = 0; e < coo.num_edges(); ++e) {
+    EXPECT_EQ(src[e], coo.src[e]);
+    EXPECT_EQ(dst[e], coo.dst[e]);
+  }
+}
+
+TEST(KernelsCommon, MatrixUploadDownloadRoundTrip) {
+  gpusim::Device dev;
+  Xoshiro256 rng(3);
+  Matrix m = Matrix::uniform(7, 5, rng);
+  auto id = upload_matrix(dev, m, "m");
+  EXPECT_EQ(download_matrix(dev, id), m);
+}
+
+TEST(KernelsCommon, FreeGraphReleasesMemory) {
+  gpusim::Device dev;
+  Csr csr = coo_to_csr(sample_graph());
+  const std::size_t before = dev.memory_stats().current_bytes;
+  DeviceCsr g = upload_csr(dev, csr, 3);
+  DeviceCsc c = upload_csc(dev, csr, 3);
+  free_graph(dev, g);
+  free_graph(dev, c);
+  EXPECT_EQ(dev.memory_stats().current_bytes, before);
+}
+
+TEST(KernelsCommon, DkpCompatibility) {
+  EXPECT_TRUE(dkp_compatible(EdgeWeightMode::kNone));
+  EXPECT_TRUE(dkp_compatible(EdgeWeightMode::kDot));
+  EXPECT_FALSE(dkp_compatible(EdgeWeightMode::kElemProduct));
+}
+
+}  // namespace
+}  // namespace gt::kernels

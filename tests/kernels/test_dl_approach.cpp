@@ -1,0 +1,185 @@
+#include "kernels/dl_approach.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.hpp"
+#include "kernels/napa.hpp"
+#include "tensor/ops.hpp"
+
+namespace gt::kernels {
+namespace {
+
+using testing::LayerProblem;
+using testing::make_problem;
+
+TEST(DlApproach, GatherReplicatesRows) {
+  LayerProblem p = make_problem(31);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  auto dense = dl::gather_rows(dev, x, dcsr.col_idx, "dense");
+  Matrix got = download_matrix(dev, dense);
+  ASSERT_EQ(got.rows(), p.csr.num_edges());
+  for (Eid e = 0; e < p.csr.num_edges(); ++e)
+    for (std::size_t c = 0; c < p.x.cols(); ++c)
+      EXPECT_EQ(got.at(e, c), p.x.at(p.csr.col_idx[e], c));
+}
+
+TEST(DlApproach, ExpandDstIds) {
+  LayerProblem p = make_problem(32);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  auto ids = dl::expand_dst_ids(dev, dcsr);
+  auto iv = dev.u32(ids);
+  for (Vid d = 0; d < p.n_dst; ++d)
+    for (Eid e = p.csr.row_ptr[d]; e < p.csr.row_ptr[d + 1]; ++e)
+      EXPECT_EQ(iv[e], d);
+}
+
+class DlModes
+    : public ::testing::TestWithParam<std::tuple<AggMode, EdgeWeightMode>> {};
+
+TEST_P(DlModes, ForwardPipelineMatchesReference) {
+  const auto [f, g] = GetParam();
+  LayerProblem p = make_problem(33);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  gpusim::BufferId weights = gpusim::kInvalidBuffer;
+  auto aggr = dl::forward_aggregate(dev, dcsr, x, f, g, &weights);
+  Matrix ref_w = ref::edge_weights(p.csr, p.x, p.n_dst, g);
+  Matrix want = ref::aggregate(p.csr, p.x, ref_w, p.n_dst, f, g);
+  EXPECT_TRUE(allclose(download_matrix(dev, aggr), want, 1e-4f))
+      << "f=" << to_string(f) << " g=" << to_string(g);
+  if (g != EdgeWeightMode::kNone) {
+    EXPECT_TRUE(allclose(download_matrix(dev, weights), ref_w, 1e-4f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, DlModes,
+    ::testing::Combine(::testing::Values(AggMode::kSum, AggMode::kMean,
+                                         AggMode::kMax),
+                       ::testing::Values(EdgeWeightMode::kNone,
+                                         EdgeWeightMode::kDot,
+                                         EdgeWeightMode::kElemProduct)));
+
+class DlBackward
+    : public ::testing::TestWithParam<std::tuple<AggMode, EdgeWeightMode>> {};
+
+TEST_P(DlBackward, MatchesReference) {
+  const auto [f, g] = GetParam();
+  LayerProblem p = make_problem(34);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  gpusim::BufferId weights = gpusim::kInvalidBuffer;
+  dl::forward_aggregate(dev, dcsr, x, f, g, &weights);
+
+  Xoshiro256 rng(77);
+  Matrix da = Matrix::uniform(p.n_dst, p.x.cols(), rng);
+  Matrix ref_w = ref::edge_weights(p.csr, p.x, p.n_dst, g);
+  ref::LayerCache cache;
+  cache.weights = ref_w;
+  cache.aggr = ref::aggregate(p.csr, p.x, ref_w, p.n_dst, f, g);
+  cache.pre_act = cache.aggr;
+  Matrix eye(p.x.cols(), p.x.cols());
+  for (std::size_t i = 0; i < p.x.cols(); ++i) eye.at(i, i) = 1.0f;
+  ref::LayerGrads want = ref::backward_layer(p.csr, p.x, eye, p.n_dst, f, g,
+                                             false, da, cache);
+
+  auto dab = upload_matrix(dev, da, "da");
+  auto dx = dl::backward_aggregate(dev, dcsr, x, weights, dab, f, g);
+  EXPECT_TRUE(allclose(download_matrix(dev, dx), want.dx, 1e-3f))
+      << "f=" << to_string(f) << " g=" << to_string(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, DlBackward,
+    ::testing::Combine(::testing::Values(AggMode::kSum, AggMode::kMean),
+                       ::testing::Values(EdgeWeightMode::kNone,
+                                         EdgeWeightMode::kDot,
+                                         EdgeWeightMode::kElemProduct)));
+
+TEST(DlApproach, MemoryBloatExceedsNapa) {
+  // Fig 6a property: the dense temporaries inflate peak memory well above
+  // what NAPA's in-place weighting needs.
+  LayerProblem p = make_problem(35, /*n_vertices=*/100, /*n_dst=*/40,
+                                /*n_edges=*/400, /*feat=*/16);
+  gpusim::Device dl_dev;
+  {
+    DeviceCsr dcsr = upload_csr(dl_dev, p.csr, p.n_dst);
+    auto x = upload_matrix(dl_dev, p.x, "x");
+    dl_dev.reset_peak();
+    gpusim::BufferId weights = gpusim::kInvalidBuffer;
+    dl::forward_aggregate(dl_dev, dcsr, x, AggMode::kMean,
+                          EdgeWeightMode::kElemProduct, &weights);
+  }
+  gpusim::Device napa_dev;
+  {
+    DeviceCsr dcsr = upload_csr(napa_dev, p.csr, p.n_dst);
+    auto x = upload_matrix(napa_dev, p.x, "x");
+    napa_dev.reset_peak();
+    auto w = napa::neighbor_apply(napa_dev, dcsr, x,
+                                  EdgeWeightMode::kElemProduct);
+    napa::pull(napa_dev, dcsr, x, w, AggMode::kMean,
+               EdgeWeightMode::kElemProduct);
+  }
+  EXPECT_GT(dl_dev.memory_stats().peak_bytes,
+            napa_dev.memory_stats().peak_bytes);
+}
+
+TEST(DlApproach, Sparse2DenseLatencyIsProfiled) {
+  LayerProblem p = make_problem(36);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  dev.clear_profile();
+  gpusim::BufferId weights = gpusim::kInvalidBuffer;
+  dl::forward_aggregate(dev, dcsr, x, AggMode::kMean, EdgeWeightMode::kDot,
+                        &weights);
+  using gpusim::KernelCategory;
+  EXPECT_GT(
+      accumulate(dev.profile(), KernelCategory::kSparse2Dense).latency_us,
+      0.0);
+  EXPECT_EQ(
+      accumulate(dev.profile(), KernelCategory::kFormatTranslate).latency_us,
+      0.0);
+}
+
+class AdvisorGroupSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdvisorGroupSizes, GroupAggregationMatchesReference) {
+  LayerProblem p = make_problem(37);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  for (auto f : {AggMode::kSum, AggMode::kMean}) {
+    auto aggr = dl::aggregate_neighbor_groups(dev, dcsr, x, f, GetParam());
+    Matrix want = ref::aggregate(p.csr, p.x, {}, p.n_dst, f,
+                                 EdgeWeightMode::kNone);
+    EXPECT_TRUE(allclose(download_matrix(dev, aggr), want, 1e-4f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdvisorGroupSizes,
+                         ::testing::Values(1, 2, 3, 8, 64));
+
+TEST(Advisor, SmallGroupsPayAtomics) {
+  LayerProblem p = make_problem(38, /*n_vertices=*/50, /*n_dst=*/10,
+                                /*n_edges=*/200, /*feat=*/8);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  dev.clear_profile();
+  dl::aggregate_neighbor_groups(dev, dcsr, x, AggMode::kSum, 2);
+  const auto with_groups = accumulate(dev.profile()).atomic_ops;
+  dev.clear_profile();
+  dl::aggregate_neighbor_groups(dev, dcsr, x, AggMode::kSum, 1000);
+  const auto single_group = accumulate(dev.profile()).atomic_ops;
+  EXPECT_GT(with_groups, 0u);
+  EXPECT_EQ(single_group, 0u);  // one group per dst: no cross-SM updates
+}
+
+}  // namespace
+}  // namespace gt::kernels

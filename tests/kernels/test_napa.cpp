@@ -1,0 +1,169 @@
+#include "kernels/napa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.hpp"
+#include "tensor/ops.hpp"
+
+namespace gt::kernels {
+namespace {
+
+using testing::LayerProblem;
+using testing::make_problem;
+
+class NapaModes
+    : public ::testing::TestWithParam<std::tuple<AggMode, EdgeWeightMode>> {};
+
+TEST_P(NapaModes, ForwardMatchesReference) {
+  const auto [f, g] = GetParam();
+  LayerProblem p = make_problem(11);
+  gpusim::Device dev;
+  DeviceCsr dg = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+
+  gpusim::BufferId weights = gpusim::kInvalidBuffer;
+  Matrix ref_w;
+  if (g != EdgeWeightMode::kNone) {
+    weights = napa::neighbor_apply(dev, dg, x, g);
+    ref_w = ref::edge_weights(p.csr, p.x, p.n_dst, g);
+    EXPECT_TRUE(allclose(download_matrix(dev, weights), ref_w, 1e-4f));
+  }
+  auto aggr = napa::pull(dev, dg, x, weights, f, g);
+  Matrix want = ref::aggregate(p.csr, p.x, ref_w, p.n_dst, f, g);
+  EXPECT_TRUE(allclose(download_matrix(dev, aggr), want, 1e-4f))
+      << "f=" << to_string(f) << " g=" << to_string(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, NapaModes,
+    ::testing::Combine(::testing::Values(AggMode::kSum, AggMode::kMean,
+                                         AggMode::kMax),
+                       ::testing::Values(EdgeWeightMode::kNone,
+                                         EdgeWeightMode::kDot,
+                                         EdgeWeightMode::kElemProduct)));
+
+TEST(Napa, ApplyDenseMatchesReference) {
+  LayerProblem p = make_problem(12);
+  gpusim::Device dev;
+  auto x = upload_matrix(dev, p.x, "x");
+  auto w = upload_matrix(dev, p.w, "w");
+  auto b = upload_matrix(dev, p.b, "b");
+  for (bool relu_act : {false, true}) {
+    gpusim::BufferId pre = gpusim::kInvalidBuffer;
+    auto y = napa::apply_dense(dev, x, w, b, relu_act, &pre);
+    Matrix want_pre;
+    Matrix want = ref::combine(p.x, p.w, p.b, relu_act, &want_pre);
+    EXPECT_TRUE(allclose(download_matrix(dev, y), want, 1e-4f));
+    EXPECT_TRUE(allclose(download_matrix(dev, pre), want_pre, 1e-4f));
+  }
+}
+
+class NapaBackward
+    : public ::testing::TestWithParam<std::tuple<AggMode, EdgeWeightMode>> {};
+
+TEST_P(NapaBackward, FullLayerBackwardMatchesReference) {
+  const auto [f, g] = GetParam();
+  LayerProblem p = make_problem(13);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  DeviceCsc dcsc = upload_csc(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  auto w = upload_matrix(dev, p.w, "w");
+  auto b = upload_matrix(dev, p.b, "b");
+
+  // Device forward (with cache).
+  gpusim::BufferId weights = gpusim::kInvalidBuffer;
+  if (g != EdgeWeightMode::kNone)
+    weights = napa::neighbor_apply(dev, dcsr, x, g);
+  auto aggr = napa::pull(dev, dcsr, x, weights, f, g);
+  gpusim::BufferId pre = gpusim::kInvalidBuffer;
+  napa::apply_dense(dev, aggr, w, b, /*relu=*/true, &pre);
+
+  // Reference forward + backward.
+  ref::LayerCache cache;
+  Matrix y =
+      ref::forward_layer(p.csr, p.x, p.w, p.b, p.n_dst, f, g, true, &cache);
+  Matrix dy = scale(y, 2.0f);
+  ref::LayerGrads want =
+      ref::backward_layer(p.csr, p.x, p.w, p.n_dst, f, g, true, dy, cache);
+
+  // Device backward.
+  auto dyb = upload_matrix(dev, dy, "dy");
+  auto dense = napa::apply_dense_backward(dev, aggr, w, pre, dyb, true);
+  EXPECT_TRUE(allclose(download_matrix(dev, dense.dw), want.dw, 1e-3f));
+  EXPECT_TRUE(allclose(download_matrix(dev, dense.db), want.db, 1e-3f));
+  auto dx = napa::pull_backward(dev, dcsr, dcsc, x, weights, dense.dx, f, g);
+  if (g != EdgeWeightMode::kNone)
+    napa::neighbor_apply_backward(dev, dcsr, x, dense.dx, dx, f, g);
+  EXPECT_TRUE(allclose(download_matrix(dev, dx), want.dx, 1e-3f))
+      << "f=" << to_string(f) << " g=" << to_string(g)
+      << " diff=" << max_abs_diff(download_matrix(dev, dx), want.dx);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, NapaBackward,
+    ::testing::Combine(::testing::Values(AggMode::kSum, AggMode::kMean),
+                       ::testing::Values(EdgeWeightMode::kNone,
+                                         EdgeWeightMode::kDot,
+                                         EdgeWeightMode::kElemProduct)));
+
+TEST(Napa, NeighborApplyRejectsNone) {
+  LayerProblem p = make_problem(14);
+  gpusim::Device dev;
+  DeviceCsr dg = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  EXPECT_THROW(napa::neighbor_apply(dev, dg, x, EdgeWeightMode::kNone),
+               std::invalid_argument);
+}
+
+TEST(Napa, PullWeightArgumentConsistency) {
+  LayerProblem p = make_problem(15);
+  gpusim::Device dev;
+  DeviceCsr dg = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  EXPECT_THROW(
+      napa::pull(dev, dg, x, gpusim::kInvalidBuffer, AggMode::kMean,
+                 EdgeWeightMode::kDot),
+      std::invalid_argument);
+  EXPECT_THROW(napa::pull(dev, dg, x, x, AggMode::kMean,
+                          EdgeWeightMode::kNone),
+               std::invalid_argument);
+}
+
+TEST(Napa, MaxBackwardUnsupported) {
+  LayerProblem p = make_problem(16);
+  gpusim::Device dev;
+  DeviceCsr dcsr = upload_csr(dev, p.csr, p.n_dst);
+  DeviceCsc dcsc = upload_csc(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  auto da = dev.alloc_f32(p.n_dst, p.x.cols(), "da");
+  EXPECT_THROW(napa::pull_backward(dev, dcsr, dcsc, x, gpusim::kInvalidBuffer,
+                                   da, AggMode::kMax, EdgeWeightMode::kNone),
+               std::invalid_argument);
+}
+
+TEST(Napa, KernelsAreCategorizedForProfiling) {
+  LayerProblem p = make_problem(17);
+  gpusim::Device dev;
+  DeviceCsr dg = upload_csr(dev, p.csr, p.n_dst);
+  auto x = upload_matrix(dev, p.x, "x");
+  dev.clear_profile();
+  auto weights = napa::neighbor_apply(dev, dg, x, EdgeWeightMode::kDot);
+  napa::pull(dev, dg, x, weights, AggMode::kMean, EdgeWeightMode::kDot);
+  using gpusim::KernelCategory;
+  EXPECT_GT(accumulate(dev.profile(), KernelCategory::kEdgeWeight).latency_us,
+            0.0);
+  EXPECT_GT(
+      accumulate(dev.profile(), KernelCategory::kAggregation).latency_us,
+      0.0);
+  // NAPA never translates formats or densifies.
+  EXPECT_EQ(
+      accumulate(dev.profile(), KernelCategory::kFormatTranslate).latency_us,
+      0.0);
+  EXPECT_EQ(
+      accumulate(dev.profile(), KernelCategory::kSparse2Dense).latency_us,
+      0.0);
+}
+
+}  // namespace
+}  // namespace gt::kernels

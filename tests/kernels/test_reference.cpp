@@ -1,0 +1,204 @@
+#include "kernels/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/convert.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gt::kernels {
+namespace {
+
+struct Fixture {
+  Csr csr;
+  Matrix x;
+  Matrix w;
+  Matrix b;
+  Vid n_dst;
+};
+
+Fixture make_fixture(std::uint64_t seed, Vid n_vertices = 12, Vid n_dst = 5,
+                     Eid n_edges = 30, std::size_t feat = 6,
+                     std::size_t hidden = 4) {
+  Xoshiro256 rng(seed);
+  Coo coo;
+  coo.num_vertices = n_vertices;
+  for (Eid e = 0; e < n_edges; ++e) {
+    coo.src.push_back(static_cast<Vid>(rng.uniform(n_vertices)));
+    coo.dst.push_back(static_cast<Vid>(rng.uniform(n_dst)));
+  }
+  Fixture f;
+  f.csr = coo_to_csr(coo);
+  f.x = Matrix::uniform(n_vertices, feat, rng, -0.5f, 0.5f);
+  f.w = Matrix::glorot(feat, hidden, rng);
+  f.b = Matrix::uniform(1, hidden, rng, -0.1f, 0.1f);
+  f.n_dst = n_dst;
+  return f;
+}
+
+TEST(Reference, UnweightedMeanAggregation) {
+  Fixture f = make_fixture(1);
+  Matrix aggr =
+      ref::aggregate(f.csr, f.x, {}, f.n_dst, AggMode::kMean,
+                     EdgeWeightMode::kNone);
+  // Check one dst by hand.
+  const Vid d = 0;
+  const Eid deg = f.csr.degree(d);
+  ASSERT_GT(deg, 0u);
+  for (std::size_t c = 0; c < f.x.cols(); ++c) {
+    float want = 0;
+    for (Vid s : f.csr.neighbors(d)) want += f.x.at(s, c);
+    want /= static_cast<float>(deg);
+    EXPECT_NEAR(aggr.at(d, c), want, 1e-5f);
+  }
+}
+
+TEST(Reference, SumVsMeanRelation) {
+  Fixture f = make_fixture(2);
+  Matrix sum = ref::aggregate(f.csr, f.x, {}, f.n_dst, AggMode::kSum,
+                              EdgeWeightMode::kNone);
+  Matrix mn = ref::aggregate(f.csr, f.x, {}, f.n_dst, AggMode::kMean,
+                             EdgeWeightMode::kNone);
+  for (Vid d = 0; d < f.n_dst; ++d) {
+    const float deg = static_cast<float>(f.csr.degree(d));
+    if (deg == 0) continue;
+    for (std::size_t c = 0; c < f.x.cols(); ++c)
+      EXPECT_NEAR(sum.at(d, c), mn.at(d, c) * deg, 1e-4f);
+  }
+}
+
+TEST(Reference, MaxAggregationDominates) {
+  Fixture f = make_fixture(3);
+  Matrix mx = ref::aggregate(f.csr, f.x, {}, f.n_dst, AggMode::kMax,
+                             EdgeWeightMode::kNone);
+  for (Vid d = 0; d < f.n_dst; ++d) {
+    for (Vid s : f.csr.neighbors(d))
+      for (std::size_t c = 0; c < f.x.cols(); ++c)
+        EXPECT_GE(mx.at(d, c), f.x.at(s, c) - 1e-6f);
+  }
+}
+
+TEST(Reference, DotWeightsMatchManualDot) {
+  Fixture f = make_fixture(4);
+  Matrix w = ref::edge_weights(f.csr, f.x, f.n_dst, EdgeWeightMode::kDot);
+  ASSERT_EQ(w.rows(), f.csr.num_edges());
+  ASSERT_EQ(w.cols(), 1u);
+  for (Vid d = 0; d < f.n_dst; ++d) {
+    for (Eid e = f.csr.row_ptr[d]; e < f.csr.row_ptr[d + 1]; ++e) {
+      float dot = 0;
+      for (std::size_t c = 0; c < f.x.cols(); ++c)
+        dot += f.x.at(f.csr.col_idx[e], c) * f.x.at(d, c);
+      // Scaled dot-product similarity (see kernels::dot_weight_scale).
+      dot *= dot_weight_scale(f.x.cols());
+      EXPECT_NEAR(w.at(e, 0), dot, 1e-5f);
+    }
+  }
+}
+
+TEST(Reference, ElemProductWeightsShape) {
+  Fixture f = make_fixture(5);
+  Matrix w =
+      ref::edge_weights(f.csr, f.x, f.n_dst, EdgeWeightMode::kElemProduct);
+  EXPECT_EQ(w.rows(), f.csr.num_edges());
+  EXPECT_EQ(w.cols(), f.x.cols());
+}
+
+TEST(Reference, CombinationFirstEqualsAggregationFirstForScalarWeights) {
+  // The core DKP algebra: h(x)W aggregated == h(xW) aggregated when the
+  // edge weight is a scalar.
+  for (auto g : {EdgeWeightMode::kNone, EdgeWeightMode::kDot}) {
+    for (auto f : {AggMode::kSum, AggMode::kMean}) {
+      Fixture fx = make_fixture(6);
+      Matrix a = ref::forward_layer(fx.csr, fx.x, fx.w, fx.b, fx.n_dst, f, g,
+                                    /*relu=*/true);
+      Matrix b = ref::forward_layer_combination_first(fx.csr, fx.x, fx.w,
+                                                      fx.b, fx.n_dst, f, g,
+                                                      /*relu=*/true);
+      EXPECT_TRUE(allclose(a, b, 1e-3f))
+          << "g=" << to_string(g) << " f=" << to_string(f)
+          << " diff=" << max_abs_diff(a, b);
+    }
+  }
+}
+
+TEST(Reference, CombinationFirstRejectsVectorWeights) {
+  Fixture f = make_fixture(7);
+  EXPECT_THROW(ref::forward_layer_combination_first(
+                   f.csr, f.x, f.w, f.b, f.n_dst, AggMode::kMean,
+                   EdgeWeightMode::kElemProduct, true),
+               std::invalid_argument);
+}
+
+// Numerical-gradient check of the full layer backward.
+class ReferenceBackward
+    : public ::testing::TestWithParam<std::tuple<AggMode, EdgeWeightMode>> {};
+
+TEST_P(ReferenceBackward, MatchesNumericalGradient) {
+  const auto [f, g] = GetParam();
+  Fixture fx = make_fixture(8, /*n_vertices=*/8, /*n_dst=*/4, /*n_edges=*/14,
+                            /*feat=*/3, /*hidden=*/2);
+  ref::LayerCache cache;
+  Matrix y = ref::forward_layer(fx.csr, fx.x, fx.w, fx.b, fx.n_dst, f, g,
+                                /*relu=*/true, &cache);
+  // Scalar loss: sum of squares of y.
+  Matrix dy = scale(y, 2.0f);
+  auto loss = [&](const Matrix& x, const Matrix& w, const Matrix& b) {
+    Matrix out = ref::forward_layer(fx.csr, x, w, b, fx.n_dst, f, g, true);
+    double acc = 0;
+    for (float v : out.data()) acc += static_cast<double>(v) * v;
+    return acc;
+  };
+  ref::LayerGrads grads =
+      ref::backward_layer(fx.csr, fx.x, fx.w, fx.n_dst, f, g, true, dy, cache);
+
+  const float eps = 1e-3f;
+  // dX.
+  for (std::size_t i = 0; i < fx.x.size(); i += 3) {
+    Matrix xp = fx.x, xm = fx.x;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric =
+        (loss(xp, fx.w, fx.b) - loss(xm, fx.w, fx.b)) / (2 * eps);
+    EXPECT_NEAR(grads.dx.data()[i], numeric, 2e-2)
+        << "dX[" << i << "] f=" << to_string(f) << " g=" << to_string(g);
+  }
+  // dW.
+  for (std::size_t i = 0; i < fx.w.size(); ++i) {
+    Matrix wp = fx.w, wm = fx.w;
+    wp.data()[i] += eps;
+    wm.data()[i] -= eps;
+    const double numeric =
+        (loss(fx.x, wp, fx.b) - loss(fx.x, wm, fx.b)) / (2 * eps);
+    EXPECT_NEAR(grads.dw.data()[i], numeric, 2e-2) << "dW[" << i << "]";
+  }
+  // db.
+  for (std::size_t i = 0; i < fx.b.size(); ++i) {
+    Matrix bp = fx.b, bm = fx.b;
+    bp.data()[i] += eps;
+    bm.data()[i] -= eps;
+    const double numeric =
+        (loss(fx.x, fx.w, bp) - loss(fx.x, fx.w, bm)) / (2 * eps);
+    EXPECT_NEAR(grads.db.data()[i], numeric, 2e-2) << "db[" << i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ReferenceBackward,
+    ::testing::Combine(::testing::Values(AggMode::kSum, AggMode::kMean),
+                       ::testing::Values(EdgeWeightMode::kNone,
+                                         EdgeWeightMode::kDot,
+                                         EdgeWeightMode::kElemProduct)));
+
+TEST(Reference, BackwardRejectsMax) {
+  Fixture f = make_fixture(9);
+  ref::LayerCache cache;
+  ref::forward_layer(f.csr, f.x, f.w, f.b, f.n_dst, AggMode::kMax,
+                     EdgeWeightMode::kNone, true, &cache);
+  EXPECT_THROW(ref::backward_layer(f.csr, f.x, f.w, f.n_dst, AggMode::kMax,
+                                   EdgeWeightMode::kNone, true,
+                                   Matrix(f.n_dst, f.w.cols()), cache),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::kernels

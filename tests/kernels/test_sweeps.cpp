@@ -1,0 +1,130 @@
+// Parameterized dimension sweeps: every kernel family against the CPU
+// reference across feature/hidden widths and graph densities, including
+// degenerate shapes (dim 1, empty rows, single dst).
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.hpp"
+#include "kernels/dl_approach.hpp"
+#include "kernels/graph_approach.hpp"
+#include "kernels/napa.hpp"
+#include "tensor/ops.hpp"
+
+namespace gt::kernels {
+namespace {
+
+using testing::LayerProblem;
+using testing::make_problem;
+
+struct Shape {
+  Vid n_vertices, n_dst;
+  Eid n_edges;
+  std::size_t feat, hidden;
+};
+
+class KernelShapeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(KernelShapeSweep, AllFamiliesMatchReference) {
+  const Shape s = GetParam();
+  LayerProblem p = make_problem(71, s.n_vertices, s.n_dst, s.n_edges, s.feat,
+                                s.hidden);
+  const auto f = AggMode::kMean;
+  const auto g = EdgeWeightMode::kDot;
+  Matrix ref_w = ref::edge_weights(p.csr, p.x, p.n_dst, g);
+  Matrix want = ref::aggregate(p.csr, p.x, ref_w, p.n_dst, f, g);
+
+  {  // NAPA
+    gpusim::Device dev;
+    auto dg = upload_csr(dev, p.csr, p.n_dst);
+    auto x = upload_matrix(dev, p.x, "x");
+    auto w = napa::neighbor_apply(dev, dg, x, g);
+    auto aggr = napa::pull(dev, dg, x, w, f, g);
+    EXPECT_TRUE(allclose(download_matrix(dev, aggr), want, 1e-4f)) << "napa";
+  }
+  {  // Graph-approach
+    gpusim::Device dev;
+    auto dcoo = upload_coo(dev, p.coo, p.n_dst);
+    auto x = upload_matrix(dev, p.x, "x");
+    auto w = graphsim::sddmm_edgewise(dev, dcoo, x, g);
+    auto dcsr = graphsim::translate_to_csr(dev, dcoo);
+    auto aggr = graphsim::spmm_edgewise(dev, dcsr, x, w, f, g);
+    EXPECT_TRUE(allclose(download_matrix(dev, aggr), want, 1e-4f)) << "graph";
+  }
+  {  // DL-approach
+    gpusim::Device dev;
+    auto dcsr = upload_csr(dev, p.csr, p.n_dst);
+    auto x = upload_matrix(dev, p.x, "x");
+    gpusim::BufferId w = gpusim::kInvalidBuffer;
+    auto aggr = dl::forward_aggregate(dev, dcsr, x, f, g, &w);
+    EXPECT_TRUE(allclose(download_matrix(dev, aggr), want, 1e-4f)) << "dl";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelShapeSweep,
+    ::testing::Values(Shape{10, 1, 6, 1, 1},      // single dst, scalar feat
+                      Shape{12, 5, 0, 4, 2},      // no edges at all
+                      Shape{30, 12, 40, 3, 7},    // hidden > feat
+                      Shape{50, 20, 200, 64, 8},  // wide features
+                      Shape{8, 8, 60, 16, 16},    // every vertex is a dst
+                      Shape{100, 4, 300, 7, 5})); // few dsts, dense rows
+
+TEST(KernelEdgeCases, IsolatedDstProducesZeroRow) {
+  // A dst with no in-edges must aggregate to zeros in every family.
+  Coo coo;
+  coo.num_vertices = 6;
+  coo.src = {3, 4};
+  coo.dst = {0, 0};  // dst 1 and 2 are isolated
+  Csr csr = coo_to_csr(coo);
+  Xoshiro256 rng(5);
+  Matrix x = Matrix::uniform(6, 4, rng);
+
+  gpusim::Device dev;
+  auto dg = upload_csr(dev, csr, 3);
+  auto xb = upload_matrix(dev, x, "x");
+  auto aggr = napa::pull(dev, dg, xb, gpusim::kInvalidBuffer, AggMode::kMean,
+                         EdgeWeightMode::kNone);
+  Matrix got = download_matrix(dev, aggr);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(got.at(1, c), 0.0f);
+    EXPECT_EQ(got.at(2, c), 0.0f);
+  }
+}
+
+TEST(KernelEdgeCases, SelfLoopContributesOwnEmbedding) {
+  Coo coo;
+  coo.num_vertices = 3;
+  coo.src = {0};
+  coo.dst = {0};
+  Csr csr = coo_to_csr(coo);
+  Xoshiro256 rng(6);
+  Matrix x = Matrix::uniform(3, 4, rng);
+  gpusim::Device dev;
+  auto dg = upload_csr(dev, csr, 1);
+  auto xb = upload_matrix(dev, x, "x");
+  auto aggr = napa::pull(dev, dg, xb, gpusim::kInvalidBuffer, AggMode::kMean,
+                         EdgeWeightMode::kNone);
+  Matrix got = download_matrix(dev, aggr);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(got.at(0, c), x.at(0, c));
+}
+
+TEST(KernelEdgeCases, DuplicateEdgesCountTwice) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.src = {2, 2};
+  coo.dst = {0, 0};
+  Csr csr = coo_to_csr(coo);
+  Matrix x(4, 2);
+  x.at(2, 0) = 3.0f;
+  x.at(2, 1) = -1.0f;
+  gpusim::Device dev;
+  auto dg = upload_csr(dev, csr, 1);
+  auto xb = upload_matrix(dev, x, "x");
+  auto sum = napa::pull(dev, dg, xb, gpusim::kInvalidBuffer, AggMode::kSum,
+                        EdgeWeightMode::kNone);
+  Matrix got = download_matrix(dev, sum);
+  EXPECT_FLOAT_EQ(got.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(got.at(0, 1), -2.0f);
+}
+
+}  // namespace
+}  // namespace gt::kernels

@@ -1,0 +1,120 @@
+#include "sampling/embedding_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datasets/catalog.hpp"
+#include "graph/convert.hpp"
+#include "kernels/common.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/plan.hpp"
+
+namespace gt::sampling {
+namespace {
+
+struct Env {
+  Dataset data = generate("products", 9);
+  gpusim::Device dev;
+};
+
+TEST(EmbeddingCache, CachesHighestOutDegreeVertices) {
+  Env env;
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings,
+                       100 * env.data.spec.feature_dim * sizeof(float));
+  EXPECT_EQ(cache.cached_vertices(), 100u);
+  // Every cached vertex must have out-degree >= any uncached one we probe.
+  std::vector<std::uint32_t> out_degree(env.data.csr.num_vertices, 0);
+  for (Vid s : env.data.csr.col_idx) ++out_degree[s];
+  std::uint32_t min_cached = ~0u;
+  for (Vid v = 0; v < env.data.csr.num_vertices; ++v) {
+    if (cache.contains(v)) min_cached = std::min(min_cached, out_degree[v]);
+  }
+  for (Vid v = 0; v < 1000; ++v) {
+    if (!cache.contains(v)) {
+      EXPECT_LE(out_degree[v], min_cached);
+    }
+  }
+}
+
+TEST(EmbeddingCache, ZeroBudgetCachesNothing) {
+  Env env;
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings, 0);
+  EXPECT_EQ(cache.cached_vertices(), 0u);
+  EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(EmbeddingCache, PartitionCoversEveryRowExactlyOnce) {
+  Env env;
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings, 1 << 16);
+  std::vector<Vid> vids{5, 17, 100, 42, 9999};
+  auto part = cache.partition(vids);
+  EXPECT_EQ(part.hit_rows.size() + part.miss_rows.size(), vids.size());
+  std::vector<bool> seen(vids.size(), false);
+  for (auto r : part.hit_rows) seen[r] = true;
+  for (auto r : part.miss_rows) seen[r] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+  EXPECT_EQ(part.miss_vids.size(), part.miss_rows.size());
+}
+
+TEST(EmbeddingCache, SkewedSamplingHitsOften) {
+  // Power-law sampled sources concentrate on hubs: a small cache catches a
+  // large share (the PaGraph locality premise).
+  Env env;
+  ReindexFormats formats{.csr = true};
+  pipeline::PreprocExecutor exec(env.data.csr, env.data.embeddings,
+                                 env.data.spec.fanout, 2, 42, formats);
+  auto batch = exec.sampler().pick_batch(300, 0);
+  auto pre = exec.run_serial(batch);
+  // Cache 4% of vertices.
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings,
+                       (env.data.coo.num_vertices / 25) *
+                           env.data.spec.feature_dim * sizeof(float));
+  auto part = cache.partition(pre.batch.vid_order);
+  EXPECT_GT(part.hit_rate(), 0.2);
+}
+
+TEST(EmbeddingCache, AssembleReproducesFullGather) {
+  Env env;
+  ReindexFormats formats{.csr = true};
+  pipeline::PreprocExecutor exec(env.data.csr, env.data.embeddings,
+                                 env.data.spec.fanout, 2, 42, formats);
+  auto batch = exec.sampler().pick_batch(100, 0);
+  auto pre = exec.run_serial(batch);
+
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings, 1 << 20);
+  auto part = cache.partition(pre.batch.vid_order);
+  ASSERT_GT(part.hit_rows.size(), 0u);
+  ASSERT_GT(part.miss_rows.size(), 0u);
+
+  Matrix misses(part.miss_vids.size(), env.data.spec.feature_dim);
+  for (std::size_t m = 0; m < part.miss_vids.size(); ++m)
+    env.data.embeddings.gather_row(part.miss_vids[m], misses.row(m));
+  auto miss_buf = kernels::upload_matrix(env.dev, misses, "misses");
+  auto assembled = cache.assemble(env.dev, part, miss_buf,
+                                  pre.batch.vid_order.size());
+  // The assembled table must equal the straight full gather.
+  EXPECT_EQ(kernels::download_matrix(env.dev, assembled), pre.embeddings);
+}
+
+TEST(EmbeddingCache, ReducesScheduledLookupAndTransfer) {
+  pipeline::BatchWorkload w;
+  w.num_layers = 1;
+  w.batch_size = 100;
+  w.hops.push_back(pipeline::HopWork{100, 500, 500, 400});
+  w.layer_reindex_edges = {500};
+  w.total_vertices = 500;
+  w.feature_dim = 64;
+  pipeline::PlanOptions opt;
+  opt.strategy = pipeline::PreprocStrategy::kServiceWide;
+  opt.pinned_memory = opt.pipelined_kt = true;
+  const auto without = plan_preprocessing(w, opt);
+  w.cached_rows = 400;
+  const auto with = plan_preprocessing(w, opt);
+  using pipeline::TaskType;
+  EXPECT_LT(with.type_busy_us[static_cast<int>(TaskType::kLookup)],
+            without.type_busy_us[static_cast<int>(TaskType::kLookup)]);
+  EXPECT_LT(with.type_busy_us[static_cast<int>(TaskType::kTransfer)],
+            without.type_busy_us[static_cast<int>(TaskType::kTransfer)]);
+}
+
+}  // namespace
+}  // namespace gt::sampling

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "graph/convert.hpp"
+#include "sampling/lookup.hpp"
+#include "sampling/transfer.hpp"
+#include "util/rng.hpp"
+
+namespace gt::sampling {
+namespace {
+
+TEST(Lookup, GatherAllMatchesTable) {
+  EmbeddingTable table(100, 6, 42);
+  EmbeddingLookup lookup(table);
+  std::vector<Vid> vids{7, 3, 99, 7};
+  Matrix m = lookup.gather_all(vids);
+  for (std::size_t r = 0; r < vids.size(); ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      EXPECT_EQ(m.at(r, c), table.value(vids[r], c));
+}
+
+TEST(Lookup, ChunkedEqualsWhole) {
+  EmbeddingTable table(50, 4, 1);
+  EmbeddingLookup lookup(table);
+  std::vector<Vid> vids;
+  for (Vid v = 0; v < 30; ++v) vids.push_back((v * 13) % 50);
+  Matrix whole = lookup.gather_all(vids);
+  Matrix chunked(vids.size(), 4);
+  for (std::size_t begin = 0; begin < vids.size(); begin += 7)
+    lookup.gather_chunk(vids, begin, std::min(begin + 7, vids.size()),
+                        chunked);
+  EXPECT_EQ(whole, chunked);
+}
+
+TEST(Lookup, RejectsBadRangesAndShapes) {
+  EmbeddingTable table(10, 4, 1);
+  EmbeddingLookup lookup(table);
+  std::vector<Vid> vids{1, 2, 3};
+  Matrix out(3, 4);
+  EXPECT_THROW(lookup.gather_chunk(vids, 2, 5, out), std::out_of_range);
+  Matrix bad(3, 5);
+  EXPECT_THROW(lookup.gather_chunk(vids, 0, 3, bad), std::invalid_argument);
+}
+
+TEST(Lookup, GatheredBytes) {
+  EmbeddingTable table(10, 8, 1);
+  EmbeddingLookup lookup(table);
+  EXPECT_EQ(lookup.gathered_bytes(5), 5 * 8 * sizeof(float));
+}
+
+TEST(Transfer, UploadMovesDataAndPricesPcie) {
+  gpusim::Device dev;
+  Transfer pinned(dev, gpusim::PcieModel(), /*pinned=*/true);
+  Transfer pageable(dev, gpusim::PcieModel(), /*pinned=*/false);
+  Xoshiro256 rng(1);
+  Matrix m = Matrix::uniform(64, 16, rng);
+  auto r1 = pinned.upload(m, "emb");
+  EXPECT_EQ(r1.bytes, m.bytes());
+  EXPECT_EQ(kernels::download_matrix(dev, r1.buffer), m);
+  auto r2 = pageable.upload(m, "emb2");
+  EXPECT_GT(r2.pcie_us, r1.pcie_us);  // staging copy penalty
+}
+
+TEST(Transfer, UploadLayerStructures) {
+  gpusim::Device dev;
+  Transfer t(dev, gpusim::PcieModel(), true);
+  // Small layer graph.
+  Coo coo;
+  coo.num_vertices = 6;
+  coo.src = {3, 4, 5, 2};
+  coo.dst = {0, 0, 1, 1};
+  LayerGraphHost layer;
+  layer.n_dst = 2;
+  layer.n_vertices = 6;
+  layer.coo = coo;
+  layer.csr = coo_to_csr(coo);
+  ReindexFormats fmt{.coo = true, .csr = true, .csc = true};
+  auto up = t.upload_layer(layer, fmt);
+  EXPECT_EQ(up.csr.n_edges, 4u);
+  EXPECT_EQ(up.csc.n_edges, 4u);
+  EXPECT_EQ(up.coo.n_edges, 4u);
+  EXPECT_GT(up.bytes, 0u);
+  EXPECT_GT(up.pcie_us, 0.0);
+}
+
+TEST(Transfer, CscWithoutCsrRejected) {
+  gpusim::Device dev;
+  Transfer t(dev, gpusim::PcieModel(), true);
+  LayerGraphHost layer;
+  EXPECT_THROW(t.upload_layer(layer, ReindexFormats{.csc = true}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::sampling

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "datasets/catalog.hpp"
+#include "graph/convert.hpp"
+#include "sampling/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace gt::sampling {
+namespace {
+
+Csr star_heavy_graph() {
+  // Vertex 0 is a mega-hub (many in-edges -> large degree weight); 1..9
+  // are light. Vertices 100..199 each point at a mix so their neighbor
+  // lists contain both the hub and light vertices.
+  Coo coo;
+  coo.num_vertices = 200;
+  // Give the hub in-degree 50.
+  for (Vid i = 0; i < 50; ++i) {
+    coo.src.push_back(100 + i);
+    coo.dst.push_back(0);
+  }
+  // Every "query" vertex 100..139 has neighbors {0, 1..9}.
+  for (Vid q = 100; q < 140; ++q) {
+    coo.src.push_back(0);
+    coo.dst.push_back(q);
+    for (Vid l = 1; l <= 9; ++l) {
+      coo.src.push_back(l);
+      coo.dst.push_back(q);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+TEST(SamplingPriority, DegreeWeightedPrefersHubs) {
+  Csr g = star_heavy_graph();
+  std::vector<Vid> frontier;
+  for (Vid q = 100; q < 140; ++q) frontier.push_back(q);
+
+  auto hub_share = [&](SamplingPriority p) {
+    NeighborSampler sampler(g, /*fanout=*/2, /*seed=*/7, p);
+    HopEdges edges = sampler.choose_neighbors(frontier, 1);
+    std::size_t hub = 0;
+    for (Vid s : edges.src) hub += s == 0;
+    return static_cast<double>(hub) / frontier.size();  // in [0, 1]
+  };
+  const double uniform = hub_share(SamplingPriority::kUniformRandom);
+  const double weighted = hub_share(SamplingPriority::kDegreeWeighted);
+  // Uniform picks the hub ~2/10 of the time; degree weighting (hub weight
+  // 51 vs 1) should pick it almost always.
+  EXPECT_LT(uniform, 0.5);
+  EXPECT_GT(weighted, 0.9);
+}
+
+TEST(SamplingPriority, WeightedSamplesAreDistinctAndValid) {
+  Dataset data = generate("products", 3);
+  NeighborSampler sampler(data.csr, 4, 11, SamplingPriority::kDegreeWeighted);
+  std::vector<Vid> frontier{1, 2, 3, 4, 5};
+  HopEdges edges = sampler.choose_neighbors(frontier, 1);
+  std::unordered_map<Vid, std::vector<Vid>> per_dst;
+  for (std::size_t e = 0; e < edges.num_edges(); ++e) {
+    per_dst[edges.dst[e]].push_back(edges.src[e]);
+    auto nbrs = data.csr.neighbors(edges.dst[e]);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), edges.src[e]), nbrs.end());
+  }
+  for (auto& [d, srcs] : per_dst) {
+    EXPECT_LE(srcs.size(), 4u);
+    std::sort(srcs.begin(), srcs.end());
+    // Distinct picks per vertex, assuming a simple-graph neighbor list.
+    auto nbrs = data.csr.neighbors(d);
+    std::vector<Vid> sorted_nbrs(nbrs.begin(), nbrs.end());
+    std::sort(sorted_nbrs.begin(), sorted_nbrs.end());
+    if (std::adjacent_find(sorted_nbrs.begin(), sorted_nbrs.end()) ==
+        sorted_nbrs.end()) {
+      EXPECT_EQ(std::adjacent_find(srcs.begin(), srcs.end()), srcs.end());
+    }
+  }
+}
+
+TEST(SamplingPriority, WeightedIsDeterministicAndPartitionInvariant) {
+  Dataset data = generate("wiki-talk", 3);
+  NeighborSampler sampler(data.csr, 3, 13,
+                          SamplingPriority::kDegreeWeighted);
+  std::vector<Vid> frontier{10, 20, 30, 40};
+  HopEdges whole = sampler.choose_neighbors(frontier, 1);
+  HopEdges a = sampler.choose_neighbors(std::span(frontier).subspan(0, 2), 1);
+  HopEdges b = sampler.choose_neighbors(std::span(frontier).subspan(2), 1);
+  ASSERT_EQ(whole.num_edges(), a.num_edges() + b.num_edges());
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(whole.src[e], a.src[e]);
+    EXPECT_EQ(whole.dst[e], a.dst[e]);
+  }
+}
+
+TEST(SamplingPriority, FullSampleWorksEndToEnd) {
+  Dataset data = generate("products", 3);
+  NeighborSampler sampler(data.csr, data.spec.fanout, 5,
+                          SamplingPriority::kDegreeWeighted);
+  VidHashTable table;
+  auto batch = sampler.pick_batch(100, 0);
+  SampledBatch sb = sampler.sample(batch, 2, table);
+  EXPECT_EQ(sb.set_sizes.back(), table.size());
+  EXPECT_GT(sb.layer_edges(0), 0u);
+  EXPECT_STREQ(to_string(sampler.priority()), "degree-weighted");
+}
+
+}  // namespace
+}  // namespace gt::sampling

@@ -1,0 +1,104 @@
+#include "sampling/reindex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/convert.hpp"
+#include "util/rng.hpp"
+
+namespace gt::sampling {
+namespace {
+
+struct Setup {
+  Csr graph;
+  VidHashTable table;
+  SampledBatch batch;
+};
+
+std::unique_ptr<Setup> make_setup(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo coo;
+  coo.num_vertices = 300;
+  for (int e = 0; e < 6000; ++e) {
+    coo.src.push_back(static_cast<Vid>(rng.uniform(300)));
+    coo.dst.push_back(static_cast<Vid>(rng.uniform(300)));
+  }
+  auto s = std::make_unique<Setup>();
+  s->graph = coo_to_csr(coo);
+  NeighborSampler sampler(s->graph, 3, seed);
+  std::vector<Vid> batch;
+  for (Vid v = 0; v < 20; ++v) batch.push_back(v * 7);
+  s->batch = sampler.sample(batch, 2, s->table);
+  return s;
+}
+
+TEST(Reindex, CsrMatchesSampledEdges) {
+  auto s = make_setup(1);
+  ReindexFormats fmt{.coo = true, .csr = true, .csc = true};
+  for (std::uint32_t layer = 0; layer < 2; ++layer) {
+    LayerGraphHost lg = reindex_layer(s->batch, s->table, layer, fmt);
+    EXPECT_TRUE(lg.csr.valid());
+    EXPECT_TRUE(lg.csc.valid());
+    EXPECT_TRUE(lg.coo.valid());
+    EXPECT_EQ(lg.csr.num_edges(), s->batch.layer_edges(layer));
+    EXPECT_EQ(lg.n_dst, s->batch.layer_dst(layer));
+    EXPECT_EQ(lg.n_vertices, s->batch.layer_vertices(layer));
+    EXPECT_GT(lg.hash_lookups, 0u);
+
+    // Every CSR edge maps back to an original-graph edge.
+    for (Vid d = 0; d < lg.n_dst; ++d) {
+      const Vid orig_d = s->batch.vid_order[d];
+      for (Vid src_new : lg.csr.neighbors(d)) {
+        const Vid orig_s = s->batch.vid_order[src_new];
+        auto nbrs = s->graph.neighbors(orig_d);
+        EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), orig_s), nbrs.end())
+            << "edge " << orig_s << "->" << orig_d << " not in graph";
+      }
+    }
+  }
+}
+
+TEST(Reindex, DstIdsWithinDensePrefix) {
+  auto s = make_setup(2);
+  LayerGraphHost lg =
+      reindex_layer(s->batch, s->table, 0, ReindexFormats{.coo = true});
+  for (Vid d : lg.coo.dst) EXPECT_LT(d, lg.n_dst);
+  for (Vid src : lg.coo.src) EXPECT_LT(src, lg.n_vertices);
+}
+
+TEST(Reindex, CooAndCsrAgree) {
+  auto s = make_setup(3);
+  ReindexFormats fmt{.coo = true, .csr = true};
+  LayerGraphHost lg = reindex_layer(s->batch, s->table, 1, fmt);
+  Csr from_coo = coo_to_csr(lg.coo);
+  // Row pointers agree for the dst prefix.
+  for (Vid v = 0; v <= lg.n_dst; ++v)
+    EXPECT_EQ(from_coo.row_ptr[v], lg.csr.row_ptr[v]);
+}
+
+TEST(Reindex, RejectsBadLayer) {
+  auto s = make_setup(4);
+  EXPECT_THROW(reindex_layer(s->batch, s->table, 2, ReindexFormats{}),
+               std::out_of_range);
+}
+
+TEST(Reindex, MapVids) {
+  auto s = make_setup(5);
+  std::vector<Vid> orig{s->batch.vid_order[3], s->batch.vid_order[0]};
+  auto mapped = map_vids(s->table, orig);
+  EXPECT_EQ(mapped[0], 3u);
+  EXPECT_EQ(mapped[1], 0u);
+}
+
+TEST(Reindex, LayerChainDimensionsCompose) {
+  // The invariant training relies on: layer i's dst count equals layer
+  // i+1's input-table row count.
+  auto s = make_setup(6);
+  LayerGraphHost l0 =
+      reindex_layer(s->batch, s->table, 0, ReindexFormats{.csr = true});
+  LayerGraphHost l1 =
+      reindex_layer(s->batch, s->table, 1, ReindexFormats{.csr = true});
+  EXPECT_EQ(l0.n_dst, l1.n_vertices);
+}
+
+}  // namespace
+}  // namespace gt::sampling

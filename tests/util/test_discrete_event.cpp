@@ -1,0 +1,119 @@
+#include "util/discrete_event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt {
+namespace {
+
+TEST(EventSim, SerialChain) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 1);
+  auto a = sim.add_task("a", 10.0, cpu);
+  auto b = sim.add_task("b", 5.0, cpu, {a});
+  auto c = sim.add_task("c", 2.0, cpu, {b});
+  auto r = sim.run();
+  EXPECT_DOUBLE_EQ(r.makespan, 17.0);
+  EXPECT_DOUBLE_EQ(r.start_of(a), 0.0);
+  EXPECT_DOUBLE_EQ(r.start_of(b), 10.0);
+  EXPECT_DOUBLE_EQ(r.start_of(c), 15.0);
+}
+
+TEST(EventSim, ParallelWithCapacity) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 2);
+  for (int i = 0; i < 4; ++i) sim.add_task("t", 10.0, cpu);
+  auto r = sim.run();
+  // 4 tasks, 2 at a time: 2 waves of 10.
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+}
+
+TEST(EventSim, IndependentResourcesOverlap) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 1);
+  auto pcie = sim.add_resource("pcie", 1);
+  sim.add_task("compute", 10.0, cpu);
+  sim.add_task("copy", 8.0, pcie);
+  auto r = sim.run();
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(EventSim, SerialGroupExcludesOverlap) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 4);
+  auto grp = sim.add_serial_group();
+  for (int i = 0; i < 3; ++i) sim.add_task("h", 5.0, cpu, {}, grp);
+  auto r = sim.run();
+  // Plenty of cores, but the group serializes.
+  EXPECT_DOUBLE_EQ(r.makespan, 15.0);
+}
+
+TEST(EventSim, BarrierTaskHasNoResource) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 2);
+  auto a = sim.add_task("a", 4.0, cpu);
+  auto b = sim.add_task("b", 6.0, cpu);
+  auto barrier = sim.add_task("barrier", 0.0, kNoResource, {a, b});
+  auto c = sim.add_task("c", 1.0, cpu, {barrier});
+  auto r = sim.run();
+  EXPECT_DOUBLE_EQ(r.start_of(c), 6.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 7.0);
+}
+
+TEST(EventSim, PriorityBreaksTies) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 1);
+  auto low = sim.add_task("low", 5.0, cpu, {}, kNoGroup, 10);
+  auto high = sim.add_task("high", 5.0, cpu, {}, kNoGroup, 0);
+  auto r = sim.run();
+  EXPECT_DOUBLE_EQ(r.start_of(high), 0.0);
+  EXPECT_DOUBLE_EQ(r.start_of(low), 5.0);
+}
+
+TEST(EventSim, ResourceBusyAccounting) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 2);
+  sim.add_task("a", 3.0, cpu);
+  sim.add_task("b", 4.0, cpu);
+  auto r = sim.run();
+  EXPECT_DOUBLE_EQ(r.resource_busy[cpu], 7.0);
+}
+
+TEST(EventSim, RejectsBadInput) {
+  EventSim sim;
+  EXPECT_THROW(sim.add_resource("x", 0), std::invalid_argument);
+  auto cpu = sim.add_resource("cpu", 1);
+  EXPECT_THROW(sim.add_task("t", -1.0, cpu), std::invalid_argument);
+  EXPECT_THROW(sim.add_task("t", 1.0, 99), std::out_of_range);
+  EXPECT_THROW(sim.add_task("t", 1.0, cpu, {5}), std::out_of_range);
+}
+
+TEST(EventSim, DiamondDependency) {
+  EventSim sim;
+  auto cpu = sim.add_resource("cpu", 4);
+  auto a = sim.add_task("a", 2.0, cpu);
+  auto b = sim.add_task("b", 3.0, cpu, {a});
+  auto c = sim.add_task("c", 5.0, cpu, {a});
+  auto d = sim.add_task("d", 1.0, cpu, {b, c});
+  auto r = sim.run();
+  EXPECT_DOUBLE_EQ(r.start_of(d), 7.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 8.0);
+}
+
+TEST(EventSim, ManyTasksDeterministic) {
+  auto build = [] {
+    EventSim sim;
+    auto cpu = sim.add_resource("cpu", 3);
+    std::vector<SimTaskId> prev;
+    for (int layer = 0; layer < 5; ++layer) {
+      std::vector<SimTaskId> cur;
+      for (int i = 0; i < 7; ++i)
+        cur.push_back(sim.add_task("t", 1.0 + i, cpu, prev));
+      prev = cur;
+    }
+    return sim.run().makespan;
+  };
+  EXPECT_DOUBLE_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,34 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt {
+namespace {
+
+TEST(Table, FormatsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.to_string().find("| x |   |   |"), std::string::npos);
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_ratio(1.5), "1.50x");
+  EXPECT_EQ(Table::fmt_pct(0.421), "42.1%");
+  EXPECT_EQ(Table::fmt_bytes(1536), "1.5KiB");
+  EXPECT_EQ(Table::fmt_bytes(3 * 1024 * 1024), "3.0MiB");
+  EXPECT_EQ(Table::fmt_count(950), "950");
+  EXPECT_EQ(Table::fmt_count(1'200'000), "1.2M");
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,67 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gt {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<int> data(10000);
+  std::iota(data.begin(), data.end(), 1);
+  std::vector<std::future<long>> parts;
+  const std::size_t chunk = 1000;
+  for (std::size_t start = 0; start < data.size(); start += chunk) {
+    parts.push_back(pool.submit([&data, start, chunk] {
+      long s = 0;
+      for (std::size_t i = start; i < start + chunk; ++i) s += data[i];
+      return s;
+    }));
+  }
+  long total = 0;
+  for (auto& p : parts) total += p.get();
+  EXPECT_EQ(total, 10000L * 10001L / 2L);
+}
+
+}  // namespace
+}  // namespace gt
