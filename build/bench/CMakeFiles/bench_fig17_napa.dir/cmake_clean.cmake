@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_napa.dir/bench_fig17_napa.cpp.o"
+  "CMakeFiles/bench_fig17_napa.dir/bench_fig17_napa.cpp.o.d"
+  "bench_fig17_napa"
+  "bench_fig17_napa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_napa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

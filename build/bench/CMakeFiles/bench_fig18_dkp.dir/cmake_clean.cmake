@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_dkp.dir/bench_fig18_dkp.cpp.o"
+  "CMakeFiles/bench_fig18_dkp.dir/bench_fig18_dkp.cpp.o.d"
+  "bench_fig18_dkp"
+  "bench_fig18_dkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_dkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

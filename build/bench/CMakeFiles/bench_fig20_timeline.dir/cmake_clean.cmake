@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_timeline.dir/bench_fig20_timeline.cpp.o"
+  "CMakeFiles/bench_fig20_timeline.dir/bench_fig20_timeline.cpp.o.d"
+  "bench_fig20_timeline"
+  "bench_fig20_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

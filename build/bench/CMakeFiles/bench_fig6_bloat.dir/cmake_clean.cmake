@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bloat.dir/bench_fig6_bloat.cpp.o"
+  "CMakeFiles/bench_fig6_bloat.dir/bench_fig6_bloat.cpp.o.d"
+  "bench_fig6_bloat"
+  "bench_fig6_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

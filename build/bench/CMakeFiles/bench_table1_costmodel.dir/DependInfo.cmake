@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_costmodel.cpp" "bench/CMakeFiles/bench_table1_costmodel.dir/bench_table1_costmodel.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_costmodel.dir/bench_table1_costmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/gt_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/gt_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/gt_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gt_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/gt_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_costmodel.dir/bench_table1_costmodel.cpp.o"
+  "CMakeFiles/bench_table1_costmodel.dir/bench_table1_costmodel.cpp.o.d"
+  "bench_table1_costmodel"
+  "bench_table1_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

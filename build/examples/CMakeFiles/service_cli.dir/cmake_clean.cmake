@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_cli.dir/service_cli.cpp.o"
+  "CMakeFiles/service_cli.dir/service_cli.cpp.o.d"
+  "service_cli"
+  "service_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

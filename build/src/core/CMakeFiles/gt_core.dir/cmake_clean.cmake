@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_core.dir/napa_program.cpp.o"
+  "CMakeFiles/gt_core.dir/napa_program.cpp.o.d"
+  "CMakeFiles/gt_core.dir/service.cpp.o"
+  "CMakeFiles/gt_core.dir/service.cpp.o.d"
+  "libgt_core.a"
+  "libgt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_datasets.dir/catalog.cpp.o"
+  "CMakeFiles/gt_datasets.dir/catalog.cpp.o.d"
+  "CMakeFiles/gt_datasets.dir/embedding.cpp.o"
+  "CMakeFiles/gt_datasets.dir/embedding.cpp.o.d"
+  "CMakeFiles/gt_datasets.dir/generators.cpp.o"
+  "CMakeFiles/gt_datasets.dir/generators.cpp.o.d"
+  "libgt_datasets.a"
+  "libgt_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

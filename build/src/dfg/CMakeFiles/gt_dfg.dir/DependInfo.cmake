@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/cost_model.cpp" "src/dfg/CMakeFiles/gt_dfg.dir/cost_model.cpp.o" "gcc" "src/dfg/CMakeFiles/gt_dfg.dir/cost_model.cpp.o.d"
+  "/root/repo/src/dfg/executor.cpp" "src/dfg/CMakeFiles/gt_dfg.dir/executor.cpp.o" "gcc" "src/dfg/CMakeFiles/gt_dfg.dir/executor.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/gt_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/gt_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dfg/least_squares.cpp" "src/dfg/CMakeFiles/gt_dfg.dir/least_squares.cpp.o" "gcc" "src/dfg/CMakeFiles/gt_dfg.dir/least_squares.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/gt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_dfg.dir/cost_model.cpp.o"
+  "CMakeFiles/gt_dfg.dir/cost_model.cpp.o.d"
+  "CMakeFiles/gt_dfg.dir/executor.cpp.o"
+  "CMakeFiles/gt_dfg.dir/executor.cpp.o.d"
+  "CMakeFiles/gt_dfg.dir/graph.cpp.o"
+  "CMakeFiles/gt_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/gt_dfg.dir/least_squares.cpp.o"
+  "CMakeFiles/gt_dfg.dir/least_squares.cpp.o.d"
+  "libgt_dfg.a"
+  "libgt_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_frameworks.dir/baselines.cpp.o"
+  "CMakeFiles/gt_frameworks.dir/baselines.cpp.o.d"
+  "CMakeFiles/gt_frameworks.dir/common.cpp.o"
+  "CMakeFiles/gt_frameworks.dir/common.cpp.o.d"
+  "CMakeFiles/gt_frameworks.dir/framework.cpp.o"
+  "CMakeFiles/gt_frameworks.dir/framework.cpp.o.d"
+  "CMakeFiles/gt_frameworks.dir/graphtensor.cpp.o"
+  "CMakeFiles/gt_frameworks.dir/graphtensor.cpp.o.d"
+  "libgt_frameworks.a"
+  "libgt_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_gpusim.dir/cache.cpp.o"
+  "CMakeFiles/gt_gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/gt_gpusim.dir/device.cpp.o"
+  "CMakeFiles/gt_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/gt_gpusim.dir/pcie.cpp.o"
+  "CMakeFiles/gt_gpusim.dir/pcie.cpp.o.d"
+  "libgt_gpusim.a"
+  "libgt_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

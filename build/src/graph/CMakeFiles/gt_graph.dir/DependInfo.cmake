@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/gt_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/convert.cpp" "src/graph/CMakeFiles/gt_graph.dir/convert.cpp.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/convert.cpp.o.d"
+  "/root/repo/src/graph/coo.cpp" "src/graph/CMakeFiles/gt_graph.dir/coo.cpp.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/coo.cpp.o.d"
+  "/root/repo/src/graph/csc.cpp" "src/graph/CMakeFiles/gt_graph.dir/csc.cpp.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/csc.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/gt_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/degree.cpp" "src/graph/CMakeFiles/gt_graph.dir/degree.cpp.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/degree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

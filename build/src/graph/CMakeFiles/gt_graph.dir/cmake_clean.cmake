@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_graph.dir/builder.cpp.o"
+  "CMakeFiles/gt_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/gt_graph.dir/convert.cpp.o"
+  "CMakeFiles/gt_graph.dir/convert.cpp.o.d"
+  "CMakeFiles/gt_graph.dir/coo.cpp.o"
+  "CMakeFiles/gt_graph.dir/coo.cpp.o.d"
+  "CMakeFiles/gt_graph.dir/csc.cpp.o"
+  "CMakeFiles/gt_graph.dir/csc.cpp.o.d"
+  "CMakeFiles/gt_graph.dir/csr.cpp.o"
+  "CMakeFiles/gt_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/gt_graph.dir/degree.cpp.o"
+  "CMakeFiles/gt_graph.dir/degree.cpp.o.d"
+  "libgt_graph.a"
+  "libgt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

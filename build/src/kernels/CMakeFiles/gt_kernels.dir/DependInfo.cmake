@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/common.cpp" "src/kernels/CMakeFiles/gt_kernels.dir/common.cpp.o" "gcc" "src/kernels/CMakeFiles/gt_kernels.dir/common.cpp.o.d"
+  "/root/repo/src/kernels/dl_approach.cpp" "src/kernels/CMakeFiles/gt_kernels.dir/dl_approach.cpp.o" "gcc" "src/kernels/CMakeFiles/gt_kernels.dir/dl_approach.cpp.o.d"
+  "/root/repo/src/kernels/graph_approach.cpp" "src/kernels/CMakeFiles/gt_kernels.dir/graph_approach.cpp.o" "gcc" "src/kernels/CMakeFiles/gt_kernels.dir/graph_approach.cpp.o.d"
+  "/root/repo/src/kernels/napa.cpp" "src/kernels/CMakeFiles/gt_kernels.dir/napa.cpp.o" "gcc" "src/kernels/CMakeFiles/gt_kernels.dir/napa.cpp.o.d"
+  "/root/repo/src/kernels/reference.cpp" "src/kernels/CMakeFiles/gt_kernels.dir/reference.cpp.o" "gcc" "src/kernels/CMakeFiles/gt_kernels.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_kernels.dir/common.cpp.o"
+  "CMakeFiles/gt_kernels.dir/common.cpp.o.d"
+  "CMakeFiles/gt_kernels.dir/dl_approach.cpp.o"
+  "CMakeFiles/gt_kernels.dir/dl_approach.cpp.o.d"
+  "CMakeFiles/gt_kernels.dir/graph_approach.cpp.o"
+  "CMakeFiles/gt_kernels.dir/graph_approach.cpp.o.d"
+  "CMakeFiles/gt_kernels.dir/napa.cpp.o"
+  "CMakeFiles/gt_kernels.dir/napa.cpp.o.d"
+  "CMakeFiles/gt_kernels.dir/reference.cpp.o"
+  "CMakeFiles/gt_kernels.dir/reference.cpp.o.d"
+  "libgt_kernels.a"
+  "libgt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_models.dir/config.cpp.o"
+  "CMakeFiles/gt_models.dir/config.cpp.o.d"
+  "CMakeFiles/gt_models.dir/params.cpp.o"
+  "CMakeFiles/gt_models.dir/params.cpp.o.d"
+  "libgt_models.a"
+  "libgt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

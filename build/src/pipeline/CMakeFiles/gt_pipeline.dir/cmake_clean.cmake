@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_pipeline.dir/executor.cpp.o"
+  "CMakeFiles/gt_pipeline.dir/executor.cpp.o.d"
+  "CMakeFiles/gt_pipeline.dir/plan.cpp.o"
+  "CMakeFiles/gt_pipeline.dir/plan.cpp.o.d"
+  "CMakeFiles/gt_pipeline.dir/workload.cpp.o"
+  "CMakeFiles/gt_pipeline.dir/workload.cpp.o.d"
+  "libgt_pipeline.a"
+  "libgt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

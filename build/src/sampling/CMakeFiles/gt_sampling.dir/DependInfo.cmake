@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/embedding_cache.cpp" "src/sampling/CMakeFiles/gt_sampling.dir/embedding_cache.cpp.o" "gcc" "src/sampling/CMakeFiles/gt_sampling.dir/embedding_cache.cpp.o.d"
+  "/root/repo/src/sampling/hash_table.cpp" "src/sampling/CMakeFiles/gt_sampling.dir/hash_table.cpp.o" "gcc" "src/sampling/CMakeFiles/gt_sampling.dir/hash_table.cpp.o.d"
+  "/root/repo/src/sampling/lookup.cpp" "src/sampling/CMakeFiles/gt_sampling.dir/lookup.cpp.o" "gcc" "src/sampling/CMakeFiles/gt_sampling.dir/lookup.cpp.o.d"
+  "/root/repo/src/sampling/reindex.cpp" "src/sampling/CMakeFiles/gt_sampling.dir/reindex.cpp.o" "gcc" "src/sampling/CMakeFiles/gt_sampling.dir/reindex.cpp.o.d"
+  "/root/repo/src/sampling/sampler.cpp" "src/sampling/CMakeFiles/gt_sampling.dir/sampler.cpp.o" "gcc" "src/sampling/CMakeFiles/gt_sampling.dir/sampler.cpp.o.d"
+  "/root/repo/src/sampling/transfer.cpp" "src/sampling/CMakeFiles/gt_sampling.dir/transfer.cpp.o" "gcc" "src/sampling/CMakeFiles/gt_sampling.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/gt_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

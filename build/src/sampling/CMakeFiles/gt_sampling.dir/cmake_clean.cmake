@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_sampling.dir/embedding_cache.cpp.o"
+  "CMakeFiles/gt_sampling.dir/embedding_cache.cpp.o.d"
+  "CMakeFiles/gt_sampling.dir/hash_table.cpp.o"
+  "CMakeFiles/gt_sampling.dir/hash_table.cpp.o.d"
+  "CMakeFiles/gt_sampling.dir/lookup.cpp.o"
+  "CMakeFiles/gt_sampling.dir/lookup.cpp.o.d"
+  "CMakeFiles/gt_sampling.dir/reindex.cpp.o"
+  "CMakeFiles/gt_sampling.dir/reindex.cpp.o.d"
+  "CMakeFiles/gt_sampling.dir/sampler.cpp.o"
+  "CMakeFiles/gt_sampling.dir/sampler.cpp.o.d"
+  "CMakeFiles/gt_sampling.dir/transfer.cpp.o"
+  "CMakeFiles/gt_sampling.dir/transfer.cpp.o.d"
+  "libgt_sampling.a"
+  "libgt_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/gt_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/gt_tensor.dir/ops.cpp.o"
+  "CMakeFiles/gt_tensor.dir/ops.cpp.o.d"
+  "libgt_tensor.a"
+  "libgt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

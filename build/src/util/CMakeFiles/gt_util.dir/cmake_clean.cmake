@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_util.dir/discrete_event.cpp.o"
+  "CMakeFiles/gt_util.dir/discrete_event.cpp.o.d"
+  "CMakeFiles/gt_util.dir/log.cpp.o"
+  "CMakeFiles/gt_util.dir/log.cpp.o.d"
+  "CMakeFiles/gt_util.dir/rng.cpp.o"
+  "CMakeFiles/gt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gt_util.dir/stats.cpp.o"
+  "CMakeFiles/gt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gt_util.dir/table.cpp.o"
+  "CMakeFiles/gt_util.dir/table.cpp.o.d"
+  "CMakeFiles/gt_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gt_util.dir/thread_pool.cpp.o.d"
+  "libgt_util.a"
+  "libgt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

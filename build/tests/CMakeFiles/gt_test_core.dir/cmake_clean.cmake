@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_core.dir/core/test_service.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/test_service.cpp.o.d"
+  "gt_test_core"
+  "gt_test_core.pdb"
+  "gt_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

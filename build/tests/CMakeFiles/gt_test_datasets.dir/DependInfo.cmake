@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datasets/test_catalog.cpp" "tests/CMakeFiles/gt_test_datasets.dir/datasets/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/gt_test_datasets.dir/datasets/test_catalog.cpp.o.d"
+  "/root/repo/tests/datasets/test_embedding.cpp" "tests/CMakeFiles/gt_test_datasets.dir/datasets/test_embedding.cpp.o" "gcc" "tests/CMakeFiles/gt_test_datasets.dir/datasets/test_embedding.cpp.o.d"
+  "/root/repo/tests/datasets/test_generators.cpp" "tests/CMakeFiles/gt_test_datasets.dir/datasets/test_generators.cpp.o" "gcc" "tests/CMakeFiles/gt_test_datasets.dir/datasets/test_generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasets/CMakeFiles/gt_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

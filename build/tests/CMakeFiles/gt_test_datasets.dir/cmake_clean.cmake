@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_datasets.dir/datasets/test_catalog.cpp.o"
+  "CMakeFiles/gt_test_datasets.dir/datasets/test_catalog.cpp.o.d"
+  "CMakeFiles/gt_test_datasets.dir/datasets/test_embedding.cpp.o"
+  "CMakeFiles/gt_test_datasets.dir/datasets/test_embedding.cpp.o.d"
+  "CMakeFiles/gt_test_datasets.dir/datasets/test_generators.cpp.o"
+  "CMakeFiles/gt_test_datasets.dir/datasets/test_generators.cpp.o.d"
+  "gt_test_datasets"
+  "gt_test_datasets.pdb"
+  "gt_test_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_cost_model.cpp.o"
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_cost_model.cpp.o.d"
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_executor.cpp.o"
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_executor.cpp.o.d"
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_graph.cpp.o"
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_graph.cpp.o.d"
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_least_squares.cpp.o"
+  "CMakeFiles/gt_test_dfg.dir/dfg/test_least_squares.cpp.o.d"
+  "gt_test_dfg"
+  "gt_test_dfg.pdb"
+  "gt_test_dfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

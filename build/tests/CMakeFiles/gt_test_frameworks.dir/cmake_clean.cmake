@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_frameworks.dir/frameworks/test_extensions.cpp.o"
+  "CMakeFiles/gt_test_frameworks.dir/frameworks/test_extensions.cpp.o.d"
+  "CMakeFiles/gt_test_frameworks.dir/frameworks/test_frameworks.cpp.o"
+  "CMakeFiles/gt_test_frameworks.dir/frameworks/test_frameworks.cpp.o.d"
+  "CMakeFiles/gt_test_frameworks.dir/frameworks/test_properties.cpp.o"
+  "CMakeFiles/gt_test_frameworks.dir/frameworks/test_properties.cpp.o.d"
+  "gt_test_frameworks"
+  "gt_test_frameworks.pdb"
+  "gt_test_frameworks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpusim/test_cache.cpp" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_cache.cpp.o.d"
+  "/root/repo/tests/gpusim/test_device.cpp" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_device.cpp.o" "gcc" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_device.cpp.o.d"
+  "/root/repo/tests/gpusim/test_pcie.cpp" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_pcie.cpp.o" "gcc" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_pcie.cpp.o.d"
+  "/root/repo/tests/gpusim/test_pricing.cpp" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_pricing.cpp.o" "gcc" "tests/CMakeFiles/gt_test_gpusim.dir/gpusim/test_pricing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_cache.cpp.o"
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_cache.cpp.o.d"
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_device.cpp.o"
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_device.cpp.o.d"
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_pcie.cpp.o"
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_pcie.cpp.o.d"
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_pricing.cpp.o"
+  "CMakeFiles/gt_test_gpusim.dir/gpusim/test_pricing.cpp.o.d"
+  "gt_test_gpusim"
+  "gt_test_gpusim.pdb"
+  "gt_test_gpusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_builder.cpp" "tests/CMakeFiles/gt_test_graph.dir/graph/test_builder.cpp.o" "gcc" "tests/CMakeFiles/gt_test_graph.dir/graph/test_builder.cpp.o.d"
+  "/root/repo/tests/graph/test_convert.cpp" "tests/CMakeFiles/gt_test_graph.dir/graph/test_convert.cpp.o" "gcc" "tests/CMakeFiles/gt_test_graph.dir/graph/test_convert.cpp.o.d"
+  "/root/repo/tests/graph/test_convert_stress.cpp" "tests/CMakeFiles/gt_test_graph.dir/graph/test_convert_stress.cpp.o" "gcc" "tests/CMakeFiles/gt_test_graph.dir/graph/test_convert_stress.cpp.o.d"
+  "/root/repo/tests/graph/test_coo.cpp" "tests/CMakeFiles/gt_test_graph.dir/graph/test_coo.cpp.o" "gcc" "tests/CMakeFiles/gt_test_graph.dir/graph/test_coo.cpp.o.d"
+  "/root/repo/tests/graph/test_degree.cpp" "tests/CMakeFiles/gt_test_graph.dir/graph/test_degree.cpp.o" "gcc" "tests/CMakeFiles/gt_test_graph.dir/graph/test_degree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/gt_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_graph.dir/graph/test_builder.cpp.o"
+  "CMakeFiles/gt_test_graph.dir/graph/test_builder.cpp.o.d"
+  "CMakeFiles/gt_test_graph.dir/graph/test_convert.cpp.o"
+  "CMakeFiles/gt_test_graph.dir/graph/test_convert.cpp.o.d"
+  "CMakeFiles/gt_test_graph.dir/graph/test_convert_stress.cpp.o"
+  "CMakeFiles/gt_test_graph.dir/graph/test_convert_stress.cpp.o.d"
+  "CMakeFiles/gt_test_graph.dir/graph/test_coo.cpp.o"
+  "CMakeFiles/gt_test_graph.dir/graph/test_coo.cpp.o.d"
+  "CMakeFiles/gt_test_graph.dir/graph/test_degree.cpp.o"
+  "CMakeFiles/gt_test_graph.dir/graph/test_degree.cpp.o.d"
+  "gt_test_graph"
+  "gt_test_graph.pdb"
+  "gt_test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

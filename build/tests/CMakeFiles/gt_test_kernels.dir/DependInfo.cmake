@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/test_common.cpp" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_common.cpp.o" "gcc" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_common.cpp.o.d"
+  "/root/repo/tests/kernels/test_dl_approach.cpp" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_dl_approach.cpp.o" "gcc" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_dl_approach.cpp.o.d"
+  "/root/repo/tests/kernels/test_graph_approach.cpp" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_graph_approach.cpp.o" "gcc" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_graph_approach.cpp.o.d"
+  "/root/repo/tests/kernels/test_napa.cpp" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_napa.cpp.o" "gcc" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_napa.cpp.o.d"
+  "/root/repo/tests/kernels/test_reference.cpp" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_reference.cpp.o" "gcc" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_reference.cpp.o.d"
+  "/root/repo/tests/kernels/test_sweeps.cpp" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/gt_test_kernels.dir/kernels/test_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/gt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

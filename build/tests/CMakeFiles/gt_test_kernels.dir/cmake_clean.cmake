@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_common.cpp.o"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_common.cpp.o.d"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_dl_approach.cpp.o"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_dl_approach.cpp.o.d"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_graph_approach.cpp.o"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_graph_approach.cpp.o.d"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_napa.cpp.o"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_napa.cpp.o.d"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_reference.cpp.o"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_reference.cpp.o.d"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_sweeps.cpp.o"
+  "CMakeFiles/gt_test_kernels.dir/kernels/test_sweeps.cpp.o.d"
+  "gt_test_kernels"
+  "gt_test_kernels.pdb"
+  "gt_test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/test_config.cpp" "tests/CMakeFiles/gt_test_models.dir/models/test_config.cpp.o" "gcc" "tests/CMakeFiles/gt_test_models.dir/models/test_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/gt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_models.dir/models/test_config.cpp.o"
+  "CMakeFiles/gt_test_models.dir/models/test_config.cpp.o.d"
+  "gt_test_models"
+  "gt_test_models.pdb"
+  "gt_test_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_pipeline.dir/pipeline/test_executor.cpp.o"
+  "CMakeFiles/gt_test_pipeline.dir/pipeline/test_executor.cpp.o.d"
+  "CMakeFiles/gt_test_pipeline.dir/pipeline/test_plan.cpp.o"
+  "CMakeFiles/gt_test_pipeline.dir/pipeline/test_plan.cpp.o.d"
+  "gt_test_pipeline"
+  "gt_test_pipeline.pdb"
+  "gt_test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sampling/test_embedding_cache.cpp" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_embedding_cache.cpp.o" "gcc" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_embedding_cache.cpp.o.d"
+  "/root/repo/tests/sampling/test_hash_table.cpp" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_hash_table.cpp.o" "gcc" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_hash_table.cpp.o.d"
+  "/root/repo/tests/sampling/test_lookup_transfer.cpp" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_lookup_transfer.cpp.o" "gcc" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_lookup_transfer.cpp.o.d"
+  "/root/repo/tests/sampling/test_priority.cpp" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_priority.cpp.o" "gcc" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_priority.cpp.o.d"
+  "/root/repo/tests/sampling/test_reindex.cpp" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_reindex.cpp.o" "gcc" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_reindex.cpp.o.d"
+  "/root/repo/tests/sampling/test_sampler.cpp" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/gt_test_sampling.dir/sampling/test_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sampling/CMakeFiles/gt_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/gt_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/gt_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

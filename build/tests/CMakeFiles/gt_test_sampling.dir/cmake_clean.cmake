@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_embedding_cache.cpp.o"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_embedding_cache.cpp.o.d"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_hash_table.cpp.o"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_hash_table.cpp.o.d"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_lookup_transfer.cpp.o"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_lookup_transfer.cpp.o.d"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_priority.cpp.o"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_priority.cpp.o.d"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_reindex.cpp.o"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_reindex.cpp.o.d"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_sampler.cpp.o"
+  "CMakeFiles/gt_test_sampling.dir/sampling/test_sampler.cpp.o.d"
+  "gt_test_sampling"
+  "gt_test_sampling.pdb"
+  "gt_test_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

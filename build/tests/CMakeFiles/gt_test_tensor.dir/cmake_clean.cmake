@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_tensor.dir/tensor/test_matrix.cpp.o"
+  "CMakeFiles/gt_test_tensor.dir/tensor/test_matrix.cpp.o.d"
+  "CMakeFiles/gt_test_tensor.dir/tensor/test_ops.cpp.o"
+  "CMakeFiles/gt_test_tensor.dir/tensor/test_ops.cpp.o.d"
+  "gt_test_tensor"
+  "gt_test_tensor.pdb"
+  "gt_test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

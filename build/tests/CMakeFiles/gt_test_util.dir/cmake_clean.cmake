@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_util.dir/util/test_discrete_event.cpp.o"
+  "CMakeFiles/gt_test_util.dir/util/test_discrete_event.cpp.o.d"
+  "CMakeFiles/gt_test_util.dir/util/test_discrete_event_stress.cpp.o"
+  "CMakeFiles/gt_test_util.dir/util/test_discrete_event_stress.cpp.o.d"
+  "CMakeFiles/gt_test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/gt_test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/gt_test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/gt_test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/gt_test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/gt_test_util.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/gt_test_util.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/gt_test_util.dir/util/test_thread_pool.cpp.o.d"
+  "gt_test_util"
+  "gt_test_util.pdb"
+  "gt_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

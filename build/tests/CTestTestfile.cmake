@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gt_test_util[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_graph[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_dfg[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_models[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_sampling[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_frameworks[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_core[1]_include.cmake")
