@@ -4,11 +4,23 @@
 //
 //   $ ./examples/service_cli [dataset] [model] [framework] [batches]
 //   $ ./examples/service_cli wiki-talk NGCF Prepro-GT 12
+//
+// Observability flags (anywhere on the command line):
+//   --trace-out=trace.json     Chrome trace-event JSON of the run: the
+//                              simulated S/R/K/T + FWP/BWP batch timeline
+//                              (load in chrome://tracing or Perfetto) plus
+//                              wall-clock host spans.
+//   --metrics-out=metrics.json Dump of the gt::obs metrics registry (hash
+//                              contention, DKP decisions, kernel-category
+//                              timings, PCIe bytes, per-epoch loss, ...).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/graphtensor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -31,10 +43,28 @@ gt::models::GnnModelConfig model_by_name(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dataset_name = argc > 1 ? argv[1] : "products";
-  const std::string model_name = argc > 2 ? argv[2] : "GCN";
-  const std::string framework = argc > 3 ? argv[3] : "Prepro-GT";
-  const int batches = argc > 4 ? std::atoi(argv[4]) : 8;
+  std::string trace_out, metrics_out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string dataset_name =
+      positional.size() > 0 ? positional[0] : "products";
+  const std::string model_name =
+      positional.size() > 1 ? positional[1] : "GCN";
+  const std::string framework =
+      positional.size() > 2 ? positional[2] : "Prepro-GT";
+  const int batches =
+      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 8;
+
+  if (!trace_out.empty()) gt::obs::Tracer::global().enable(true);
 
   gt::Dataset data = gt::generate(dataset_name, 42);
   gt::models::GnnModelConfig model = model_by_name(model_name, data.spec);
@@ -66,5 +96,21 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nheld-out accuracy: %.1f%% (chance %.1f%%)\n",
               100.0 * service.evaluate(2), 100.0 / model.output_dim);
+
+  if (!trace_out.empty()) {
+    if (gt::obs::Tracer::global().write_chrome_trace_file(trace_out))
+      std::printf("trace written to %s (load in chrome://tracing)\n",
+                  trace_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (gt::obs::metrics().write_json_file(metrics_out))
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_out.c_str());
+  }
   return 0;
 }

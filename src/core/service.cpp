@@ -1,7 +1,10 @@
 #include "core/service.hpp"
 
 #include "kernels/reference.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/executor.hpp"
+#include "util/log.hpp"
 
 namespace gt {
 
@@ -11,7 +14,11 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
       model_(std::move(model)),
       options_(options),
       params_(model_, dataset_.spec.feature_dim, options.seed),
-      backend_(frameworks::make_framework(options.framework)) {}
+      backend_(frameworks::make_framework(options.framework)) {
+  log_info("service: ", options_.framework, " on ", dataset_.spec.name,
+           " (batch ", options_.batch_size, ", ", model_.num_layers,
+           " layers)");
+}
 
 frameworks::RunReport GnnService::train_batch() {
   frameworks::BatchSpec spec;
@@ -34,19 +41,30 @@ frameworks::RunReport GnnService::infer_batch() {
 }
 
 EpochStats GnnService::train_epoch(std::size_t batches) {
+  GT_OBS_SCOPE_N(epoch_span, "service.train_epoch", "service");
+  epoch_span.arg("batches", static_cast<std::int64_t>(batches));
+  obs::MetricsRegistry& m = obs::metrics();
   EpochStats stats;
   for (std::size_t i = 0; i < batches; ++i) {
+    GT_OBS_SCOPE("service.train_batch", "service");
     frameworks::RunReport report = train_batch();
     ++stats.batches;
     if (report.oom) {
       ++stats.oom_batches;
+      m.counter("service.oom_batches").add(1);
+      log_warn("service: batch ", i, " aborted with OOM: ", report.oom_what);
       continue;
     }
+    log_debug("service: batch ", i, " loss ", report.loss, " e2e ",
+              report.end_to_end_us, "us");
     if (i == 0) stats.first_loss = report.loss;
     stats.last_loss = report.loss;
     stats.mean_loss += report.loss;
     stats.mean_end_to_end_us += report.end_to_end_us;
     stats.mean_kernel_us += report.kernel_total_us;
+    m.histogram("service.batch_loss", {0.5, 1, 2, 3, 4, 5, 7, 10, 20})
+        .observe(report.loss);
+    m.histogram("service.batch_e2e_us").observe(report.end_to_end_us);
   }
   const double n =
       static_cast<double>(stats.batches - stats.oom_batches);
@@ -55,10 +73,15 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
     stats.mean_end_to_end_us /= n;
     stats.mean_kernel_us /= n;
   }
+  m.counter("service.epochs").add(1);
+  m.gauge("service.epoch_mean_loss").set(stats.mean_loss);
+  m.gauge("service.epoch_mean_e2e_us").set(stats.mean_end_to_end_us);
   return stats;
 }
 
 double GnnService::evaluate(std::size_t batches) {
+  GT_OBS_SCOPE_N(span, "service.evaluate", "service");
+  span.arg("batches", static_cast<std::int64_t>(batches));
   // Held-out stream: offset the batch index far away from training.
   const std::uint64_t eval_base = 1u << 20;
   sampling::ReindexFormats formats{.coo = false, .csr = true, .csc = false};

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dfg/least_squares.hpp"
+#include "obs/metrics.hpp"
 
 namespace gt::dfg {
 
@@ -64,6 +65,16 @@ std::array<double, DkpCostModel::kFeatures> DkpCostModel::features(
 
 void DkpCostModel::record(const LayerDims& dims, const PlacementCase& c,
                           double latency_us) {
+  // Once fitted, every new sample doubles as a predicted-vs-actual probe
+  // (the paper's 12.5%-error claim, continuously monitored in production).
+  if (fitted_ && latency_us > 0.0) {
+    const double pred = predict(dims, c);
+    obs::metrics()
+        .histogram("dkp.predict_rel_error_pct",
+                   {1, 2, 5, 10, 20, 30, 50, 75, 100, 200})
+        .observe(100.0 * std::abs(pred - latency_us) / latency_us);
+  }
+  obs::metrics().counter("dkp.samples_recorded").add(1);
   xs_.push_back(features(dims, c));
   ys_.push_back(latency_us);
 }
@@ -90,6 +101,8 @@ void DkpCostModel::fit() {
   if (coeff_[1] <= 0.0) coeff_[1] = 4.0 / 9.36e3;
   if (coeff_[2] <= 0.0) coeff_[2] = 2.0 / 3.56e6;
   fitted_ = true;
+  obs::metrics().counter("dkp.fits").add(1);
+  obs::metrics().gauge("dkp.fit_mean_rel_error").set(mean_relative_error());
 }
 
 double DkpCostModel::predict(const LayerDims& dims,

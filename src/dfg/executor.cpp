@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace gt::dfg {
 
 using kernels::EdgeWeightMode;
@@ -11,6 +13,8 @@ LayerForward LayerExecutor::forward(const LayerDeviceGraph& graph,
                                     gpusim::BufferId x,
                                     const LayerParams& params, bool relu,
                                     KernelOrder order) {
+  GT_OBS_SCOPE_N(span, "dfg.layer_forward", "dfg");
+  span.arg("order", to_string(order));
   LayerForward fwd;
   fwd.order = order;
   if (order == KernelOrder::kCombinationFirst && !kernels::dkp_compatible(g_))
@@ -41,6 +45,8 @@ LayerBackward LayerExecutor::backward(const LayerDeviceGraph& graph,
                                       const LayerParams& params, bool relu,
                                       const LayerForward& fwd,
                                       gpusim::BufferId dy, bool want_dx) {
+  GT_OBS_SCOPE_N(span, "dfg.layer_backward", "dfg");
+  span.arg("order", to_string(fwd.order));
   LayerBackward grads;
   if (fwd.order == KernelOrder::kAggregationFirst) {
     // dY -> (relu, bias, matmul) -> dA -> (pull, neighbor-apply) -> dX.

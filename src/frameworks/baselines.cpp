@@ -1,6 +1,8 @@
 #include "frameworks/baselines.hpp"
 
 #include "frameworks/common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "kernels/dl_approach.hpp"
 #include "kernels/graph_approach.hpp"
 #include "kernels/napa.hpp"
@@ -223,10 +225,13 @@ RunReport BaselineFramework::run_batch(const Dataset& data,
                                        const models::GnnModelConfig& model,
                                        models::ModelParams& params,
                                        const BatchSpec& spec) {
+  GT_OBS_SCOPE_N(batch_span, "frameworks.run_batch", "frameworks");
   RunReport report;
   report.framework = name_;
   report.model = model.name;
   report.dataset = data.spec.name;
+  batch_span.arg("framework", report.framework);
+  batch_span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
 
   const std::uint32_t L = model.num_layers;
   const bool graph_compute =
@@ -275,6 +280,8 @@ RunReport BaselineFramework::run_batch(const Dataset& data,
       caches.push_back(cache);
     }
 
+    report.fwp_us = dev.profile_latency_us();
+
     if (spec.inference) {
       detail::finalize_report(report, dev, pre, options_.overlap_compute);
       return report;
@@ -303,12 +310,14 @@ RunReport BaselineFramework::run_batch(const Dataset& data,
       release_cache(dev, caches[li]);
     }
 
+    report.bwp_us = dev.profile_latency_us() - report.fwp_us;
     detail::finalize_report(report, dev, pre, options_.overlap_compute);
   } catch (const gpusim::GpuOomError& e) {
     report.oom = true;
     report.oom_what = e.what();
     report.schedule = pre.schedule;
     report.preproc_makespan_us = pre.schedule.makespan_us;
+    obs::metrics().counter("frameworks.oom_batches").add(1);
   }
   return report;
 }

@@ -50,6 +50,8 @@ struct RunReport {
 
   // -- GPU side (kernel profile, Nsight-equivalent) -------------------------
   double kernel_total_us = 0.0;
+  double fwp_us = 0.0;  // forward-pass share of kernel_total_us
+  double bwp_us = 0.0;  // loss + backward share (0 for inference)
   std::array<double, 7> kernel_category_us{};  // by gpusim::KernelCategory
   std::uint64_t flops = 0;
   std::array<std::uint64_t, 7> kernel_category_flops{};

@@ -3,6 +3,8 @@
 #include "dfg/executor.hpp"
 #include "dfg/graph.hpp"
 #include "frameworks/common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/embedding_cache.hpp"
 
 namespace gt::frameworks {
@@ -23,10 +25,13 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
                                           const models::GnnModelConfig& model,
                                           models::ModelParams& params,
                                           const BatchSpec& spec) {
+  GT_OBS_SCOPE_N(batch_span, "frameworks.run_batch", "frameworks");
   RunReport report;
   report.framework = name();
   report.model = model.name;
   report.dataset = data.spec.name;
+  batch_span.arg("framework", report.framework);
+  batch_span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
 
   const std::uint32_t L = model.num_layers;
   const sampling::ReindexFormats formats{.coo = false, .csr = true,
@@ -63,6 +68,7 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
                                      cache_bytes_);
       const auto part = cache.partition(pre.data.batch.vid_order);
       last_hit_rate_ = part.hit_rate();
+      obs::metrics().gauge("embedding_cache.hit_rate").set(last_hit_rate_);
       pre.workload.cached_rows = part.hit_rows.size();
       pre.schedule = pipeline::plan_preprocessing(pre.workload, plan);
 
@@ -119,6 +125,11 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
       }
       if (orders[l] == KernelOrder::kCombinationFirst)
         report.layer_comb_first_fwd[l] = report.layer_comb_first_bwd[l] = 1;
+      obs::metrics()
+          .counter(orders[l] == KernelOrder::kCombinationFirst
+                       ? "dkp.decisions.comb_first"
+                       : "dkp.decisions.agg_first")
+          .add(1);
     }
 
     // ---- FWP ----------------------------------------------------------------
@@ -138,6 +149,8 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
             dev.profile_latency_us() - before);
       x = fwds.back().out;
     }
+
+    report.fwp_us = dev.profile_latency_us();
 
     if (spec.inference) {
       detail::finalize_report(report, dev, pre, /*overlap_compute=*/true);
@@ -174,12 +187,14 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
       exec.release_cache(fwds[li]);
     }
 
+    report.bwp_us = dev.profile_latency_us() - report.fwp_us;
     detail::finalize_report(report, dev, pre, /*overlap_compute=*/true);
   } catch (const gpusim::GpuOomError& e) {
     report.oom = true;
     report.oom_what = e.what();
     report.schedule = pre.schedule;
     report.preproc_makespan_us = pre.schedule.makespan_us;
+    obs::metrics().counter("frameworks.oom_batches").add(1);
   }
 
   ++batches_seen_;

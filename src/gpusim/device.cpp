@@ -1,9 +1,49 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace gt::gpusim {
+
+namespace {
+
+/// Registry handles for the simulator's hot pricing path, resolved once.
+/// (Registered metrics are never deallocated, so the references are safe.)
+struct KernelMetrics {
+  obs::Counter& launches = obs::metrics().counter("gpusim.kernel_launches");
+  obs::Counter& flops = obs::metrics().counter("gpusim.flops");
+  obs::Counter& global_bytes = obs::metrics().counter("gpusim.global_bytes");
+  obs::Counter& cache_hit_bytes =
+      obs::metrics().counter("gpusim.cache_hit_bytes");
+  obs::Counter& cache_loaded_bytes =
+      obs::metrics().counter("gpusim.cache_loaded_bytes");
+  obs::Counter& atomic_ops = obs::metrics().counter("gpusim.atomic_ops");
+};
+
+void record_kernel_metrics(const KernelStats& ks) {
+  static KernelMetrics m;
+  static std::array<obs::Histogram*, 7> per_category = [] {
+    std::array<obs::Histogram*, 7> hs{};
+    for (std::size_t c = 0; c < hs.size(); ++c)
+      hs[c] = &obs::metrics().histogram(
+          std::string("gpusim.kernel_us.") +
+          to_string(static_cast<KernelCategory>(c)));
+    return hs;
+  }();
+  m.launches.add(1);
+  m.flops.add(ks.flops);
+  m.global_bytes.add(ks.global_bytes);
+  m.cache_hit_bytes.add(ks.cache_hit_bytes);
+  m.cache_loaded_bytes.add(ks.cache_loaded_bytes);
+  m.atomic_ops.add(ks.atomic_ops);
+  per_category[static_cast<std::size_t>(ks.category)]->observe(ks.latency_us);
+}
+
+}  // namespace
 
 const char* to_string(KernelCategory c) {
   switch (c) {
@@ -82,8 +122,10 @@ Device::Device(DeviceConfig config) : config_(config) {
 }
 
 void Device::track_alloc(std::size_t bytes) {
-  if (used_bytes_ + bytes > config_.memory_capacity_bytes)
+  if (used_bytes_ + bytes > config_.memory_capacity_bytes) {
+    obs::metrics().counter("gpusim.oom_aborts").add(1);
     throw GpuOomError(bytes, config_.memory_capacity_bytes - used_bytes_);
+  }
   used_bytes_ += bytes;
   peak_bytes_ = std::max(peak_bytes_, used_bytes_);
   ++alloc_count_;
@@ -218,6 +260,7 @@ KernelStats Device::run_kernel(const std::string& name,
       static_cast<double>(ks.flops) / flop_rate +
       static_cast<double>(ks.global_bytes) / cp.global_bw_bytes_per_us;
   ks.latency_us = cp.launch_overhead_us + std::max(device_us, max_sm_us);
+  record_kernel_metrics(ks);
   profile_.push_back(ks);
   return ks;
 }
@@ -241,6 +284,7 @@ KernelStats Device::charge_kernel(const std::string& name,
                   static_cast<double>(flops) /
                       (flop_rate * static_cast<double>(config_.num_sms)) +
                   static_cast<double>(global_bytes) / cp.global_bw_bytes_per_us;
+  record_kernel_metrics(ks);
   profile_.push_back(ks);
   return ks;
 }

@@ -1,5 +1,23 @@
 #include "gpusim/pcie.hpp"
 
-// Header-only today; translation unit kept so the library always has an
-// archive member for this component.
-namespace gt::gpusim {}
+#include "obs/metrics.hpp"
+
+namespace gt::gpusim {
+
+double PcieModel::transfer_us(std::size_t bytes, bool pinned) const {
+  static obs::Counter& transfers = obs::metrics().counter("pcie.transfers");
+  static obs::Counter& total_bytes = obs::metrics().counter("pcie.bytes");
+  static obs::Counter& staged_bytes =
+      obs::metrics().counter("pcie.pageable_staged_bytes");
+  transfers.add(1);
+  total_bytes.add(bytes);
+  double t = params_.latency_us +
+             static_cast<double>(bytes) / params_.bw_bytes_per_us;
+  if (!pinned) {
+    staged_bytes.add(bytes);
+    t += static_cast<double>(bytes) / params_.staging_copy_bw_bytes_per_us;
+  }
+  return t;
+}
+
+}  // namespace gt::gpusim

@@ -25,14 +25,9 @@ class PcieModel {
   const PcieParams& params() const noexcept { return params_; }
 
   /// Time to move `bytes` host->device. Pinned memory skips the staging
-  /// copy the driver otherwise performs.
-  double transfer_us(std::size_t bytes, bool pinned) const noexcept {
-    double t = params_.latency_us +
-               static_cast<double>(bytes) / params_.bw_bytes_per_us;
-    if (!pinned)
-      t += static_cast<double>(bytes) / params_.staging_copy_bw_bytes_per_us;
-    return t;
-  }
+  /// copy the driver otherwise performs. Each call records the priced
+  /// transfer into the gt::obs metrics (pcie.transfers / pcie.bytes).
+  double transfer_us(std::size_t bytes, bool pinned) const;
 
  private:
   PcieParams params_;

@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace gt::obs {
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("histogram bounds must be ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  stats_.add(x);
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard lock(mu_);
+  return stats_.count();
+}
+double Histogram::sum() const {
+  std::lock_guard lock(mu_);
+  return stats_.sum();
+}
+double Histogram::mean() const {
+  std::lock_guard lock(mu_);
+  return stats_.mean();
+}
+double Histogram::min() const {
+  std::lock_guard lock(mu_);
+  return stats_.min();
+}
+double Histogram::max() const {
+  std::lock_guard lock(mu_);
+  return stats_.max();
+}
+double Histogram::stdev() const {
+  std::lock_guard lock(mu_);
+  return stats_.stdev();
+}
+OnlineStats Histogram::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(mu_);
+  stats_ = OnlineStats{};
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_bounds_us() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= 1.0e6; decade *= 10.0)
+      for (double m : {1.0, 2.0, 5.0}) b.push_back(decade * m);
+    return b;
+  }();
+  return bounds;
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: call sites cache references across the whole process lifetime.
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, default_latency_bounds_us());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+void write_number(std::ostream& os, double v) {
+  char num[48];
+  std::snprintf(num, sizeof num, "%.6g", v);
+  os << num;
+}
+
+void write_key(std::ostream& os, const std::string& name) {
+  std::string escaped;
+  json_escape(name, escaped);
+  os << "\"" << escaped << "\":";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_key(os, name);
+    os << c->value();
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_key(os, name);
+    write_number(os, g->value());
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_key(os, name);
+    const OnlineStats s = h->stats();
+    os << "{\"count\":" << s.count() << ",\"sum\":";
+    write_number(os, s.sum());
+    os << ",\"mean\":";
+    write_number(os, s.mean());
+    os << ",\"min\":";
+    write_number(os, s.min());
+    os << ",\"max\":";
+    write_number(os, s.max());
+    os << ",\"stdev\":";
+    write_number(os, s.stdev());
+    os << ",\"buckets\":[";
+    const auto& bounds = h->bounds();
+    const auto counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"le\":";
+      if (i < bounds.size())
+        write_number(os, bounds[i]);
+      else
+        os << "\"inf\"";
+      os << ",\"count\":" << counts[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "\n  }\n}\n";
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace gt::obs

@@ -3,12 +3,30 @@
 #include <future>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gt::pipeline {
 
 using sampling::HopEdges;
 using sampling::LayerGraphHost;
 using sampling::SampledBatch;
 using sampling::VidHashTable;
+
+namespace {
+
+/// Hash-table accounting shared by both executors: the legacy
+/// PreprocResult fields and the obs registry report the same counts (a
+/// regression test keeps the Fig 14 numbers trustworthy).
+void record_preproc_metrics(const PreprocResult& result) {
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("preproc.batches").add(1);
+  m.counter("preproc.hash_acquisitions").add(result.hash_acquisitions);
+  m.counter("preproc.hash_contended").add(result.hash_contended);
+  m.counter("preproc.sampled_vertices").add(result.batch.total_vertices());
+}
+
+}  // namespace
 
 PreprocExecutor::PreprocExecutor(const Csr& graph,
                                  const EmbeddingTable& embeddings,
@@ -25,15 +43,27 @@ PreprocExecutor::PreprocExecutor(const Csr& graph,
 
 PreprocResult PreprocExecutor::run_serial(
     std::span<const Vid> batch_vids) const {
+  GT_OBS_SCOPE_N(span, "preproc.run_serial", "preproc");
+  span.arg("batch_size", static_cast<std::int64_t>(batch_vids.size()));
   PreprocResult result;
   VidHashTable table;
-  result.batch = sampler_.sample(batch_vids, num_layers_, table);
-  for (std::uint32_t l = 0; l < num_layers_; ++l)
+  {
+    GT_OBS_SCOPE("S.sample", "sampling");
+    result.batch = sampler_.sample(batch_vids, num_layers_, table);
+  }
+  for (std::uint32_t l = 0; l < num_layers_; ++l) {
+    GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
+    r_span.arg("layer", static_cast<std::int64_t>(l));
     result.layers.push_back(
         sampling::reindex_layer(result.batch, table, l, formats_));
-  result.embeddings = lookup_.gather_all(result.batch.vid_order);
+  }
+  {
+    GT_OBS_SCOPE("K.lookup", "lookup");
+    result.embeddings = lookup_.gather_all(result.batch.vid_order);
+  }
   result.hash_acquisitions = table.lock_acquisitions();
   result.hash_contended = table.contended_acquisitions();
+  record_preproc_metrics(result);
   return result;
 }
 
@@ -41,6 +71,9 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
                                             ThreadPool& pool,
                                             std::size_t chunks) const {
   if (chunks == 0) chunks = 1;
+  GT_OBS_SCOPE_N(span, "preproc.run_parallel", "preproc");
+  span.arg("batch_size", static_cast<std::int64_t>(batch_vids.size()));
+  span.arg("chunks", static_cast<std::int64_t>(chunks));
   PreprocResult result;
   VidHashTable table;
 
@@ -67,6 +100,9 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
     for (std::size_t begin = 0; begin < n; begin += per_chunk) {
       const std::size_t end = std::min(begin + per_chunk, n);
       parts.push_back(pool.submit([this, &frontier, begin, end, h] {
+        GT_OBS_SCOPE_N(a_span, "S.A", "sampling");
+        a_span.arg("hop", static_cast<std::int64_t>(h));
+        a_span.arg("vertices", static_cast<std::int64_t>(end - begin));
         return sampler_.choose_neighbors(
             std::span(frontier).subspan(begin, end - begin), h);
       }));
@@ -75,6 +111,8 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
     HopEdges edges;
     for (auto& part : parts) {
       HopEdges chunk = part.get();
+      GT_OBS_SCOPE_N(h_span, "S.H", "sampling");
+      h_span.arg("hop", static_cast<std::int64_t>(h));
       sampling::NeighborSampler::insert_vertices(table, chunk);
       edges.src.insert(edges.src.end(), chunk.src.begin(), chunk.src.end());
       edges.dst.insert(edges.dst.end(), chunk.dst.begin(), chunk.dst.end());
@@ -94,6 +132,8 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
   std::vector<std::future<LayerGraphHost>> layer_futures;
   for (std::uint32_t l = 0; l < num_layers_; ++l) {
     layer_futures.push_back(pool.submit([this, &sb, &table, l] {
+      GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
+      r_span.arg("layer", static_cast<std::int64_t>(l));
       return sampling::reindex_layer(sb, table, l, formats_);
     }));
   }
@@ -106,6 +146,8 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
   for (std::size_t begin = 0; begin < rows; begin += rows_per_chunk) {
     const std::size_t end = std::min(begin + rows_per_chunk, rows);
     k_futures.push_back(pool.submit([this, &sb, &result, begin, end] {
+      GT_OBS_SCOPE_N(k_span, "K.chunk", "lookup");
+      k_span.arg("rows", static_cast<std::int64_t>(end - begin));
       lookup_.gather_chunk(sb.vid_order, begin, end, result.embeddings);
     }));
   }
@@ -114,6 +156,7 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
   for (auto& f : k_futures) f.get();
   result.hash_acquisitions = table.lock_acquisitions();
   result.hash_contended = table.contended_acquisitions();
+  record_preproc_metrics(result);
   return result;
 }
 

@@ -1,11 +1,16 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace gt {
 
 LogLevel log_threshold() {
+  // Function-local static: the GT_LOG environment variable is read once
+  // per process, not per log call.
   static const LogLevel level = [] {
     const char* env = std::getenv("GT_LOG");
     if (env == nullptr) return LogLevel::kOff;
@@ -19,14 +24,40 @@ LogLevel log_threshold() {
 }
 
 namespace detail {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Monotonic milliseconds since the first log call.
+double uptime_ms() {
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Small sequential thread id (00, 01, ...) — readable, unlike the
+/// platform's opaque std::thread::id.
+unsigned thread_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
+}  // namespace
+
 void log_emit(LogLevel level, std::string_view msg) {
   static std::mutex mu;
   const char* tag = level == LogLevel::kDebug  ? "DEBUG"
                     : level == LogLevel::kInfo ? "INFO "
                                                : "WARN ";
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[gt:%s +%.3fms t%02u] ", tag,
+                uptime_ms(), thread_index());
   std::lock_guard lock(mu);
-  std::clog << "[gt:" << tag << "] " << msg << '\n';
+  std::clog << prefix << msg << '\n';
 }
+
 }  // namespace detail
 
 }  // namespace gt
