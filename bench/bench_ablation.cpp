@@ -59,6 +59,8 @@ void ablation_scheduling() {
                                      kernels::EdgeWeightMode::kNone);
     const auto edge_stats = accumulate(dev.profile());
 
+    bench::row("edge-wise / feature-wise aggregation latency", name, "", 0.0,
+               edge_stats.latency_us / napa_stats.latency_us);
     table.add_row({name, Table::fmt(napa_stats.latency_us, 1),
                    Table::fmt(group_stats.latency_us, 1),
                    Table::fmt(edge_stats.latency_us, 1),

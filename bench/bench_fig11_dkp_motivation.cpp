@@ -38,6 +38,8 @@ int main() {
       const double agg_first = e * f + dst * f;
       const double comb_first = src * f + e * h;
       const double reduction = 1.0 - comb_first / agg_first;
+      bench::row("comb-first input reduction L" + std::to_string(l), name,
+                 "", 0.0, reduction, "fraction");
       table.add_row({name, std::to_string(l), Table::fmt(f, 0),
                      Table::fmt(h, 0), Table::fmt_count(agg_first),
                      Table::fmt_count(comb_first),

@@ -26,6 +26,9 @@ int main() {
     };
     const double compute = r.kernel_total_us / e2e;
     compute_shares.push_back(compute);
+    bench::row("GNN compute share of e2e", name, "PyG-MT", 0.0, compute,
+               "fraction");
+    bench::row("e2e latency", name, "PyG-MT", 0.0, e2e, "us");
     table.add_row({name, Table::fmt_pct(share(TaskType::kSample)),
                    Table::fmt_pct(share(TaskType::kReindex)),
                    Table::fmt_pct(share(TaskType::kLookup)),

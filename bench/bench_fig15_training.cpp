@@ -107,6 +107,8 @@ int main() {
           row.push_back(Table::fmt_ratio(cell.us / base) + " [" +
                         Table::fmt(cell.lo / base, 2) + ".." +
                         Table::fmt(cell.hi / base, 2) + "]");
+          bench::row(std::string(model_name) + " kernel latency vs Base-GT",
+                     name, b, 0.0, cell.us / base);
           if (b == "DGL") summary.dgl.push_back(cell.us / base);
           if (b == "PyG") summary.pyg.push_back(cell.us / base);
         }
@@ -114,7 +116,11 @@ int main() {
       row.push_back("1.00x");
       Cell dyn = run_dynamic_gt(data, model);
       row.push_back(dyn.oom ? "OOM" : Table::fmt_ratio(dyn.us / base));
-      if (!dyn.oom) summary.dyn.push_back(dyn.us / base);
+      if (!dyn.oom) {
+        bench::row(std::string(model_name) + " kernel latency vs Base-GT",
+                   name, "Dynamic-GT", 0.0, dyn.us / base);
+        summary.dyn.push_back(dyn.us / base);
+      }
       row.push_back(Table::fmt(base, 1));
       table.add_row(std::move(row));
     }
@@ -143,6 +149,13 @@ int main() {
                 "%.2f\n",
                 c.bucket, c.paper_dgl, geomean(s.dgl), c.paper_pyg,
                 geomean(s.pyg), c.paper_dyn, geomean(s.dyn));
+    const std::string bucket = c.bucket;
+    bench::row(bucket + " geomean vs Base-GT", "", "DGL", c.paper_dgl,
+               geomean(s.dgl));
+    bench::row(bucket + " geomean vs Base-GT", "", "PyG", c.paper_pyg,
+               geomean(s.pyg));
+    bench::row(bucket + " geomean vs Base-GT", "", "Dynamic-GT", c.paper_dyn,
+               geomean(s.dyn));
   }
   return 0;
 }

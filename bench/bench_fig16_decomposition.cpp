@@ -36,6 +36,8 @@ int main() {
             r.kernel_us(KernelCategory::kCombination) -
             r.kernel_us(KernelCategory::kSparse2Dense) -
             r.kernel_us(KernelCategory::kFormatTranslate);
+        bench::row(std::string(model_name) + " kernel total", dataset_name,
+                   fw, 0.0, r.kernel_total_us, "us");
         table.add_row(
             {fw, Table::fmt(r.kernel_us(KernelCategory::kAggregation), 1),
              Table::fmt(r.kernel_us(KernelCategory::kEdgeWeight), 1),

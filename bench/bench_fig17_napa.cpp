@@ -31,6 +31,8 @@ int main() {
       const double saved = 1.0 - static_cast<double>(gt_run.peak_memory_bytes) /
                                      pyg.peak_memory_bytes;
       mem_saved.push_back(saved);
+      bench::row("NAPA memory saved vs PyG", name, "Base-GT", 0.0, saved,
+                 "fraction");
       row.push_back(Table::fmt_bytes(pyg.peak_memory_bytes));
       row.push_back(Table::fmt_bytes(gt_run.peak_memory_bytes));
       row.push_back(Table::fmt_pct(saved));
@@ -38,6 +40,8 @@ int main() {
     const double csaved = 1.0 - static_cast<double>(gt_run.cache_loaded_bytes) /
                                     dgl.cache_loaded_bytes;
     cache_saved.push_back(csaved);
+    bench::row("NAPA cache-load saved vs DGL", name, "Base-GT", 0.0, csaved,
+               "fraction");
     row.push_back(Table::fmt_bytes(dgl.cache_loaded_bytes));
     row.push_back(Table::fmt_bytes(gt_run.cache_loaded_bytes));
     row.push_back(Table::fmt_pct(csaved));

@@ -46,6 +46,9 @@ int main() {
         static_cast<double>(base.global_bytes) / last.global_bytes;
     flop_ratios.push_back(fr);
     byte_ratios.push_back(br);
+    bench::row("graph-kernel FLOP reduction", name, "Dynamic-GT", 0.0, fr);
+    bench::row("global-memory-access reduction", name, "Dynamic-GT", 0.0,
+               br);
     table.add_row({name, Table::fmt_count(base.graph_kernel_flops()),
                    Table::fmt_count(last.graph_kernel_flops()),
                    Table::fmt_ratio(fr),

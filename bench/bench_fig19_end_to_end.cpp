@@ -28,6 +28,10 @@ int main() {
       e2e[fw] = r.end_to_end_us;
     }
     const double dyn = e2e["Dynamic-GT"];
+    for (const auto& fw : fws)
+      if (fw != "Dynamic-GT")
+        bench::row("e2e latency vs Dynamic-GT", name, fw, 0.0,
+                   e2e[fw] / dyn);
     table.add_row({name, Table::fmt_ratio(e2e["PyG-MT"] / dyn),
                    Table::fmt_ratio(e2e["DGL"] / dyn),
                    Table::fmt_ratio(e2e["SALIENT"] / dyn),

@@ -71,6 +71,12 @@ int main() {
                   dyn.type_finish_us[static_cast<int>(TaskType::kLookup)];
     transfer_savings.push_back(t_save);
     lookup_savings.push_back(k_save);
+    bench::row("transfer finish saving vs Dynamic-GT", name, "Prepro-GT",
+               0.0, t_save, "fraction");
+    bench::row("lookup finish saving vs Dynamic-GT", name, "Prepro-GT", 0.0,
+               k_save, "fraction");
+    bench::row("preproc makespan saving vs Dynamic-GT", name, "Prepro-GT",
+               0.0, 1.0 - svc.makespan_us / dyn.makespan_us, "fraction");
     std::printf("makespan: Dynamic-GT %.0fus -> Prepro-GT %.0fus (%.1f%% "
                 "shorter)\n\n",
                 dyn.makespan_us, svc.makespan_us,

@@ -57,6 +57,10 @@ int main() {
 
     mem_ratios.push_back(mem_ratio);
     cache_ratios.push_back(cache_ratio);
+    bench::row("DL-approach memory footprint / table", name, "PyG", 0.0,
+               mem_ratio);
+    bench::row("Graph-approach cache loads / table", name, "DGL", 0.0,
+               cache_ratio);
     table.add_row({name, Table::fmt_ratio(mem_ratio),
                    Table::fmt_pct(cache_ratio)});
   }

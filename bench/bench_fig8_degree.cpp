@@ -29,6 +29,7 @@ int main() {
     auto smp = summarize_degrees(smp_deg);
     const double ratio = smp.mean > 0 ? orig.mean / smp.mean : 0.0;
     ratios.push_back(ratio);
+    bench::row("original avg degree / sampled", name, "", 0.0, ratio);
     table.add_row({name, Table::fmt(orig.mean, 1), Table::fmt(orig.stdev, 1),
                    Table::fmt(smp.mean, 2), Table::fmt(smp.stdev, 2),
                    Table::fmt_ratio(ratio)});

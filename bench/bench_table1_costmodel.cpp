@@ -90,6 +90,8 @@ int main() {
         decision == KernelOrder::kAggregationFirst ? t_agg : t_comb;
     ++total;
     agree += decision == oracle;
+    bench::row("DKP decision regret vs oracle", name, "Dynamic-GT", 0.0,
+               got / best - 1.0, "fraction");
     table.add_row({name, Table::fmt(t_agg, 1), Table::fmt(t_comb, 1),
                    dfg::to_string(oracle), dfg::to_string(decision),
                    decision == oracle ? "yes" : "NO",
@@ -98,5 +100,8 @@ int main() {
   table.print();
   std::printf("\nlayer-0 decision agreement with oracle: %d/%d\n", agree,
               total);
+  bench::row("DKP decision agreement with oracle", "", "Dynamic-GT", 1.0,
+             total > 0 ? static_cast<double>(agree) / total : 0.0,
+             "fraction");
   return 0;
 }

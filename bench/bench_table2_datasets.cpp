@@ -21,6 +21,9 @@ int main() {
 
     const double edges = static_cast<double>(pre.batch.layer_edges(0));
     const double verts = static_cast<double>(pre.batch.total_vertices());
+    bench::row("sampled edges per vertex", name, "",
+               data.spec.paper.sampled_edges_per_vertex, edges / verts,
+               "e/v");
     table.add_row(
         {name, Table::fmt_count(data.coo.num_vertices),
          Table::fmt_count(data.coo.num_edges()),

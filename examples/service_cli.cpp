@@ -5,14 +5,21 @@
 //   $ ./examples/service_cli [dataset] [model] [framework] [batches]
 //   $ ./examples/service_cli wiki-talk NGCF Prepro-GT 12
 //
-// Observability flags (anywhere on the command line):
-//   --trace-out=trace.json     Chrome trace-event JSON of the run: the
-//                              simulated S/R/K/T + FWP/BWP batch timeline
-//                              (load in chrome://tracing or Perfetto) plus
-//                              wall-clock host spans.
-//   --metrics-out=metrics.json Dump of the gt::obs metrics registry (hash
-//                              contention, DKP decisions, kernel-category
-//                              timings, PCIe bytes, per-epoch loss, ...).
+// Observability flags (anywhere on the command line); each flag also
+// honors its GT_* environment-variable equivalent, for parity with the
+// bench binaries' env-driven hook (the flag wins when both are set):
+//   --trace-out=trace.json     (GT_TRACE_OUT) Chrome trace-event JSON of
+//                              the run: the simulated S/R/K/T + FWP/BWP
+//                              batch timeline (load in chrome://tracing
+//                              or Perfetto) plus wall-clock host spans.
+//   --metrics-out=metrics.json (GT_METRICS_OUT) Dump of the gt::obs
+//                              metrics registry (hash contention, DKP
+//                              decisions, kernel-category timings, PCIe
+//                              bytes, per-epoch loss, ...).
+//   --bench-out=bench.json     (GT_BENCH_OUT) Structured bench report:
+//                              per-run latency/loss rows plus the
+//                              trace-derived critical-path / stage-share /
+//                              overlap analysis (see obs/report.hpp).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,7 +27,9 @@
 
 #include "core/graphtensor.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -40,21 +49,33 @@ gt::models::GnnModelConfig model_by_name(const std::string& name,
   std::exit(2);
 }
 
+/// Flag value, falling back to the GT_* environment equivalent.
+std::string out_path(const std::string& flag_value, const char* env_name) {
+  if (!flag_value.empty()) return flag_value;
+  if (const char* env = std::getenv(env_name)) return env;
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_out, metrics_out;
+  std::string trace_flag, metrics_flag, bench_flag;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
-      trace_out = arg.substr(12);
+      trace_flag = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
-      metrics_out = arg.substr(14);
+      metrics_flag = arg.substr(14);
+    } else if (arg.rfind("--bench-out=", 0) == 0) {
+      bench_flag = arg.substr(12);
     } else {
       positional.push_back(arg);
     }
   }
+  const std::string trace_out = out_path(trace_flag, "GT_TRACE_OUT");
+  const std::string metrics_out = out_path(metrics_flag, "GT_METRICS_OUT");
+  const std::string bench_out = out_path(bench_flag, "GT_BENCH_OUT");
   const std::string dataset_name =
       positional.size() > 0 ? positional[0] : "products";
   const std::string model_name =
@@ -64,7 +85,9 @@ int main(int argc, char** argv) {
   const int batches =
       positional.size() > 3 ? std::atoi(positional[3].c_str()) : 8;
 
-  if (!trace_out.empty()) gt::obs::Tracer::global().enable(true);
+  // The bench report embeds trace-derived analysis, so it needs spans too.
+  if (!trace_out.empty() || !bench_out.empty())
+    gt::obs::Tracer::global().enable(true);
 
   gt::Dataset data = gt::generate(dataset_name, 42);
   gt::models::GnnModelConfig model = model_by_name(model_name, data.spec);
@@ -80,12 +103,15 @@ int main(int argc, char** argv) {
 
   gt::Table table({"batch", "loss", "kernel us", "preproc us", "e2e us",
                    "peak mem", "placement L0"});
+  std::vector<double> e2e_us, losses;
   for (int b = 0; b < batches; ++b) {
     gt::frameworks::RunReport r = service.train_batch();
     if (r.oom) {
       table.add_row({std::to_string(b), "OOM: " + r.oom_what});
       break;
     }
+    e2e_us.push_back(r.end_to_end_us);
+    losses.push_back(r.loss);
     table.add_row({std::to_string(b), gt::Table::fmt(r.loss, 4),
                    gt::Table::fmt(r.kernel_total_us, 1),
                    gt::Table::fmt(r.preproc_makespan_us, 1),
@@ -94,8 +120,9 @@ int main(int argc, char** argv) {
                    r.layer_comb_first_fwd[0] ? "comb-first" : "agg-first"});
   }
   table.print();
+  const double accuracy = service.evaluate(2);
   std::printf("\nheld-out accuracy: %.1f%% (chance %.1f%%)\n",
-              100.0 * service.evaluate(2), 100.0 / model.output_dim);
+              100.0 * accuracy, 100.0 / model.output_dim);
 
   if (!trace_out.empty()) {
     if (gt::obs::Tracer::global().write_chrome_trace_file(trace_out))
@@ -111,6 +138,35 @@ int main(int argc, char** argv) {
     else
       std::fprintf(stderr, "failed to write metrics to %s\n",
                    metrics_out.c_str());
+  }
+  if (!bench_out.empty()) {
+    gt::obs::BenchReporter& rep = gt::obs::BenchReporter::global();
+    rep.set_binary("service_cli");
+    rep.set_iterations(batches);
+    rep.set_context("service_cli",
+                    model_name + " on " + dataset_name + " via " + framework);
+    {
+      gt::obs::BenchRow row;
+      row.metric = "mean batch e2e";
+      row.dataset = dataset_name;
+      row.framework = framework;
+      row.unit = "us";
+      row.measured = gt::mean(e2e_us);
+      rep.add_row(row);
+      row.metric = "final batch loss";
+      row.unit = "loss";
+      row.measured = losses.empty() ? 0.0 : losses.back();
+      rep.add_row(row);
+      row.metric = "held-out accuracy";
+      row.unit = "fraction";
+      row.measured = accuracy;
+      rep.add_row(row);
+    }
+    if (rep.write_json_file(bench_out))
+      std::printf("bench report written to %s\n", bench_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write bench report to %s\n",
+                   bench_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,94 @@
+// Trace-derived performance analysis: turns the tracer's simulated
+// S/R/K/T + FWP/BWP timeline (the paper's Fig 20 picture) into numbers —
+// critical-path length, per-stage time shares, preprocessing<->compute
+// overlap efficiency, and PCIe idle fraction.
+//
+// The analysis consumes TraceEvents directly (any vector, typically
+// `Tracer::snapshot()`), considering only the simulated timeline
+// (pid == kSimPid). Wall-clock host spans measure the reproduction's own
+// code, not the modeled system, so they are excluded on purpose.
+//
+// Definitions (all durations in simulated microseconds):
+//  * span_us          — max(ts+dur) - min(ts) over all sim events: the
+//                       full timeline extent including inter-batch gaps.
+//  * critical_path_us — measure of the union of busy intervals across
+//                       every lane: the time at least one resource (cpu,
+//                       pcie, gpu) is working. span - critical_path is
+//                       whole-system idle time.
+//  * stage shares     — per-category busy time (sampling, reindex,
+//                       lookup, transfer, fwp, bwp) as a fraction of
+//                       total busy time. GPU per-kernel detail events are
+//                       skipped: they duplicate the FWP/BWP phase spans.
+//  * overlap          — intersection of the preprocessing busy-union
+//                       (S/R/K/T) with the GPU busy-union (FWP/BWP);
+//                       efficiency normalizes by the shorter of the two,
+//                       so 1.0 means the smaller side is fully hidden.
+//  * pcie_idle        — 1 - pcie busy / span: the fraction of the
+//                       timeline the link sits idle (Fig 20's motivation
+//                       for service-wide transfer pipelining).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace gt::obs {
+
+/// One (start, end) busy interval on some lane, in simulated us.
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Sort + merge overlapping/adjacent intervals in place; returns the
+/// merged list. Total measure of the result is `interval_measure`.
+std::vector<Interval> merge_intervals(std::vector<Interval> xs);
+double interval_measure(const std::vector<Interval>& xs);
+/// Measure of the intersection of two *merged* interval lists.
+double interval_intersection(const std::vector<Interval>& a,
+                             const std::vector<Interval>& b);
+
+/// Preprocessing stage order matches pipeline::TaskType (S, R, K, T).
+inline constexpr int kNumPreprocStages = 4;
+inline constexpr const char* kPreprocStageNames[kNumPreprocStages] = {
+    "sampling", "reindex", "lookup", "transfer"};
+
+struct TraceAnalysis {
+  std::size_t sim_event_count = 0;
+
+  double span_us = 0.0;
+  double critical_path_us = 0.0;
+
+  /// Busy time per preprocessing stage (indexed like kPreprocStageNames)
+  /// plus the two GPU phases.
+  double stage_us[kNumPreprocStages] = {0.0, 0.0, 0.0, 0.0};
+  double fwp_us = 0.0;
+  double bwp_us = 0.0;
+  /// stage_us[i] / total busy time (0 when the trace is empty).
+  double stage_share[kNumPreprocStages] = {0.0, 0.0, 0.0, 0.0};
+  double fwp_share = 0.0;
+  double bwp_share = 0.0;
+
+  double preproc_busy_us = 0.0;  ///< union measure of S/R/K/T intervals
+  double gpu_busy_us = 0.0;      ///< union measure of FWP/BWP intervals
+  double overlap_us = 0.0;       ///< intersection of the two unions
+  /// overlap_us / min(preproc_busy_us, gpu_busy_us); 0 when either empty.
+  double overlap_efficiency = 0.0;
+
+  double pcie_busy_us = 0.0;
+  /// 1 - pcie_busy/span; 0 when the trace is empty.
+  double pcie_idle_fraction = 0.0;
+
+  /// Analyze the simulated timeline contained in `events`.
+  static TraceAnalysis from_events(const std::vector<TraceEvent>& events);
+  /// Shorthand: analyze the global tracer's current buffers.
+  static TraceAnalysis from_tracer(const Tracer& tracer);
+
+  /// JSON object (no trailing newline): the "trace_analysis" section of a
+  /// bench report. Keys are emitted in a fixed sorted order.
+  void write_json(std::ostream& os, int indent = 0) const;
+};
+
+}  // namespace gt::obs

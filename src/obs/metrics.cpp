@@ -56,6 +56,33 @@ OnlineStats Histogram::stats() const {
   return stats_;
 }
 
+double Histogram::quantile(double q) const {
+  const OnlineStats s = stats();
+  const std::uint64_t total = s.count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto counts = bucket_counts();
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      // Interpolate inside this bucket; the exact observed min/max bound
+      // the open-ended first and +inf buckets.
+      double lo = i == 0 ? s.min() : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : s.max();
+      lo = std::max(lo, s.min());
+      hi = std::min(hi, s.max());
+      if (hi < lo) hi = lo;
+      const double frac = (target - cum) / static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return s.max();
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(bounds_.size() + 1);
   for (std::size_t i = 0; i < out.size(); ++i)
@@ -180,6 +207,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     write_number(os, s.max());
     os << ",\"stdev\":";
     write_number(os, s.stdev());
+    os << ",\"p50\":";
+    write_number(os, h->quantile(0.50));
+    os << ",\"p95\":";
+    write_number(os, h->quantile(0.95));
+    os << ",\"p99\":";
+    write_number(os, h->quantile(0.99));
     os << ",\"buckets\":[";
     const auto& bounds = h->bounds();
     const auto counts = h->bucket_counts();

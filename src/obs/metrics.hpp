@@ -68,6 +68,16 @@ class Histogram {
   double stdev() const;
   OnlineStats stats() const;
 
+  /// Quantile estimate from the fixed buckets, `q` in [0, 1]: linear
+  /// interpolation inside the bucket holding the q-th observation, with
+  /// the exact min/max bounding the open-ended edge buckets. Exact when a
+  /// bucket holds uniformly spread values; never off by more than one
+  /// bucket width otherwise. 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   std::vector<std::uint64_t> bucket_counts() const;
 
@@ -102,7 +112,10 @@ class MetricsRegistry {
   /// Zero every registered metric in place (registrations survive).
   void reset();
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}. Keys are
+  /// emitted in sorted order (the registry maps are ordered) and numbers
+  /// formatted deterministically, so two dumps of the same state are
+  /// byte-identical and dumps from different runs diff cleanly.
   void write_json(std::ostream& os) const;
   bool write_json_file(const std::string& path) const;
 

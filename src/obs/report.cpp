@@ -1,0 +1,415 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
+
+namespace gt::obs {
+
+namespace {
+
+// Separator that cannot appear in row fields (json_escape would encode it).
+constexpr char kKeySep = '\x1f';
+
+std::string default_binary_name() {
+#if defined(__GLIBC__)
+  if (program_invocation_short_name != nullptr)
+    return program_invocation_short_name;
+#endif
+  return "unknown";
+}
+
+std::string default_git_sha() {
+  // CI can pin the exact sha at runtime; otherwise use the configure-time
+  // value baked in by CMake (stale only until the next reconfigure).
+  if (const char* env = std::getenv("GT_GIT_SHA")) return env;
+#ifdef GT_GIT_SHA
+  return GT_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string default_build_type() {
+#ifdef GT_BUILD_TYPE
+  return GT_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+void write_num(std::ostream& os, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+void write_str(std::ostream& os, std::string_view s) {
+  std::string escaped;
+  json_escape(s, escaped);
+  os << '"' << escaped << '"';
+}
+
+}  // namespace
+
+std::string BenchRow::key() const {
+  std::string k = figure;
+  k += kKeySep;
+  k += metric;
+  k += kKeySep;
+  k += dataset;
+  k += kKeySep;
+  k += framework;
+  return k;
+}
+
+// ---- BenchReporter ----------------------------------------------------------
+
+BenchReporter::BenchReporter() {
+  meta_.binary = default_binary_name();
+  meta_.git_sha = default_git_sha();
+  meta_.build_type = default_build_type();
+  meta_.threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+}
+
+BenchReporter& BenchReporter::global() {
+  // Leaked: the bench ObsHook dumps from a static destructor.
+  static BenchReporter* r = new BenchReporter();
+  return *r;
+}
+
+void BenchReporter::set_context(std::string figure, std::string description) {
+  std::lock_guard lock(mu_);
+  figure_ = figure;
+  for (auto& [fig, desc] : figures_)
+    if (fig == figure) {
+      desc = std::move(description);
+      return;
+    }
+  figures_.emplace_back(std::move(figure), std::move(description));
+}
+
+std::string BenchReporter::figure() const {
+  std::lock_guard lock(mu_);
+  return figure_;
+}
+
+void BenchReporter::add_row(BenchRow row) {
+  std::lock_guard lock(mu_);
+  if (row.figure.empty()) row.figure = figure_;
+  rows_.push_back(std::move(row));
+}
+
+void BenchReporter::add_claim(std::string metric, double paper,
+                              double measured, std::string unit) {
+  BenchRow row;
+  row.metric = std::move(metric);
+  row.unit = std::move(unit);
+  row.paper = paper;
+  row.measured = measured;
+  add_row(std::move(row));
+}
+
+void BenchReporter::set_binary(std::string name) {
+  std::lock_guard lock(mu_);
+  meta_.binary = std::move(name);
+}
+
+void BenchReporter::set_iterations(int n) {
+  std::lock_guard lock(mu_);
+  meta_.iterations = n;
+}
+
+RunMeta BenchReporter::meta() const {
+  std::lock_guard lock(mu_);
+  return meta_;
+}
+
+std::vector<BenchRow> BenchReporter::rows() const {
+  std::lock_guard lock(mu_);
+  return rows_;
+}
+
+std::size_t BenchReporter::row_count() const {
+  std::lock_guard lock(mu_);
+  return rows_.size();
+}
+
+void BenchReporter::clear() {
+  std::lock_guard lock(mu_);
+  rows_.clear();
+  figures_.clear();
+  figure_.clear();
+}
+
+void BenchReporter::write_json(std::ostream& os,
+                               const TraceAnalysis& analysis) const {
+  std::lock_guard lock(mu_);
+  // Figures sorted by name for byte-stable output (recording order is a
+  // run-time detail; rows keep it because it mirrors the printed tables).
+  std::map<std::string, std::string, std::less<>> figs(figures_.begin(),
+                                                       figures_.end());
+  os << "{\n  \"figures\": {";
+  bool first = true;
+  for (const auto& [fig, desc] : figs) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_str(os, fig);
+    os << ": ";
+    write_str(os, desc);
+  }
+  os << "\n  },\n  \"meta\": {\n    \"binary\": ";
+  write_str(os, meta_.binary);
+  os << ",\n    \"build_type\": ";
+  write_str(os, meta_.build_type);
+  os << ",\n    \"git_sha\": ";
+  write_str(os, meta_.git_sha);
+  os << ",\n    \"iterations\": " << meta_.iterations;
+  os << ",\n    \"threads\": " << meta_.threads;
+  os << "\n  },\n  \"rows\": [";
+  first = true;
+  for (const BenchRow& r : rows_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << "{\"dataset\": ";
+    write_str(os, r.dataset);
+    os << ", \"figure\": ";
+    write_str(os, r.figure);
+    os << ", \"framework\": ";
+    write_str(os, r.framework);
+    os << ", \"measured\": ";
+    write_num(os, r.measured);
+    os << ", \"metric\": ";
+    write_str(os, r.metric);
+    os << ", \"paper\": ";
+    write_num(os, r.paper);
+    os << ", \"unit\": ";
+    write_str(os, r.unit);
+    os << "}";
+  }
+  os << "\n  ],\n  \"schema_version\": " << kBenchReportSchemaVersion;
+  os << ",\n  \"trace_analysis\": ";
+  analysis.write_json(os, 2);
+  os << "\n}\n";
+}
+
+bool BenchReporter::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f, TraceAnalysis::from_tracer(Tracer::global()));
+  return static_cast<bool>(f);
+}
+
+// ---- BenchReport (reader) ---------------------------------------------------
+
+bool BenchReport::from_json(const JsonValue& doc, BenchReport* out,
+                            std::string* error) {
+  *out = BenchReport{};
+  if (!doc.is_object()) {
+    if (error != nullptr) *error = "report is not a JSON object";
+    return false;
+  }
+  out->schema_version =
+      static_cast<int>(doc.number_at("schema_version", 0.0));
+  if (out->schema_version != kBenchReportSchemaVersion) {
+    if (error != nullptr)
+      *error = "unsupported schema_version " +
+               std::to_string(out->schema_version);
+    return false;
+  }
+  const JsonValue& meta = doc.at("meta");
+  out->meta.binary = meta.string_at("binary");
+  out->meta.git_sha = meta.string_at("git_sha");
+  out->meta.build_type = meta.string_at("build_type");
+  out->meta.threads = static_cast<int>(meta.number_at("threads"));
+  out->meta.iterations = static_cast<int>(meta.number_at("iterations", 1.0));
+  for (const JsonValue& r : doc.at("rows").as_array()) {
+    BenchRow row;
+    row.figure = r.string_at("figure");
+    row.metric = r.string_at("metric");
+    row.dataset = r.string_at("dataset");
+    row.framework = r.string_at("framework");
+    row.unit = r.string_at("unit");
+    row.paper = r.number_at("paper");
+    row.measured = r.number_at("measured");
+    out->rows.push_back(std::move(row));
+  }
+  out->trace_analysis = doc.at("trace_analysis");
+  return true;
+}
+
+bool BenchReport::load(const std::string& path, BenchReport* out,
+                       std::string* error) {
+  JsonValue doc;
+  if (!json_parse_file(path, &doc, error)) return false;
+  return from_json(doc, out, error);
+}
+
+// ---- Diff / regression gate -------------------------------------------------
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Deviation score whose growth defines a regression: distance from the
+/// paper target when one exists, otherwise distance from the baseline run.
+double rel_error(double measured, double reference) {
+  return std::abs(measured - reference) / std::max(std::abs(reference), kEps);
+}
+
+}  // namespace
+
+DiffResult diff_reports(const BenchReport& baseline,
+                        const BenchReport& current, double threshold) {
+  DiffResult out;
+  std::map<std::string, const BenchRow*, std::less<>> cur_by_key;
+  for (const BenchRow& r : current.rows) cur_by_key[r.key()] = &r;
+
+  std::map<std::string, bool, std::less<>> matched;
+  for (const BenchRow& base : baseline.rows) {
+    RowDelta d;
+    d.baseline = base;
+    const auto it = cur_by_key.find(base.key());
+    if (it == cur_by_key.end()) {
+      d.status = RowDelta::Status::kMissing;
+      out.regressed = true;
+      out.deltas.push_back(std::move(d));
+      continue;
+    }
+    matched[base.key()] = true;
+    d.current = *it->second;
+    if (std::abs(base.paper) > kEps) {
+      d.err_baseline = rel_error(base.measured, base.paper);
+      d.err_current = rel_error(d.current.measured, d.current.paper);
+      if (d.err_current > d.err_baseline + threshold)
+        d.status = RowDelta::Status::kRegressed;
+      else if (d.err_current < d.err_baseline - threshold)
+        d.status = RowDelta::Status::kImproved;
+    } else {
+      // No paper target: any drift past the threshold is suspect because
+      // every bench is deterministic by construction.
+      d.err_current = rel_error(d.current.measured, base.measured);
+      if (d.err_current > threshold) d.status = RowDelta::Status::kRegressed;
+    }
+    if (d.status == RowDelta::Status::kRegressed) out.regressed = true;
+    out.deltas.push_back(std::move(d));
+  }
+  for (const BenchRow& cur : current.rows) {
+    if (matched.contains(cur.key())) continue;
+    RowDelta d;
+    d.status = RowDelta::Status::kNew;
+    d.current = cur;
+    out.deltas.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+const char* status_name(RowDelta::Status s) {
+  switch (s) {
+    case RowDelta::Status::kOk: return "ok";
+    case RowDelta::Status::kImproved: return "improved";
+    case RowDelta::Status::kRegressed: return "REGRESSED";
+    case RowDelta::Status::kMissing: return "MISSING";
+    case RowDelta::Status::kNew: return "new";
+  }
+  return "?";
+}
+
+std::string row_label(const BenchRow& r) {
+  std::string label = r.figure.empty() ? "?" : r.figure;
+  label += " | " + r.metric;
+  if (!r.dataset.empty()) label += " [" + r.dataset + "]";
+  if (!r.framework.empty()) label += " (" + r.framework + ")";
+  return label;
+}
+
+void diff_trace_analysis(const BenchReport& baseline,
+                         const BenchReport& current, std::ostream& os) {
+  if (!baseline.trace_analysis.is_object() ||
+      !current.trace_analysis.is_object())
+    return;
+  const std::pair<const char*, const char*> keys[] = {
+      {"critical_path_us", nullptr}, {"span_us", nullptr},
+      {"overlap", "efficiency"},     {"pcie", "idle_fraction"}};
+  os << "\ntrace analysis (informational, not gated):\n";
+  for (const auto& [k1, k2] : keys) {
+    const JsonValue& b0 = baseline.trace_analysis.at(k1);
+    const JsonValue& c0 = current.trace_analysis.at(k1);
+    const double b = k2 == nullptr ? b0.as_number() : b0.number_at(k2);
+    const double c = k2 == nullptr ? c0.as_number() : c0.number_at(k2);
+    char line[160];
+    std::snprintf(line, sizeof line, "  %s%s%s: %.6g -> %.6g\n", k1,
+                  k2 == nullptr ? "" : ".", k2 == nullptr ? "" : k2, b, c);
+    os << line;
+  }
+}
+
+}  // namespace
+
+int run_bench_diff(const std::string& baseline_path,
+                   const std::string& current_path, double threshold,
+                   std::ostream& os) {
+  std::string error;
+  BenchReport baseline, current;
+  if (!BenchReport::load(baseline_path, &baseline, &error)) {
+    os << "bench_diff: " << baseline_path << ": " << error << "\n";
+    return 2;
+  }
+  if (!BenchReport::load(current_path, &current, &error)) {
+    os << "bench_diff: " << current_path << ": " << error << "\n";
+    return 2;
+  }
+
+  const DiffResult diff = diff_reports(baseline, current, threshold);
+  os << "bench_diff: " << baseline_path << " (" << baseline.meta.git_sha
+     << ") vs " << current_path << " (" << current.meta.git_sha
+     << "), threshold " << threshold << "\n\n";
+
+  Table table({"status", "row", "unit", "paper", "measured old", "measured new",
+               "err old", "err new"});
+  for (const RowDelta& d : diff.deltas) {
+    const BenchRow& named =
+        d.status == RowDelta::Status::kNew ? d.current : d.baseline;
+    table.add_row(
+        {status_name(d.status), row_label(named), named.unit,
+         Table::fmt(named.paper, 3),
+         d.status == RowDelta::Status::kNew ? "-"
+                                            : Table::fmt(d.baseline.measured, 3),
+         d.status == RowDelta::Status::kMissing
+             ? "-"
+             : Table::fmt(d.current.measured, 3),
+         Table::fmt_pct(d.err_baseline), Table::fmt_pct(d.err_current)});
+  }
+  os << table.to_string();
+  diff_trace_analysis(baseline, current, os);
+
+  std::size_t regressed = 0, missing = 0;
+  for (const RowDelta& d : diff.deltas) {
+    regressed += d.status == RowDelta::Status::kRegressed;
+    missing += d.status == RowDelta::Status::kMissing;
+  }
+  os << "\n" << diff.deltas.size() << " rows compared: " << regressed
+     << " regressed, " << missing << " missing\n";
+  if (diff.regressed) {
+    os << "bench_diff: FAIL (regression beyond threshold)\n";
+    return 1;
+  }
+  os << "bench_diff: OK\n";
+  return 0;
+}
+
+}  // namespace gt::obs

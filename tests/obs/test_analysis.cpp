@@ -1,0 +1,133 @@
+#include "obs/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "json_checker.hpp"
+
+namespace gt::obs {
+namespace {
+
+TEST(Intervals, MergeCollapsesOverlapAndTouching) {
+  auto merged = merge_intervals(
+      {{5.0, 7.0}, {0.0, 2.0}, {1.0, 3.0}, {3.0, 4.0}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].end, 4.0);  // [0,2]+[1,3]+[3,4] chain
+  EXPECT_DOUBLE_EQ(merged[1].begin, 5.0);
+  EXPECT_DOUBLE_EQ(merged[1].end, 7.0);
+  EXPECT_DOUBLE_EQ(interval_measure(merged), 6.0);
+}
+
+TEST(Intervals, IntersectionOfMergedLists) {
+  auto a = merge_intervals({{0.0, 10.0}, {20.0, 30.0}});
+  auto b = merge_intervals({{5.0, 25.0}});
+  EXPECT_DOUBLE_EQ(interval_intersection(a, b), 10.0);  // [5,10] + [20,25]
+  EXPECT_DOUBLE_EQ(interval_intersection(a, {}), 0.0);
+}
+
+// The synthetic timeline used below (all on the simulated pid):
+//   cpu tid 10 : sampling [0,10)   reindex [10,15)
+//   cpu tid 11 : lookup   [5,15)
+//   pcie       : transfer [15,25)
+//   gpu        : FWP [20,30)  kernel-detail [20,25)  BWP [40,50)
+// plus one wall-clock span that must be ignored.
+TraceEvent event(const char* name, const char* cat, double ts, double dur,
+                 std::uint32_t pid, std::uint32_t tid) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = ts;
+  e.dur_us = dur;
+  e.pid = pid;
+  e.tid = tid;
+  return e;
+}
+
+std::vector<TraceEvent> synthetic_events() {
+  return {
+      event("S", "sampling", 0.0, 10.0, kSimPid, 10),
+      event("R", "reindex", 10.0, 5.0, kSimPid, 10),
+      event("K", "lookup", 5.0, 10.0, kSimPid, 11),
+      event("T", "transfer", 15.0, 10.0, kSimPid, kSimTidPcie),
+      event("FWP", "FWP", 20.0, 10.0, kSimPid, kSimTidGpu),
+      // Per-kernel detail duplicates part of the FWP phase; it must not be
+      // double-counted in the stage sums.
+      event("agg", "kernel", 20.0, 5.0, kSimPid, kSimTidGpu),
+      event("BWP", "BWP", 40.0, 10.0, kSimPid, kSimTidGpu),
+      event("host", "sampling", 0.0, 999.0, kWallPid, 1),
+  };
+}
+
+TEST(TraceAnalysis, EmptyTraceYieldsZeros) {
+  const TraceAnalysis a = TraceAnalysis::from_events({});
+  EXPECT_EQ(a.sim_event_count, 0u);
+  EXPECT_DOUBLE_EQ(a.span_us, 0.0);
+  EXPECT_DOUBLE_EQ(a.critical_path_us, 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency, 0.0);
+  EXPECT_DOUBLE_EQ(a.pcie_idle_fraction, 0.0);
+}
+
+TEST(TraceAnalysis, SyntheticTimelineNumbers) {
+  const TraceAnalysis a = TraceAnalysis::from_events(synthetic_events());
+  EXPECT_EQ(a.sim_event_count, 7u);  // wall-clock span excluded
+  EXPECT_DOUBLE_EQ(a.span_us, 50.0);
+  // Busy union: cpu [0,15] + pcie [15,25] + gpu [20,30]+[40,50]
+  //   = [0,30] + [40,50] -> 40us; the [30,40] gap is whole-system idle.
+  EXPECT_DOUBLE_EQ(a.critical_path_us, 40.0);
+
+  EXPECT_DOUBLE_EQ(a.stage_us[0], 10.0);  // sampling
+  EXPECT_DOUBLE_EQ(a.stage_us[1], 5.0);   // reindex
+  EXPECT_DOUBLE_EQ(a.stage_us[2], 10.0);  // lookup
+  EXPECT_DOUBLE_EQ(a.stage_us[3], 10.0);  // transfer
+  EXPECT_DOUBLE_EQ(a.fwp_us, 10.0);       // kernel detail not double-counted
+  EXPECT_DOUBLE_EQ(a.bwp_us, 10.0);
+  const double busy = 55.0;
+  EXPECT_DOUBLE_EQ(a.stage_share[0], 10.0 / busy);
+  EXPECT_DOUBLE_EQ(a.stage_share[3], 10.0 / busy);
+  EXPECT_DOUBLE_EQ(a.fwp_share, 10.0 / busy);
+
+  // Preproc union [0,25] (25us) vs gpu union [20,30]+[40,50] (20us):
+  // they overlap on [20,25], and efficiency normalizes by the shorter.
+  EXPECT_DOUBLE_EQ(a.preproc_busy_us, 25.0);
+  EXPECT_DOUBLE_EQ(a.gpu_busy_us, 20.0);
+  EXPECT_DOUBLE_EQ(a.overlap_us, 5.0);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency, 0.25);
+
+  EXPECT_DOUBLE_EQ(a.pcie_busy_us, 10.0);
+  EXPECT_DOUBLE_EQ(a.pcie_idle_fraction, 1.0 - 10.0 / 50.0);
+}
+
+TEST(TraceAnalysis, WriteJsonIsValidAndCarriesTheNumbers) {
+  const TraceAnalysis a = TraceAnalysis::from_events(synthetic_events());
+  std::ostringstream os;
+  a.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testing::JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"critical_path_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage_share\""), std::string::npos);
+  EXPECT_NE(json.find("\"overlap\""), std::string::npos);
+  EXPECT_NE(json.find("\"pcie\""), std::string::npos);
+  // Keys are sorted: critical_path before overlap before pcie before span.
+  EXPECT_LT(json.find("\"critical_path_us\""), json.find("\"overlap\""));
+  EXPECT_LT(json.find("\"overlap\""), json.find("\"pcie\""));
+  EXPECT_LT(json.find("\"pcie\""), json.find("\"span_us\""));
+}
+
+TEST(TraceAnalysis, FromTracerSeesEmittedSimEvents) {
+  Tracer& t = Tracer::global();
+  t.clear();
+  t.enable(true);
+  for (auto& e : synthetic_events())
+    if (e.pid == kSimPid) t.emit(std::move(e));
+  const TraceAnalysis a = TraceAnalysis::from_tracer(t);
+  t.enable(false);
+  t.clear();
+  EXPECT_EQ(a.sim_event_count, 7u);
+  EXPECT_DOUBLE_EQ(a.critical_path_us, 40.0);
+}
+
+}  // namespace
+}  // namespace gt::obs

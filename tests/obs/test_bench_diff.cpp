@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace gt::obs {
+namespace {
+
+BenchRow make_row(const std::string& metric, double paper, double measured) {
+  BenchRow r;
+  r.figure = "Fig T";
+  r.metric = metric;
+  r.dataset = "products";
+  r.paper = paper;
+  r.measured = measured;
+  return r;
+}
+
+BenchReport make_report(std::vector<BenchRow> rows) {
+  BenchReport rep;
+  rep.schema_version = kBenchReportSchemaVersion;
+  rep.meta.binary = "unit_test";
+  rep.rows = std::move(rows);
+  return rep;
+}
+
+TEST(DiffReports, IdenticalReportsAreClean) {
+  auto rep = make_report({make_row("a", 2.0, 1.9), make_row("b", 0.0, 5.0)});
+  const DiffResult d = diff_reports(rep, rep, 0.05);
+  EXPECT_FALSE(d.regressed);
+  ASSERT_EQ(d.deltas.size(), 2u);
+  for (const auto& delta : d.deltas)
+    EXPECT_EQ(delta.status, RowDelta::Status::kOk);
+}
+
+TEST(DiffReports, MovingAwayFromPaperTargetRegresses) {
+  // Paper target 2.0: baseline measured 1.9 (5% off), current 1.7 (15%
+  // off) — deviation grew by 10% of the target, past a 5% threshold.
+  auto base = make_report({make_row("a", 2.0, 1.9)});
+  auto cur = make_report({make_row("a", 2.0, 1.7)});
+  const DiffResult d = diff_reports(base, cur, 0.05);
+  EXPECT_TRUE(d.regressed);
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_EQ(d.deltas[0].status, RowDelta::Status::kRegressed);
+  EXPECT_NEAR(d.deltas[0].err_baseline, 0.05, 1e-9);
+  EXPECT_NEAR(d.deltas[0].err_current, 0.15, 1e-9);
+}
+
+TEST(DiffReports, MovingTowardPaperTargetImproves) {
+  auto base = make_report({make_row("a", 2.0, 1.6)});
+  auto cur = make_report({make_row("a", 2.0, 1.95)});
+  const DiffResult d = diff_reports(base, cur, 0.05);
+  EXPECT_FALSE(d.regressed);
+  EXPECT_EQ(d.deltas[0].status, RowDelta::Status::kImproved);
+}
+
+TEST(DiffReports, PaperlessRowGatesOnDriftFromBaseline) {
+  auto base = make_report({make_row("a", 0.0, 100.0)});
+  EXPECT_FALSE(
+      diff_reports(base, make_report({make_row("a", 0.0, 104.0)}), 0.05)
+          .regressed);  // 4% drift, under threshold
+  EXPECT_TRUE(
+      diff_reports(base, make_report({make_row("a", 0.0, 106.0)}), 0.05)
+          .regressed);  // 6% drift
+}
+
+TEST(DiffReports, MissingRowRegressesNewRowDoesNot) {
+  auto base = make_report({make_row("a", 1.0, 1.0), make_row("b", 1.0, 1.0)});
+  auto cur = make_report({make_row("a", 1.0, 1.0), make_row("c", 1.0, 1.0)});
+  const DiffResult d = diff_reports(base, cur, 0.05);
+  EXPECT_TRUE(d.regressed);
+  ASSERT_EQ(d.deltas.size(), 3u);  // a (ok), b (missing), c (new)
+  EXPECT_EQ(d.deltas[0].status, RowDelta::Status::kOk);
+  EXPECT_EQ(d.deltas[1].status, RowDelta::Status::kMissing);
+  EXPECT_EQ(d.deltas[2].status, RowDelta::Status::kNew);
+}
+
+// run_bench_diff: full CLI behavior including file IO and exit codes.
+class BenchDiffCli : public ::testing::Test {
+ protected:
+  std::string write_report(const char* tag, const BenchReporter& r) {
+    std::string path = ::testing::TempDir() + "gt_bench_diff_" + tag +
+                       ".json";
+    std::ofstream os(path);
+    r.write_json(os, TraceAnalysis{});
+    os << "\n";
+    return path;
+  }
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(BenchDiffCli, ExitCodesForCleanRegressedAndUnreadable) {
+  BenchReporter& r = BenchReporter::global();
+  r.clear();
+  r.set_context("Fig T", "cli test");
+  r.add_row(make_row("a", 2.0, 1.9));
+  const std::string base = write_report("base", r);
+  cleanup_.push_back(base);
+
+  r.clear();
+  r.set_context("Fig T", "cli test");
+  r.add_row(make_row("a", 2.0, 1.9));
+  const std::string same = write_report("same", r);
+  cleanup_.push_back(same);
+
+  r.clear();
+  r.set_context("Fig T", "cli test");
+  r.add_row(make_row("a", 2.0, 1.0));
+  const std::string bad = write_report("bad", r);
+  cleanup_.push_back(bad);
+  r.clear();
+
+  std::ostringstream out;
+  EXPECT_EQ(run_bench_diff(base, same, 0.05, out), 0);
+  EXPECT_NE(out.str().find("OK"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(run_bench_diff(base, bad, 0.05, out), 1);
+  EXPECT_NE(out.str().find("regress"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(run_bench_diff(base, "/nonexistent/nope.json", 0.05, out), 2);
+}
+
+}  // namespace
+}  // namespace gt::obs

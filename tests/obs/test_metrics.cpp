@@ -53,6 +53,43 @@ TEST(Histogram, StdevMatchesClosedForm) {
   EXPECT_NEAR(h.stdev(), 2.0, 1e-12);  // population stdev: sqrt(32/8)
 }
 
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i % 40));
+  // Uniform-ish data: the bucket-estimated quantiles should land near the
+  // exact ones, and must be monotone and clamped to [min, max].
+  const double p50 = h.quantile(0.5);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_NEAR(p50, 20.0, 5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(h.p95(), h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(h.p99(), h.quantile(0.99));
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram one({1.0});
+  one.observe(0.25);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 0.25);
+
+  // Everything in the open-ended top bucket: estimates clamp to the exact
+  // observed [min, max] rather than extrapolating to infinity.
+  Histogram top({1.0});
+  top.observe(50.0);
+  top.observe(150.0);
+  EXPECT_GE(top.quantile(0.99), 50.0);
+  EXPECT_LE(top.quantile(0.99), 150.0);
+}
+
 TEST(MetricsRegistry, SameNameReturnsSameObject) {
   MetricsRegistry r;
   Counter& a = r.counter("x");
@@ -127,6 +164,24 @@ TEST(MetricsRegistry, JsonDumpContainsEverything) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(MetricsRegistry, JsonDumpHasSortedKeysAndIsByteStable) {
+  MetricsRegistry r;
+  r.counter("zeta").add(1);
+  r.counter("alpha").add(2);
+  r.gauge("mid").set(0.5);
+  r.histogram("lat_us", {1.0, 10.0}).observe(4.0);
+  std::ostringstream a, b;
+  r.write_json(a);
+  r.write_json(b);
+  EXPECT_EQ(a.str(), b.str());  // byte-stable across dumps
+  // std::map registries iterate in key order, so "alpha" precedes "zeta".
+  EXPECT_LT(a.str().find("\"alpha\""), a.str().find("\"zeta\""));
+  // The histogram summary now carries the estimated percentiles.
+  EXPECT_NE(a.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"p95\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"p99\""), std::string::npos);
 }
 
 TEST(MetricsRegistry, GlobalIsAStableSingleton) {

@@ -1,0 +1,65 @@
+// bench_diff: compare two bench reports (BENCH_*.json) row by row and
+// gate perf regressions.
+//
+//   $ bench_diff [--threshold=0.05] baseline.json current.json
+//
+// Exit codes: 0 = no regression, 1 = some row regressed past the
+// threshold (or disappeared), 2 = bad usage / unreadable input. The
+// comparison itself lives in gt::obs (obs/report.hpp) so tests exercise
+// the exact CLI semantics; this file only parses arguments.
+//
+// A row with a paper target regresses when its measured value moves away
+// from the paper value by more than the threshold (relative to |paper|);
+// a row without one regresses when the measured value drifts more than
+// the threshold from the baseline run. Every bench is deterministic by
+// construction, so the default threshold exists to absorb float-format
+// round-off, not run-to-run noise.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold=FRACTION] baseline.json current.json\n"
+               "  --threshold=F  max tolerated growth of a row's relative\n"
+               "                 deviation (default 0.05, or the\n"
+               "                 GT_BENCH_DIFF_THRESHOLD environment "
+               "variable)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.05;
+  if (const char* env = std::getenv("GT_BENCH_DIFF_THRESHOLD"))
+    threshold = std::atof(env);
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+      if (threshold < 0.0) {
+        std::fprintf(stderr, "bench_diff: threshold must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0]);
+  return gt::obs::run_bench_diff(paths[0], paths[1], threshold, std::cout);
+}
