@@ -5,6 +5,13 @@
 //   $ ./examples/service_cli [dataset] [model] [framework] [batches]
 //   $ ./examples/service_cli wiki-talk NGCF Prepro-GT 12
 //
+// Concurrent serving:
+//   --workers=N  (or --workers N) drains the batch queue with N worker
+//                contexts: preprocessing of up to N batches overlaps on a
+//                thread pool while training executes strictly in batch
+//                order. Reports are bit-identical to --workers=1.
+//   --batches=M  explicit batch count (wins over the positional form).
+//
 // Observability flags (anywhere on the command line); each flag also
 // honors its GT_* environment-variable equivalent, for parity with the
 // bench binaries' env-driven hook (the flag wins when both are set):
@@ -20,6 +27,7 @@
 //                              per-run latency/loss rows plus the
 //                              trace-derived critical-path / stage-share /
 //                              overlap analysis (see obs/report.hpp).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -61,6 +69,8 @@ std::string out_path(const std::string& flag_value, const char* env_name) {
 int main(int argc, char** argv) {
   std::string trace_flag, metrics_flag, bench_flag;
   std::vector<std::string> positional;
+  int workers = 1;
+  int batches_flag = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -69,10 +79,19 @@ int main(int argc, char** argv) {
       metrics_flag = arg.substr(14);
     } else if (arg.rfind("--bench-out=", 0) == 0) {
       bench_flag = arg.substr(12);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg.rfind("--batches=", 0) == 0) {
+      batches_flag = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--batches" && i + 1 < argc) {
+      batches_flag = std::atoi(argv[++i]);
     } else {
       positional.push_back(arg);
     }
   }
+  if (workers < 1) workers = 1;
   const std::string trace_out = out_path(trace_flag, "GT_TRACE_OUT");
   const std::string metrics_out = out_path(metrics_flag, "GT_METRICS_OUT");
   const std::string bench_out = out_path(bench_flag, "GT_BENCH_OUT");
@@ -83,7 +102,9 @@ int main(int argc, char** argv) {
   const std::string framework =
       positional.size() > 2 ? positional[2] : "Prepro-GT";
   const int batches =
-      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 8;
+      batches_flag >= 0
+          ? batches_flag
+          : (positional.size() > 3 ? std::atoi(positional[3].c_str()) : 8);
 
   // The bench report embeds trace-derived analysis, so it needs spans too.
   if (!trace_out.empty() || !bench_out.empty())
@@ -95,28 +116,34 @@ int main(int argc, char** argv) {
   gt::ServiceOptions options;
   options.framework = framework;
   options.learning_rate = 0.1f;
+  options.workers = static_cast<std::size_t>(workers);
   gt::GnnService service(std::move(data), model, options);
 
-  std::printf("training %s on %s via %s (%d batches of %zu)\n\n",
+  std::printf("training %s on %s via %s (%d batches of %zu, %d worker%s)\n\n",
               model_name.c_str(), dataset_name.c_str(), framework.c_str(),
-              batches, options.batch_size);
+              batches, options.batch_size, workers, workers == 1 ? "" : "s");
 
   gt::Table table({"batch", "loss", "kernel us", "preproc us", "e2e us",
-                   "peak mem", "placement L0"});
-  std::vector<double> e2e_us, losses;
-  for (int b = 0; b < batches; ++b) {
-    gt::frameworks::RunReport r = service.train_batch();
+                   "peak mem", "arena peak", "placement L0"});
+  std::vector<double> e2e_us, losses, arena_peaks, arena_allocs;
+  const std::vector<gt::frameworks::RunReport> reports =
+      service.train_batches(static_cast<std::size_t>(batches));
+  for (std::size_t b = 0; b < reports.size(); ++b) {
+    const gt::frameworks::RunReport& r = reports[b];
     if (r.oom) {
       table.add_row({std::to_string(b), "OOM: " + r.oom_what});
       break;
     }
     e2e_us.push_back(r.end_to_end_us);
     losses.push_back(r.loss);
+    arena_peaks.push_back(static_cast<double>(r.arena_peak_bytes));
+    arena_allocs.push_back(static_cast<double>(r.arena_allocations));
     table.add_row({std::to_string(b), gt::Table::fmt(r.loss, 4),
                    gt::Table::fmt(r.kernel_total_us, 1),
                    gt::Table::fmt(r.preproc_makespan_us, 1),
                    gt::Table::fmt(r.end_to_end_us, 1),
                    gt::Table::fmt_bytes(r.peak_memory_bytes),
+                   gt::Table::fmt_bytes(r.arena_peak_bytes),
                    r.layer_comb_first_fwd[0] ? "comb-first" : "agg-first"});
   }
   table.print();
@@ -160,6 +187,17 @@ int main(int argc, char** argv) {
       row.metric = "held-out accuracy";
       row.unit = "fraction";
       row.measured = accuracy;
+      rep.add_row(row);
+      row.metric = "arena peak";
+      row.unit = "bytes";
+      row.measured = arena_peaks.empty()
+                         ? 0.0
+                         : *std::max_element(arena_peaks.begin(),
+                                             arena_peaks.end());
+      rep.add_row(row);
+      row.metric = "arena allocations per batch";
+      row.unit = "count";
+      row.measured = gt::mean(arena_allocs);
       rep.add_row(row);
     }
     if (rep.write_json_file(bench_out))

@@ -1,9 +1,13 @@
 #include "core/service.hpp"
 
+#include <algorithm>
+#include <future>
+
 #include "kernels/reference.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/executor.hpp"
+#include "tensor/view.hpp"
 #include "util/log.hpp"
 
 namespace gt {
@@ -15,29 +19,103 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
       options_(options),
       params_(model_, dataset_.spec.feature_dim, options.seed),
       backend_(frameworks::make_framework(options.framework)) {
+  if (options_.workers == 0) options_.workers = 1;
   log_info("service: ", options_.framework, " on ", dataset_.spec.name,
            " (batch ", options_.batch_size, ", ", model_.num_layers,
-           " layers)");
+           " layers, ", options_.workers, " worker context",
+           options_.workers == 1 ? "" : "s", ")");
 }
 
-frameworks::RunReport GnnService::train_batch() {
+frameworks::BatchSpec GnnService::next_spec(bool inference) {
   frameworks::BatchSpec spec;
   spec.batch_size = options_.batch_size;
   spec.batch_index = next_batch_++;
   spec.seed = options_.seed;
   spec.order = options_.order;
   spec.learning_rate = options_.learning_rate;
-  return backend_->run_batch(dataset_, model_, params_, spec);
+  spec.inference = inference;
+  return spec;
+}
+
+void GnnService::ensure_contexts(std::size_t n) {
+  while (contexts_.size() < n)
+    contexts_.push_back(std::make_unique<pipeline::BatchContext>());
+}
+
+frameworks::RunReport GnnService::train_batch() {
+  ensure_contexts(1);
+  return backend_->run_batch(dataset_, model_, params_, next_spec(false),
+                             *contexts_[0]);
 }
 
 frameworks::RunReport GnnService::infer_batch() {
-  frameworks::BatchSpec spec;
-  spec.batch_size = options_.batch_size;
-  spec.batch_index = next_batch_++;
-  spec.seed = options_.seed;
-  spec.order = options_.order;
-  spec.inference = true;
-  return backend_->run_batch(dataset_, model_, params_, spec);
+  ensure_contexts(1);
+  return backend_->run_batch(dataset_, model_, params_, next_spec(true),
+                             *contexts_[0]);
+}
+
+std::vector<frameworks::RunReport> GnnService::run_batches(
+    std::size_t batches, bool inference) {
+  std::vector<frameworks::RunReport> reports;
+  reports.reserve(batches);
+  if (batches == 0) return reports;
+
+  std::vector<frameworks::BatchSpec> specs;
+  specs.reserve(batches);
+  for (std::size_t i = 0; i < batches; ++i)
+    specs.push_back(next_spec(inference));
+
+  const std::size_t workers = std::min(options_.workers, batches);
+  ensure_contexts(std::max<std::size_t>(workers, 1));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < batches; ++i) {
+      GT_OBS_SCOPE("service.train_batch", "service");
+      reports.push_back(backend_->run_batch(dataset_, model_, params_,
+                                            specs[i], *contexts_[0]));
+    }
+    return reports;
+  }
+
+  // Bounded in-flight ring, capacity = workers: batch i preprocesses in
+  // context (i % workers) on the pool while earlier batches execute on
+  // this thread, strictly in batch order. prepare_batch never touches
+  // model parameters, so concurrency cannot change any report.
+  if (!pool_ || pool_->size() < workers) pool_ = nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(workers);
+  obs::metrics().gauge("service.workers").set(static_cast<double>(workers));
+
+  std::vector<std::future<void>> inflight(workers);
+  auto launch_prepare = [&](std::size_t i) {
+    pipeline::BatchContext* ctx = contexts_[i % workers].get();
+    const frameworks::BatchSpec spec = specs[i];
+    inflight[i % workers] = pool_->submit([this, ctx, spec] {
+      GT_OBS_SCOPE_N(span, "service.prepare_batch", "service");
+      span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
+      ctx->begin_batch();
+      backend_->prepare_batch(dataset_, model_, spec, *ctx);
+    });
+  };
+  for (std::size_t i = 0; i < workers; ++i) launch_prepare(i);
+  for (std::size_t i = 0; i < batches; ++i) {
+    inflight[i % workers].get();  // rethrows preprocessing failures
+    GT_OBS_SCOPE_N(span, "service.train_batch", "service");
+    span.arg("batch", static_cast<std::int64_t>(specs[i].batch_index));
+    reports.push_back(backend_->execute_prepared(
+        dataset_, model_, params_, specs[i], *contexts_[i % workers]));
+    if (i + workers < batches) launch_prepare(i + workers);
+  }
+  return reports;
+}
+
+std::vector<frameworks::RunReport> GnnService::train_batches(
+    std::size_t batches) {
+  return run_batches(batches, /*inference=*/false);
+}
+
+std::vector<frameworks::RunReport> GnnService::infer_batches(
+    std::size_t batches) {
+  return run_batches(batches, /*inference=*/true);
 }
 
 EpochStats GnnService::train_epoch(std::size_t batches) {
@@ -45,9 +123,9 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
   epoch_span.arg("batches", static_cast<std::int64_t>(batches));
   obs::MetricsRegistry& m = obs::metrics();
   EpochStats stats;
-  for (std::size_t i = 0; i < batches; ++i) {
-    GT_OBS_SCOPE("service.train_batch", "service");
-    frameworks::RunReport report = train_batch();
+  const std::vector<frameworks::RunReport> reports = train_batches(batches);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const frameworks::RunReport& report = reports[i];
     ++stats.batches;
     if (report.oom) {
       ++stats.oom_batches;
@@ -62,6 +140,10 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
     stats.mean_loss += report.loss;
     stats.mean_end_to_end_us += report.end_to_end_us;
     stats.mean_kernel_us += report.kernel_total_us;
+    stats.arena_peak_bytes =
+        std::max(stats.arena_peak_bytes, report.arena_peak_bytes);
+    stats.arena_allocations += report.arena_allocations;
+    stats.arena_growths += report.arena_growths;
     m.histogram("service.batch_loss", {0.5, 1, 2, 3, 4, 5, 7, 10, 20})
         .observe(report.loss);
     m.histogram("service.batch_e2e_us").observe(report.end_to_end_us);
@@ -84,19 +166,26 @@ double GnnService::evaluate(std::size_t batches) {
   span.arg("batches", static_cast<std::int64_t>(batches));
   // Held-out stream: offset the batch index far away from training.
   const std::uint64_t eval_base = 1u << 20;
-  sampling::ReindexFormats formats{.coo = false, .csr = true, .csc = false};
-  pipeline::PreprocExecutor exec(dataset_.csr, dataset_.embeddings,
-                                 dataset_.spec.fanout, model_.num_layers,
-                                 options_.seed, formats);
+  const sampling::ReindexFormats formats{.coo = false, .csr = true,
+                                         .csc = false};
+  if (!eval_context_)
+    eval_context_ = std::make_unique<pipeline::BatchContext>();
+  pipeline::BatchContext& ctx = *eval_context_;
+  pipeline::PreprocExecutor& exec =
+      ctx.executor_for(dataset_.csr, dataset_.embeddings, dataset_.spec.fanout,
+                       model_.num_layers, options_.seed, formats);
   std::size_t correct = 0, total = 0;
   for (std::size_t b = 0; b < batches; ++b) {
-    const auto batch_vids =
+    ctx.begin_batch();
+    ctx.batch_vids() =
         exec.sampler().pick_batch(options_.batch_size, eval_base + b);
-    pipeline::PreprocResult pre = exec.run_serial(batch_vids);
-    Matrix x = pre.embeddings;
+    exec.run_serial_into(ctx.batch_vids(), ctx.table(), ctx.preproc(),
+                         ctx.scratch());
+    const pipeline::PreprocResult& pre = ctx.preproc();
+    ConstMatrixView x{pre.embeddings};
     for (std::uint32_t l = 0; l < model_.num_layers; ++l) {
       x = kernels::ref::forward_layer(
-          pre.layers[l].csr, x, params_.w(l), params_.b(l),
+          ctx.arena(), pre.layers[l].csr, x, params_.w(l), params_.b(l),
           pre.layers[l].n_dst, model_.f, model_.g, model_.relu_at(l));
     }
     for (std::size_t i = 0; i < x.rows(); ++i) {

@@ -1,6 +1,14 @@
 // GnnService: the end-user entry point. Owns a dataset, a model, its
 // parameters, and a framework backend; trains batch by batch and evaluates
 // classification accuracy against the synthetic labels.
+//
+// Steady-state loop: the service keeps `workers` BatchContexts alive.
+// With workers == 1 every batch runs serially in context 0. With
+// workers > 1, a bounded in-flight ring (capacity = workers) prepares
+// upcoming batches concurrently on the thread pool — batch i preprocesses
+// in context (i % workers) — while execute_prepared (device compute +
+// SGD) always runs on the caller thread, in batch order. Preprocessing is
+// parameter-independent, so the reports are bit-identical to a serial run.
 #pragma once
 
 #include <memory>
@@ -11,6 +19,7 @@
 #include "frameworks/framework.hpp"
 #include "models/config.hpp"
 #include "models/params.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gt {
 
@@ -20,6 +29,10 @@ struct ServiceOptions {
   float learning_rate = 0.05f;
   std::size_t batch_size = 300;
   frameworks::OrderPolicy order = frameworks::OrderPolicy::kDynamic;
+  /// Worker contexts draining the batch queue. 1 = fully serial. N > 1
+  /// overlaps preprocessing of up to N batches; results stay bit-identical
+  /// to workers == 1.
+  std::size_t workers = 1;
 };
 
 struct EpochStats {
@@ -30,6 +43,10 @@ struct EpochStats {
   double mean_kernel_us = 0.0;
   std::size_t batches = 0;
   std::size_t oom_batches = 0;
+  // Arena telemetry across the epoch's batches.
+  std::size_t arena_peak_bytes = 0;      // max per-batch arena usage
+  std::uint64_t arena_allocations = 0;   // total arena allocs
+  std::uint64_t arena_growths = 0;       // total block growths (0 when warm)
 };
 
 class GnnService {
@@ -43,6 +60,7 @@ class GnnService {
   const std::string& framework_name() const noexcept {
     return options_.framework;
   }
+  std::size_t workers() const noexcept { return options_.workers; }
 
   /// Train one batch; batches advance deterministically.
   frameworks::RunReport train_batch();
@@ -50,20 +68,37 @@ class GnnService {
   /// Forward-only inference on the next batch (no parameter update).
   frameworks::RunReport infer_batch();
 
-  /// Train `batches` consecutive batches.
+  /// Train `batches` consecutive batches through the steady-state loop
+  /// (concurrent when options.workers > 1). Reports come back in batch
+  /// order and match a workers == 1 run bit for bit.
+  std::vector<frameworks::RunReport> train_batches(std::size_t batches);
+
+  /// Same loop, forward-only.
+  std::vector<frameworks::RunReport> infer_batches(std::size_t batches);
+
+  /// Train `batches` consecutive batches and aggregate the reports.
   EpochStats train_epoch(std::size_t batches);
 
   /// Classification accuracy on `batches` *held-out* batches (a disjoint
-  /// deterministic batch stream), computed with the CPU reference forward.
+  /// deterministic batch stream), computed with the CPU reference forward
+  /// in a dedicated arena-backed context.
   double evaluate(std::size_t batches = 4);
 
  private:
+  frameworks::BatchSpec next_spec(bool inference);
+  std::vector<frameworks::RunReport> run_batches(std::size_t batches,
+                                                 bool inference);
+  void ensure_contexts(std::size_t n);
+
   Dataset dataset_;
   models::GnnModelConfig model_;
   ServiceOptions options_;
   models::ModelParams params_;
   std::unique_ptr<frameworks::Framework> backend_;
   std::uint64_t next_batch_ = 0;
+  std::vector<std::unique_ptr<pipeline::BatchContext>> contexts_;
+  std::unique_ptr<pipeline::BatchContext> eval_context_;
+  std::unique_ptr<ThreadPool> pool_;  // lazy; only when workers > 1
 };
 
 }  // namespace gt

@@ -221,10 +221,39 @@ void release_cache(gpusim::Device& dev, LayerCache& cache) {
 
 }  // namespace
 
-RunReport BaselineFramework::run_batch(const Dataset& data,
-                                       const models::GnnModelConfig& model,
-                                       models::ModelParams& params,
-                                       const BatchSpec& spec) {
+sampling::ReindexFormats BaselineFramework::reindex_formats() const {
+  sampling::ReindexFormats formats;
+  if (options_.compute == BaselineOptions::Compute::kGraph) {
+    formats.coo = true;  // DGL ships COO and translates on device
+  } else {
+    formats.csr = true;
+  }
+  return formats;
+}
+
+pipeline::PlanOptions BaselineFramework::plan_options() const {
+  pipeline::PlanOptions plan;
+  plan.strategy = options_.strategy;
+  plan.pinned_memory = options_.pinned_memory;
+  plan.pipelined_kt = options_.pipelined_kt;
+  return plan;
+}
+
+void BaselineFramework::prepare_batch(const Dataset& data,
+                                      const models::GnnModelConfig& model,
+                                      const BatchSpec& spec,
+                                      pipeline::BatchContext& ctx) {
+  GT_OBS_SCOPE_N(prep_span, "frameworks.prepare_batch", "frameworks");
+  prep_span.arg("framework", name_);
+  prep_span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
+  detail::preprocess_into(data, spec, model.num_layers, reindex_formats(),
+                          plan_options(), ctx);
+}
+
+RunReport BaselineFramework::execute_prepared(
+    const Dataset& data, const models::GnnModelConfig& model,
+    models::ModelParams& params, const BatchSpec& spec,
+    pipeline::BatchContext& ctx) {
   GT_OBS_SCOPE_N(batch_span, "frameworks.run_batch", "frameworks");
   RunReport report;
   report.framework = name_;
@@ -236,21 +265,10 @@ RunReport BaselineFramework::run_batch(const Dataset& data,
   const std::uint32_t L = model.num_layers;
   const bool graph_compute =
       options_.compute == BaselineOptions::Compute::kGraph;
-  sampling::ReindexFormats formats;
-  if (graph_compute) {
-    formats.coo = true;  // DGL ships COO and translates on device
-  } else {
-    formats.csr = true;
-  }
+  const sampling::ReindexFormats formats = reindex_formats();
 
-  pipeline::PlanOptions plan;
-  plan.strategy = options_.strategy;
-  plan.pinned_memory = options_.pinned_memory;
-  plan.pipelined_kt = options_.pipelined_kt;
-
-  detail::PreprocOutcome pre =
-      detail::preprocess(data, spec, L, formats, plan);
-  report.input_table_bytes = pre.data.embeddings.bytes();
+  pipeline::PreprocResult& pre = ctx.preproc();
+  report.input_table_bytes = pre.embeddings.bytes();
 
   // Explicit combination-first programming exists only for unweighted
   // models in the baselines' user code.
@@ -283,13 +301,14 @@ RunReport BaselineFramework::run_batch(const Dataset& data,
     report.fwp_us = dev.profile_latency_us();
 
     if (spec.inference) {
-      detail::finalize_report(report, dev, pre, options_.overlap_compute);
+      detail::finalize_report(report, dev, ctx.schedule(),
+                              options_.overlap_compute, &ctx);
       return report;
     }
 
     gpusim::BufferId dy = kInvalidBuffer;
-    report.loss = detail::loss_head(dev, x, pre.data, model.output_dim,
-                                    spec.seed, &dy);
+    report.loss = detail::loss_head(dev, x, pre, model.output_dim, spec.seed,
+                                    &dy, &ctx);
 
     for (std::uint32_t li = L; li-- > 0;) {
       const BufferId x_in = li == 0 ? session->input : caches[li - 1].out;
@@ -302,7 +321,7 @@ RunReport BaselineFramework::run_batch(const Dataset& data,
               : backward_dl(io, session->csr[li], x_in, session->w[li],
                             caches[li], dy, relu, want_dx);
       detail::apply_sgd(dev, params, li, grads.dw, grads.db,
-                        spec.learning_rate);
+                        spec.learning_rate, &ctx);
       dev.free(grads.dw);
       dev.free(grads.db);
       dev.free(dy);
@@ -311,12 +330,13 @@ RunReport BaselineFramework::run_batch(const Dataset& data,
     }
 
     report.bwp_us = dev.profile_latency_us() - report.fwp_us;
-    detail::finalize_report(report, dev, pre, options_.overlap_compute);
+    detail::finalize_report(report, dev, ctx.schedule(),
+                            options_.overlap_compute, &ctx);
   } catch (const gpusim::GpuOomError& e) {
     report.oom = true;
     report.oom_what = e.what();
-    report.schedule = pre.schedule;
-    report.preproc_makespan_us = pre.schedule.makespan_us;
+    report.schedule = ctx.schedule();
+    report.preproc_makespan_us = ctx.schedule().makespan_us;
     obs::metrics().counter("frameworks.oom_batches").add(1);
   }
   return report;

@@ -40,11 +40,20 @@ class BaselineFramework : public Framework {
 
   std::string name() const override { return name_; }
 
-  RunReport run_batch(const Dataset& data, const models::GnnModelConfig& model,
-                      models::ModelParams& params,
-                      const BatchSpec& spec) override;
+  void prepare_batch(const Dataset& data, const models::GnnModelConfig& model,
+                     const BatchSpec& spec,
+                     pipeline::BatchContext& ctx) override;
+
+  RunReport execute_prepared(const Dataset& data,
+                             const models::GnnModelConfig& model,
+                             models::ModelParams& params,
+                             const BatchSpec& spec,
+                             pipeline::BatchContext& ctx) override;
 
  private:
+  sampling::ReindexFormats reindex_formats() const;
+  pipeline::PlanOptions plan_options() const;
+
   std::string name_;
   BaselineOptions options_;
 };

@@ -27,28 +27,28 @@ const char* sim_category_of(const std::string& task_name) {
 /// sim does not record which core unit ran a task, so CPU tasks are
 /// packed greedily into lanes: same makespan, readable rendering.
 void emit_sim_timeline(const RunReport& report, const gpusim::Device& dev,
-                       const PreprocOutcome& pre) {
+                       const pipeline::PreprocSchedule& schedule) {
   obs::Tracer& tracer = obs::Tracer::global();
   if (!tracer.enabled()) return;
 
   const double gpu_us = report.kernel_total_us;
-  const double batch_span = pre.schedule.makespan_us + gpu_us;
+  const double batch_span = schedule.makespan_us + gpu_us;
   // Small gap so consecutive batches stay visually distinct.
   const double base = tracer.advance_virtual(batch_span + 0.05 * batch_span);
 
   std::vector<std::size_t> order;
-  for (std::size_t i = 0; i < pre.schedule.sim.tasks.size(); ++i) {
-    const SimTaskResult& t = pre.schedule.sim.tasks[i];
+  for (std::size_t i = 0; i < schedule.sim.tasks.size(); ++i) {
+    const SimTaskResult& t = schedule.sim.tasks[i];
     if (t.resource == kNoResource || t.finish <= t.start) continue;
     order.push_back(i);
   }
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return pre.schedule.sim.tasks[a].start < pre.schedule.sim.tasks[b].start;
+    return schedule.sim.tasks[a].start < schedule.sim.tasks[b].start;
   });
 
   std::vector<double> cpu_lane_free;  // lane index -> earliest free time
   for (std::size_t i : order) {
-    const SimTaskResult& t = pre.schedule.sim.tasks[i];
+    const SimTaskResult& t = schedule.sim.tasks[i];
     obs::TraceEvent e;
     e.name = t.name;
     e.cat = sim_category_of(t.name);
@@ -75,7 +75,7 @@ void emit_sim_timeline(const RunReport& report, const gpusim::Device& dev,
 
   // GPU compute follows this batch's preprocessing (steady-state overlap
   // would slide it under the *next* batch's S/R/K/T).
-  const double gpu0 = base + pre.schedule.makespan_us;
+  const double gpu0 = base + schedule.makespan_us;
   auto phase = [&](const char* name, double ts, double dur) {
     if (dur <= 0.0) return;
     obs::TraceEvent e;
@@ -118,35 +118,36 @@ gpusim::DeviceConfig eval_device_config() {
   return cfg;
 }
 
-PreprocOutcome preprocess(const Dataset& data, const BatchSpec& spec,
-                          std::uint32_t num_layers,
-                          const sampling::ReindexFormats& formats,
-                          const pipeline::PlanOptions& plan) {
-  PreprocOutcome out;
-  pipeline::PreprocExecutor exec(data.csr, data.embeddings, data.spec.fanout,
-                                 num_layers, spec.seed, formats);
-  const std::vector<Vid> batch =
-      exec.sampler().pick_batch(spec.batch_size, spec.batch_index);
-  out.data = exec.run_serial(batch);
-  out.workload = pipeline::workload_from(out.data.batch,
-                                         data.spec.feature_dim);
-  out.schedule = pipeline::plan_preprocessing(out.workload, plan);
-  return out;
+void preprocess_into(const Dataset& data, const BatchSpec& spec,
+                     std::uint32_t num_layers,
+                     const sampling::ReindexFormats& formats,
+                     const pipeline::PlanOptions& plan,
+                     pipeline::BatchContext& ctx) {
+  pipeline::PreprocExecutor& exec = ctx.executor_for(
+      data.csr, data.embeddings, data.spec.fanout, num_layers, spec.seed,
+      formats);
+  ctx.batch_vids() = exec.sampler().pick_batch(spec.batch_size,
+                                               spec.batch_index);
+  exec.run_serial_into(ctx.batch_vids(), ctx.table(), ctx.preproc(),
+                       ctx.scratch());
+  ctx.workload() = pipeline::workload_from(ctx.preproc().batch,
+                                           data.spec.feature_dim);
+  ctx.schedule() = pipeline::plan_preprocessing(ctx.workload(), plan);
 }
 
 std::unique_ptr<DeviceSession> open_session(
-    const PreprocOutcome& pre, const models::ModelParams& params,
+    const pipeline::PreprocResult& pre, const models::ModelParams& params,
     const sampling::ReindexFormats& formats, bool upload_input) {
   auto session = std::make_unique<DeviceSession>(eval_device_config());
   gpusim::Device& dev = session->dev;
 
   if (upload_input) {
     session->input =
-        kernels::upload_matrix(dev, pre.data.embeddings, "input-table");
+        kernels::upload_matrix(dev, pre.embeddings, "input-table");
   }
-  session->input_table_bytes = pre.data.embeddings.bytes();
+  session->input_table_bytes = pre.embeddings.bytes();
 
-  for (const auto& layer : pre.data.layers) {
+  for (const auto& layer : pre.layers) {
     if (formats.csr)
       session->csr.push_back(
           kernels::upload_csr(dev, layer.csr, layer.n_dst));
@@ -170,7 +171,24 @@ std::unique_ptr<DeviceSession> open_session(
 float loss_head(gpusim::Device& dev, gpusim::BufferId logits,
                 const pipeline::PreprocResult& data,
                 std::uint32_t num_classes, std::uint64_t seed,
-                gpusim::BufferId* dlogits) {
+                gpusim::BufferId* dlogits, pipeline::BatchContext* ctx) {
+  if (ctx) {
+    // Hot path: logits, labels, and the gradient live in the context, so
+    // the loss head allocates nothing once the context is warm.
+    MatrixView host_logits = kernels::download_matrix(dev, logits,
+                                                      ctx->arena());
+    std::vector<std::uint32_t>& labels = ctx->labels();
+    labels.clear();
+    labels.reserve(host_logits.rows());
+    for (std::size_t i = 0; i < host_logits.rows(); ++i)
+      labels.push_back(
+          synthetic_label(data.batch.vid_order[i], num_classes, seed));
+    MatrixView grad =
+        ctx->arena().alloc(host_logits.rows(), host_logits.cols());
+    const float loss = softmax_cross_entropy_into(host_logits, labels, grad);
+    *dlogits = kernels::upload_matrix(dev, grad, "dlogits");
+    return loss;
+  }
   Matrix host_logits = kernels::download_matrix(dev, logits);
   std::vector<std::uint32_t> labels;
   labels.reserve(host_logits.rows());
@@ -185,13 +203,20 @@ float loss_head(gpusim::Device& dev, gpusim::BufferId logits,
 
 void apply_sgd(gpusim::Device& dev, models::ModelParams& params,
                std::uint32_t layer, gpusim::BufferId dw, gpusim::BufferId db,
-               float lr) {
+               float lr, pipeline::BatchContext* ctx) {
+  if (ctx) {
+    params.sgd_update(layer, kernels::download_matrix(dev, dw, ctx->arena()),
+                      kernels::download_matrix(dev, db, ctx->arena()), lr);
+    return;
+  }
   params.sgd_update(layer, kernels::download_matrix(dev, dw),
                     kernels::download_matrix(dev, db), lr);
 }
 
 void finalize_report(RunReport& report, const gpusim::Device& dev,
-                     const PreprocOutcome& pre, bool overlap_compute) {
+                     const pipeline::PreprocSchedule& schedule,
+                     bool overlap_compute,
+                     const pipeline::BatchContext* ctx) {
   std::size_t cache_hit_bytes = 0;
   for (const auto& k : dev.profile()) {
     report.kernel_total_us += k.latency_us;
@@ -210,10 +235,10 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
   if (report.fwp_us == 0.0 && report.bwp_us == 0.0)
     report.fwp_us = report.kernel_total_us;
   report.peak_memory_bytes = dev.memory_stats().peak_bytes;
-  report.schedule = pre.schedule;
-  report.preproc_makespan_us = pre.schedule.makespan_us;
+  report.schedule = schedule;
+  report.preproc_makespan_us = schedule.makespan_us;
   report.end_to_end_us = pipeline::end_to_end_us(
-      pre.schedule, report.kernel_total_us, overlap_compute);
+      schedule, report.kernel_total_us, overlap_compute);
 
   obs::MetricsRegistry& m = obs::metrics();
   m.counter("frameworks.batches").add(1);
@@ -225,7 +250,21 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
     m.gauge("gpusim.sm_cache_hit_rate")
         .set(static_cast<double>(cache_hit_bytes) /
              static_cast<double>(cache_total));
-  emit_sim_timeline(report, dev, pre);
+  if (ctx) {
+    const Arena::Stats& a = ctx->arena().stats();
+    report.arena_peak_bytes = a.used_bytes;  // monotone within a batch
+    report.arena_allocations = ctx->arena_allocations_this_batch();
+    report.arena_capacity_bytes = a.capacity_bytes;
+    report.arena_growths = ctx->arena_growths_this_batch();
+    m.gauge("batch_context.arena_peak_bytes")
+        .set(static_cast<double>(a.peak_bytes));
+    m.gauge("batch_context.arena_capacity_bytes")
+        .set(static_cast<double>(a.capacity_bytes));
+    m.counter("batch_context.arena_allocations")
+        .add(report.arena_allocations);
+    m.counter("batch_context.arena_growths").add(report.arena_growths);
+  }
+  emit_sim_timeline(report, dev, schedule);
 }
 
 }  // namespace gt::frameworks::detail

@@ -14,18 +14,15 @@ namespace gt::frameworks::detail {
 /// the paper's livejournal/NGCF DL-approach out-of-memory reproduces.
 gpusim::DeviceConfig eval_device_config();
 
-struct PreprocOutcome {
-  pipeline::PreprocResult data;
-  pipeline::BatchWorkload workload;
-  pipeline::PreprocSchedule schedule;
-};
-
-/// Sample + reindex + lookup (real data, serial executor) and price the
-/// schedule under the framework's strategy.
-PreprocOutcome preprocess(const Dataset& data, const BatchSpec& spec,
-                          std::uint32_t num_layers,
-                          const sampling::ReindexFormats& formats,
-                          const pipeline::PlanOptions& plan);
+/// Phase-1 shared helper: pick the batch deterministically, run the
+/// context-backed serial preprocessing, derive the workload, and price the
+/// schedule — all into `ctx`'s reusable storage (identical output to the
+/// old by-value preprocess()).
+void preprocess_into(const Dataset& data, const BatchSpec& spec,
+                     std::uint32_t num_layers,
+                     const sampling::ReindexFormats& formats,
+                     const pipeline::PlanOptions& plan,
+                     pipeline::BatchContext& ctx);
 
 /// Uploaded device state for one batch.
 struct DeviceSession {
@@ -47,24 +44,32 @@ struct DeviceSession {
 /// `upload_input == false` skips uploading the layer-0 feature table
 /// (the caller assembles it, e.g. from an embedding cache).
 std::unique_ptr<DeviceSession> open_session(
-    const PreprocOutcome& pre, const models::ModelParams& params,
+    const pipeline::PreprocResult& pre, const models::ModelParams& params,
     const sampling::ReindexFormats& formats, bool upload_input = true);
 
 /// Softmax cross-entropy head over the batch's logits; labels are the
 /// deterministic synthetic labels of the original dst vertices. Returns the
-/// loss and uploads dL/dlogits as a device buffer.
+/// loss and uploads dL/dlogits as a device buffer. With `ctx`, the logits
+/// download, the label vector, and the gradient all live in the context
+/// (arena views / reused scratch — no heap Matrix); without, fresh owning
+/// matrices are used. Both paths are bit-identical.
 float loss_head(gpusim::Device& dev, gpusim::BufferId logits,
                 const pipeline::PreprocResult& data, std::uint32_t num_classes,
-                std::uint64_t seed, gpusim::BufferId* dlogits);
+                std::uint64_t seed, gpusim::BufferId* dlogits,
+                pipeline::BatchContext* ctx = nullptr);
 
-/// Download a layer's parameter gradients and apply SGD host-side.
+/// Download a layer's parameter gradients and apply SGD host-side. With
+/// `ctx`, the downloads land in arena views instead of fresh matrices.
 void apply_sgd(gpusim::Device& dev, models::ModelParams& params,
                std::uint32_t layer, gpusim::BufferId dw, gpusim::BufferId db,
-               float lr);
+               float lr, pipeline::BatchContext* ctx = nullptr);
 
 /// Fill the RunReport's GPU-side fields from the device profile and
-/// combine preprocessing + compute into the end-to-end latency.
+/// combine preprocessing + compute into the end-to-end latency. With
+/// `ctx`, the report's arena counters are filled from the context.
 void finalize_report(RunReport& report, const gpusim::Device& dev,
-                     const PreprocOutcome& pre, bool overlap_compute);
+                     const pipeline::PreprocSchedule& schedule,
+                     bool overlap_compute,
+                     const pipeline::BatchContext* ctx = nullptr);
 
 }  // namespace gt::frameworks::detail

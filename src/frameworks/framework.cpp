@@ -7,6 +7,25 @@
 
 namespace gt::frameworks {
 
+RunReport Framework::run_batch(const Dataset& data,
+                               const models::GnnModelConfig& model,
+                               models::ModelParams& params,
+                               const BatchSpec& spec,
+                               pipeline::BatchContext& ctx) {
+  ctx.begin_batch();
+  prepare_batch(data, model, spec, ctx);
+  return execute_prepared(data, model, params, spec, ctx);
+}
+
+RunReport Framework::run_batch(const Dataset& data,
+                               const models::GnnModelConfig& model,
+                               models::ModelParams& params,
+                               const BatchSpec& spec) {
+  if (!scratch_ctx_)
+    scratch_ctx_ = std::make_unique<pipeline::BatchContext>();
+  return run_batch(data, model, params, spec, *scratch_ctx_);
+}
+
 std::unique_ptr<Framework> make_framework(const std::string& name) {
   if (name == "PyG")
     return std::make_unique<BaselineFramework>("PyG", pyg_options());

@@ -16,6 +16,7 @@
 #include "gpusim/stats.hpp"
 #include "models/config.hpp"
 #include "models/params.hpp"
+#include "pipeline/batch_context.hpp"
 #include "pipeline/plan.hpp"
 
 namespace gt::frameworks {
@@ -66,6 +67,16 @@ struct RunReport {
   double preproc_makespan_us = 0.0;
   double end_to_end_us = 0.0;
 
+  // -- Batch context (arena) -------------------------------------------------
+  // Per-batch values (peak/allocations) are batch-intrinsic and identical
+  // no matter which worker context ran the batch; capacity/growths are
+  // context-local warm-up properties (they depend on what the context ran
+  // before) and must not be compared across worker counts.
+  std::size_t arena_peak_bytes = 0;        // floats this batch carved
+  std::uint64_t arena_allocations = 0;     // arena allocs this batch
+  std::size_t arena_capacity_bytes = 0;    // context arena capacity
+  std::uint64_t arena_growths = 0;         // block growths this batch
+
   // -- Training --------------------------------------------------------------
   float loss = 0.0f;
   std::array<std::uint32_t, 8> layer_comb_first_fwd{};  // DKP decisions
@@ -87,11 +98,37 @@ class Framework {
   virtual ~Framework() = default;
   virtual std::string name() const = 0;
 
-  /// Train one batch end to end. Must not throw on GPU OOM — reports it.
-  virtual RunReport run_batch(const Dataset& data,
-                              const models::GnnModelConfig& model,
-                              models::ModelParams& params,
-                              const BatchSpec& spec) = 0;
+  /// Phase 1 — parameter-independent preprocessing (sample, reindex,
+  /// lookup, schedule pricing) into `ctx`'s reusable storage. Safe to run
+  /// concurrently for different batches on *distinct* contexts; never
+  /// touches model parameters or framework state.
+  virtual void prepare_batch(const Dataset& data,
+                             const models::GnnModelConfig& model,
+                             const BatchSpec& spec,
+                             pipeline::BatchContext& ctx) = 0;
+
+  /// Phase 2 — device compute, loss, backward, and SGD from a prepared
+  /// context. Mutates `params` and framework state (cost model, caches):
+  /// callers must invoke it serially, in batch order, for determinism.
+  /// Must not throw on GPU OOM — reports it.
+  virtual RunReport execute_prepared(const Dataset& data,
+                                     const models::GnnModelConfig& model,
+                                     models::ModelParams& params,
+                                     const BatchSpec& spec,
+                                     pipeline::BatchContext& ctx) = 0;
+
+  /// Train one batch end to end in `ctx`: begin_batch + prepare + execute.
+  RunReport run_batch(const Dataset& data, const models::GnnModelConfig& model,
+                      models::ModelParams& params, const BatchSpec& spec,
+                      pipeline::BatchContext& ctx);
+
+  /// Compatibility form: same, in a lazily created framework-owned
+  /// scratch context (so repeated calls still reuse buffers).
+  RunReport run_batch(const Dataset& data, const models::GnnModelConfig& model,
+                      models::ModelParams& params, const BatchSpec& spec);
+
+ private:
+  std::unique_ptr<pipeline::BatchContext> scratch_ctx_;
 };
 
 /// Factory. Known names: "PyG", "PyG-MT", "DGL", "GNNAdvisor", "SALIENT",

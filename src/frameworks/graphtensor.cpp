@@ -21,10 +21,38 @@ std::string GraphTensorFramework::name() const {
   return "?";
 }
 
-RunReport GraphTensorFramework::run_batch(const Dataset& data,
-                                          const models::GnnModelConfig& model,
-                                          models::ModelParams& params,
-                                          const BatchSpec& spec) {
+pipeline::PlanOptions GraphTensorFramework::plan_options() const {
+  pipeline::PlanOptions plan;
+  if (variant_ == Variant::kPrepro) {
+    plan.strategy = pipeline::PreprocStrategy::kServiceWide;
+    plan.pinned_memory = true;
+    plan.pipelined_kt = true;
+  } else {
+    plan.strategy = pipeline::PreprocStrategy::kParallelTasks;
+  }
+  return plan;
+}
+
+namespace {
+constexpr sampling::ReindexFormats kGtFormats{.coo = false, .csr = true,
+                                              .csc = true};
+}  // namespace
+
+void GraphTensorFramework::prepare_batch(const Dataset& data,
+                                         const models::GnnModelConfig& model,
+                                         const BatchSpec& spec,
+                                         pipeline::BatchContext& ctx) {
+  GT_OBS_SCOPE_N(prep_span, "frameworks.prepare_batch", "frameworks");
+  prep_span.arg("framework", name());
+  prep_span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
+  detail::preprocess_into(data, spec, model.num_layers, kGtFormats,
+                          plan_options(), ctx);
+}
+
+RunReport GraphTensorFramework::execute_prepared(
+    const Dataset& data, const models::GnnModelConfig& model,
+    models::ModelParams& params, const BatchSpec& spec,
+    pipeline::BatchContext& ctx) {
   GT_OBS_SCOPE_N(batch_span, "frameworks.run_batch", "frameworks");
   RunReport report;
   report.framework = name();
@@ -34,20 +62,11 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
   batch_span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
 
   const std::uint32_t L = model.num_layers;
-  const sampling::ReindexFormats formats{.coo = false, .csr = true,
-                                         .csc = true};
-  pipeline::PlanOptions plan;
-  if (variant_ == Variant::kPrepro) {
-    plan.strategy = pipeline::PreprocStrategy::kServiceWide;
-    plan.pinned_memory = true;
-    plan.pipelined_kt = true;
-  } else {
-    plan.strategy = pipeline::PreprocStrategy::kParallelTasks;
-  }
+  const sampling::ReindexFormats formats = kGtFormats;
+  const pipeline::PlanOptions plan = plan_options();
 
-  detail::PreprocOutcome pre =
-      detail::preprocess(data, spec, L, formats, plan);
-  report.input_table_bytes = pre.data.embeddings.bytes();
+  pipeline::PreprocResult& pre = ctx.preproc();
+  report.input_table_bytes = pre.embeddings.bytes();
   const bool use_cache = cache_bytes_ > 0;
 
   const bool dkp_active = variant_ != Variant::kBase &&
@@ -66,20 +85,21 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
       // preprocessing schedule is re-priced with the reduced K/T volume.
       sampling::EmbeddingCache cache(dev, data.csr, data.embeddings,
                                      cache_bytes_);
-      const auto part = cache.partition(pre.data.batch.vid_order);
+      const auto part = cache.partition(pre.batch.vid_order);
       last_hit_rate_ = part.hit_rate();
       obs::metrics().gauge("embedding_cache.hit_rate").set(last_hit_rate_);
-      pre.workload.cached_rows = part.hit_rows.size();
-      pre.schedule = pipeline::plan_preprocessing(pre.workload, plan);
+      ctx.workload().cached_rows = part.hit_rows.size();
+      ctx.schedule() = pipeline::plan_preprocessing(ctx.workload(), plan);
 
-      Matrix misses(part.miss_vids.size(), data.spec.feature_dim);
+      MatrixView misses =
+          ctx.arena().alloc(part.miss_vids.size(), data.spec.feature_dim);
       for (std::size_t m = 0; m < part.miss_vids.size(); ++m)
         data.embeddings.gather_row(part.miss_vids[m], misses.row(m));
       gpusim::BufferId miss_buf = gpusim::kInvalidBuffer;
       if (!part.miss_vids.empty())
         miss_buf = kernels::upload_matrix(dev, misses, "cache.misses");
       session->input = cache.assemble(dev, part, miss_buf,
-                                      pre.data.batch.vid_order.size());
+                                      pre.batch.vid_order.size());
       if (miss_buf != gpusim::kInvalidBuffer) dev.free(miss_buf);
       dev.clear_profile();  // assembly is not FWP/BWP work
     }
@@ -91,9 +111,8 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
       lg[l] = dfg::LayerDeviceGraph{session->csr[l], session->csc[l]};
 
     auto dims_of = [&](std::uint32_t l) {
-      return LayerDims{pre.data.batch.layer_vertices(l),
-                       pre.data.batch.layer_dst(l),
-                       pre.data.batch.layer_edges(l), params.in_dim(l),
+      return LayerDims{pre.batch.layer_vertices(l), pre.batch.layer_dst(l),
+                       pre.batch.layer_edges(l), params.in_dim(l),
                        params.out_dim(l)};
     };
 
@@ -153,15 +172,16 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
     report.fwp_us = dev.profile_latency_us();
 
     if (spec.inference) {
-      detail::finalize_report(report, dev, pre, /*overlap_compute=*/true);
+      detail::finalize_report(report, dev, ctx.schedule(),
+                              /*overlap_compute=*/true, &ctx);
       ++batches_seen_;
       return report;
     }
 
     // ---- Loss ----------------------------------------------------------------
     gpusim::BufferId dy = gpusim::kInvalidBuffer;
-    report.loss = detail::loss_head(dev, x, pre.data, model.output_dim,
-                                    spec.seed, &dy);
+    report.loss = detail::loss_head(dev, x, pre, model.output_dim, spec.seed,
+                                    &dy, &ctx);
 
     // ---- BWP ----------------------------------------------------------------
     for (std::uint32_t li = L; li-- > 0;) {
@@ -179,7 +199,7 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
                                model.edge_weighted()},
             dev.profile_latency_us() - before);
       detail::apply_sgd(dev, params, li, grads.dw, grads.db,
-                        spec.learning_rate);
+                        spec.learning_rate, &ctx);
       dev.free(grads.dw);
       dev.free(grads.db);
       dev.free(dy);
@@ -188,12 +208,13 @@ RunReport GraphTensorFramework::run_batch(const Dataset& data,
     }
 
     report.bwp_us = dev.profile_latency_us() - report.fwp_us;
-    detail::finalize_report(report, dev, pre, /*overlap_compute=*/true);
+    detail::finalize_report(report, dev, ctx.schedule(),
+                            /*overlap_compute=*/true, &ctx);
   } catch (const gpusim::GpuOomError& e) {
     report.oom = true;
     report.oom_what = e.what();
-    report.schedule = pre.schedule;
-    report.preproc_makespan_us = pre.schedule.makespan_us;
+    report.schedule = ctx.schedule();
+    report.preproc_makespan_us = ctx.schedule().makespan_us;
     obs::metrics().counter("frameworks.oom_batches").add(1);
   }
 

@@ -30,9 +30,15 @@ class GraphTensorFramework : public Framework {
 
   std::string name() const override;
 
-  RunReport run_batch(const Dataset& data, const models::GnnModelConfig& model,
-                      models::ModelParams& params,
-                      const BatchSpec& spec) override;
+  void prepare_batch(const Dataset& data, const models::GnnModelConfig& model,
+                     const BatchSpec& spec,
+                     pipeline::BatchContext& ctx) override;
+
+  RunReport execute_prepared(const Dataset& data,
+                             const models::GnnModelConfig& model,
+                             models::ModelParams& params,
+                             const BatchSpec& spec,
+                             pipeline::BatchContext& ctx) override;
 
   /// Expose the orchestrator's cost model (Table I benchmarks read the fit
   /// error and coefficients).
@@ -45,6 +51,8 @@ class GraphTensorFramework : public Framework {
   double last_cache_hit_rate() const noexcept { return last_hit_rate_; }
 
  private:
+  pipeline::PlanOptions plan_options() const;
+
   Variant variant_;
   std::size_t cache_bytes_ = 0;
   double last_hit_rate_ = 0.0;

@@ -17,6 +17,11 @@ void charge(TranslationCost* cost, std::size_t sorted, std::size_t read,
 
 Csr coo_to_csr(const Coo& coo, TranslationCost* cost) {
   Csr csr;
+  coo_to_csr_into(coo, csr, cost);
+  return csr;
+}
+
+void coo_to_csr_into(const Coo& coo, Csr& csr, TranslationCost* cost) {
   csr.num_vertices = coo.num_vertices;
   csr.row_ptr.assign(static_cast<std::size_t>(coo.num_vertices) + 1, 0);
   for (Vid d : coo.dst) ++csr.row_ptr[d + 1];
@@ -28,11 +33,15 @@ Csr coo_to_csr(const Coo& coo, TranslationCost* cost) {
     csr.col_idx[cursor[coo.dst[e]]++] = coo.src[e];
   charge(cost, coo.num_edges(), coo.storage_bytes(), csr.storage_bytes(),
          cursor.size() * sizeof(Eid));
-  return csr;
 }
 
 Csc coo_to_csc(const Coo& coo, TranslationCost* cost) {
   Csc csc;
+  coo_to_csc_into(coo, csc, cost);
+  return csc;
+}
+
+void coo_to_csc_into(const Coo& coo, Csc& csc, TranslationCost* cost) {
   csc.num_vertices = coo.num_vertices;
   csc.col_ptr.assign(static_cast<std::size_t>(coo.num_vertices) + 1, 0);
   for (Vid s : coo.src) ++csc.col_ptr[s + 1];
@@ -44,7 +53,6 @@ Csc coo_to_csc(const Coo& coo, TranslationCost* cost) {
     csc.row_idx[cursor[coo.src[e]]++] = coo.dst[e];
   charge(cost, coo.num_edges(), coo.storage_bytes(), csc.storage_bytes(),
          cursor.size() * sizeof(Eid));
-  return csc;
 }
 
 Coo csr_to_coo(const Csr& csr, TranslationCost* cost) {

@@ -37,6 +37,12 @@ Csr coo_to_csr(const Coo& coo, TranslationCost* cost = nullptr);
 /// COO -> CSC (src-indexed): counting sort over src VIDs.
 Csc coo_to_csc(const Coo& coo, TranslationCost* cost = nullptr);
 
+/// In-place forms of the two hot conversions: overwrite `out`, reusing its
+/// vectors' capacity (the batch-context steady state). Identical output and
+/// cost accounting to the owning forms.
+void coo_to_csr_into(const Coo& coo, Csr& out, TranslationCost* cost = nullptr);
+void coo_to_csc_into(const Coo& coo, Csc& out, TranslationCost* cost = nullptr);
+
 /// CSR -> COO: expand the pointer array back to per-edge dst VIDs.
 Coo csr_to_coo(const Csr& csr, TranslationCost* cost = nullptr);
 

@@ -1,6 +1,7 @@
 #include "kernels/common.hpp"
 
 #include <numeric>
+#include <stdexcept>
 
 namespace gt::kernels {
 
@@ -105,7 +106,7 @@ void free_graph(gpusim::Device& dev, const DeviceCoo& g) {
   dev.free(g.dst);
 }
 
-gpusim::BufferId upload_matrix(gpusim::Device& dev, const Matrix& m,
+gpusim::BufferId upload_matrix(gpusim::Device& dev, ConstMatrixView m,
                                std::string name) {
   auto id = dev.alloc_f32(m.rows(), m.cols(), std::move(name));
   auto dst = dev.f32(id);
@@ -116,9 +117,23 @@ gpusim::BufferId upload_matrix(gpusim::Device& dev, const Matrix& m,
 
 Matrix download_matrix(const gpusim::Device& dev, gpusim::BufferId id) {
   Matrix m(dev.rows(id), dev.cols(id));
-  auto src = dev.f32(id);
-  std::copy(src.begin(), src.end(), m.data().begin());
+  download_matrix_into(dev, id, m);
   return m;
+}
+
+void download_matrix_into(const gpusim::Device& dev, gpusim::BufferId id,
+                          MatrixView out) {
+  auto src = dev.f32(id);
+  if (out.rows() != dev.rows(id) || out.cols() != dev.cols(id))
+    throw std::invalid_argument("download_matrix_into: shape mismatch");
+  std::copy(src.begin(), src.end(), out.data().begin());
+}
+
+MatrixView download_matrix(const gpusim::Device& dev, gpusim::BufferId id,
+                           Arena& arena) {
+  MatrixView out = arena.alloc(dev.rows(id), dev.cols(id));
+  download_matrix_into(dev, id, out);
+  return out;
 }
 
 }  // namespace gt::kernels

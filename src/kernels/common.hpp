@@ -25,7 +25,9 @@
 #include "graph/coo.hpp"
 #include "graph/csc.hpp"
 #include "graph/csr.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/view.hpp"
 
 namespace gt::kernels {
 
@@ -93,10 +95,17 @@ void free_graph(gpusim::Device& dev, const DeviceCsr& g);
 void free_graph(gpusim::Device& dev, const DeviceCsc& g);
 void free_graph(gpusim::Device& dev, const DeviceCoo& g);
 
-/// Upload a host matrix as a device f32 buffer / download back.
-gpusim::BufferId upload_matrix(gpusim::Device& dev, const Matrix& m,
+/// Upload a host matrix (owning or view) as a device f32 buffer.
+gpusim::BufferId upload_matrix(gpusim::Device& dev, ConstMatrixView m,
                                std::string name);
+/// Download into a fresh owning matrix (cold path / tests).
 Matrix download_matrix(const gpusim::Device& dev, gpusim::BufferId id);
+/// Download into an existing view of matching shape (batch hot path).
+void download_matrix_into(const gpusim::Device& dev, gpusim::BufferId id,
+                          MatrixView out);
+/// Download into a view carved from `arena`.
+MatrixView download_matrix(const gpusim::Device& dev, gpusim::BufferId id,
+                           Arena& arena);
 
 /// Bytes of one embedding row of `buf`.
 inline std::size_t row_bytes(const gpusim::Device& dev, gpusim::BufferId buf) {

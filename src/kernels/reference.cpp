@@ -6,11 +6,12 @@
 
 namespace gt::kernels::ref {
 
-Matrix edge_weights(const Csr& csr, const Matrix& x, Vid n_dst,
-                    EdgeWeightMode g) {
-  if (g == EdgeWeightMode::kNone) return {};
+namespace {
+
+/// Core of edge_weights: fills `w` (already sized) for kDot/kElemProduct.
+void edge_weights_core(const Csr& csr, ConstMatrixView x, Vid n_dst,
+                       EdgeWeightMode g, MatrixView w) {
   const std::size_t f = x.cols();
-  Matrix w(csr.num_edges(), g == EdgeWeightMode::kDot ? 1 : f);
   for (Vid d = 0; d < n_dst; ++d) {
     const auto xd = x.row(d);
     for (Eid e = csr.row_ptr[d]; e < csr.row_ptr[d + 1]; ++e) {
@@ -24,13 +25,12 @@ Matrix edge_weights(const Csr& csr, const Matrix& x, Vid n_dst,
       }
     }
   }
-  return w;
 }
 
-Matrix aggregate(const Csr& csr, const Matrix& x, const Matrix& weights,
-                 Vid n_dst, AggMode f, EdgeWeightMode g) {
+/// Core of aggregate: accumulates into zero-filled `out`.
+void aggregate_core(const Csr& csr, ConstMatrixView x, ConstMatrixView weights,
+                    Vid n_dst, AggMode f, EdgeWeightMode g, MatrixView out) {
   const std::size_t feat = x.cols();
-  Matrix out(n_dst, feat);
   for (Vid d = 0; d < n_dst; ++d) {
     auto od = out.row(d);
     const Eid begin = csr.row_ptr[d], end = csr.row_ptr[d + 1];
@@ -62,6 +62,89 @@ Matrix aggregate(const Csr& csr, const Matrix& x, const Matrix& weights,
       for (std::size_t c = 0; c < feat; ++c) od[c] *= inv;
     }
   }
+}
+
+/// Core of backward_layer's aggregation+weighting part: accumulates into
+/// zero-filled `dx`.
+void backward_agg_core(const Csr& csr, ConstMatrixView x, Vid n_dst, AggMode f,
+                       EdgeWeightMode g, ConstMatrixView da,
+                       ConstMatrixView cache_weights, MatrixView dx) {
+  const std::size_t feat = x.cols();
+  for (Vid d = 0; d < n_dst; ++d) {
+    const Eid begin = csr.row_ptr[d], end = csr.row_ptr[d + 1];
+    if (begin == end) continue;
+    const float coeff =
+        f == AggMode::kMean ? 1.0f / static_cast<float>(end - begin) : 1.0f;
+    const auto dad = da.row(d);
+    const auto xd = x.row(d);
+    for (Eid e = begin; e < end; ++e) {
+      const Vid s = csr.col_idx[e];
+      const auto xs = x.row(s);
+      auto dxs = dx.row(s);
+      switch (g) {
+        case EdgeWeightMode::kNone:
+          for (std::size_t c = 0; c < feat; ++c) dxs[c] += coeff * dad[c];
+          break;
+        case EdgeWeightMode::kDot: {
+          const float we = cache_weights.at(e, 0);
+          // dL/dw_e = <coeff * da_d, x_s>; w_e = <x_s, x_d>.
+          float dwe = 0.0f;
+          for (std::size_t c = 0; c < feat; ++c)
+            dwe += coeff * dad[c] * xs[c];
+          dwe *= dot_weight_scale(feat);  // dw/dx carries the same scale
+          auto dxd = dx.row(d);
+          for (std::size_t c = 0; c < feat; ++c) {
+            dxs[c] += coeff * we * dad[c] + dwe * xd[c];
+            dxd[c] += dwe * xs[c];
+          }
+          break;
+        }
+        case EdgeWeightMode::kElemProduct: {
+          auto dxd = dx.row(d);
+          for (std::size_t c = 0; c < feat; ++c) {
+            const float dh = coeff * dad[c];
+            const float dwe = dh * xs[c];  // dL/dw_e[c]
+            dxs[c] += cache_weights.at(e, c) * dh + dwe * xd[c];
+            dxd[c] += dwe * xs[c];
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix edge_weights(const Csr& csr, const Matrix& x, Vid n_dst,
+                    EdgeWeightMode g) {
+  if (g == EdgeWeightMode::kNone) return {};
+  Matrix w(csr.num_edges(), g == EdgeWeightMode::kDot ? 1 : x.cols());
+  edge_weights_core(csr, x, n_dst, g, w);
+  return w;
+}
+
+MatrixView edge_weights(Arena& arena, const Csr& csr, ConstMatrixView x,
+                        Vid n_dst, EdgeWeightMode g) {
+  if (g == EdgeWeightMode::kNone) return {};
+  MatrixView w = arena.alloc(csr.num_edges(),
+                             g == EdgeWeightMode::kDot ? 1 : x.cols());
+  edge_weights_core(csr, x, n_dst, g, w);
+  return w;
+}
+
+Matrix aggregate(const Csr& csr, const Matrix& x, const Matrix& weights,
+                 Vid n_dst, AggMode f, EdgeWeightMode g) {
+  Matrix out(n_dst, x.cols());
+  aggregate_core(csr, x, weights, n_dst, f, g, out);
+  return out;
+}
+
+MatrixView aggregate(Arena& arena, const Csr& csr, ConstMatrixView x,
+                     ConstMatrixView weights, Vid n_dst, AggMode f,
+                     EdgeWeightMode g) {
+  MatrixView out = arena.alloc(n_dst, x.cols());
+  aggregate_core(csr, x, weights, n_dst, f, g, out);
   return out;
 }
 
@@ -70,6 +153,18 @@ Matrix combine(const Matrix& x, const Matrix& w, const Matrix& b, bool relu_act,
   Matrix z = add_bias(matmul(x, w), b);
   if (pre_act != nullptr) *pre_act = z;
   return relu_act ? relu(z) : z;
+}
+
+MatrixView combine(Arena& arena, ConstMatrixView x, ConstMatrixView w,
+                   ConstMatrixView b, bool relu_act, MatrixView* pre_act) {
+  MatrixView z = arena.alloc(x.rows(), w.cols());
+  matmul_into(x, w, z);
+  add_bias_into(ConstMatrixView(z), b, z);  // in place: elementwise-safe
+  if (pre_act != nullptr) *pre_act = z;
+  if (!relu_act) return z;
+  MatrixView y = arena.alloc(z.rows(), z.cols());
+  relu_into(ConstMatrixView(z), y);
+  return y;
 }
 
 Matrix forward_layer(const Csr& csr, const Matrix& x, const Matrix& w,
@@ -83,6 +178,22 @@ Matrix forward_layer(const Csr& csr, const Matrix& x, const Matrix& w,
     cache->weights = std::move(weights);
     cache->aggr = std::move(aggr);
     cache->pre_act = std::move(pre);
+  }
+  return y;
+}
+
+MatrixView forward_layer(Arena& arena, const Csr& csr, ConstMatrixView x,
+                         ConstMatrixView w, ConstMatrixView b, Vid n_dst,
+                         AggMode f, EdgeWeightMode g, bool relu_act,
+                         LayerCacheView* cache) {
+  MatrixView weights = edge_weights(arena, csr, x, n_dst, g);
+  MatrixView aggr = aggregate(arena, csr, x, weights, n_dst, f, g);
+  MatrixView pre;
+  MatrixView y = combine(arena, aggr, w, b, relu_act, &pre);
+  if (cache != nullptr) {
+    cache->weights = weights;
+    cache->aggr = aggr;
+    cache->pre_act = pre;
   }
   return y;
 }
@@ -105,6 +216,28 @@ Matrix forward_layer_combination_first(const Csr& csr, const Matrix& x,
   return relu_act ? relu(z) : z;
 }
 
+MatrixView forward_layer_combination_first(Arena& arena, const Csr& csr,
+                                           ConstMatrixView x,
+                                           ConstMatrixView w,
+                                           ConstMatrixView b, Vid n_dst,
+                                           AggMode f, EdgeWeightMode g,
+                                           bool relu_act) {
+  if (!dkp_compatible(g))
+    throw std::invalid_argument(
+        "combination-first order requires scalar (or no) edge weights");
+  MatrixView weights = edge_weights(arena, csr, x, n_dst, g);
+  MatrixView transformed = arena.alloc(x.rows(), w.cols());
+  matmul_into(x, w, transformed);
+  MatrixView aggr =
+      aggregate(arena, csr, transformed, weights, n_dst, f, g);
+  MatrixView z = arena.alloc(aggr.rows(), aggr.cols());
+  add_bias_into(ConstMatrixView(aggr), b, z);
+  if (!relu_act) return z;
+  MatrixView y = arena.alloc(z.rows(), z.cols());
+  relu_into(ConstMatrixView(z), y);
+  return y;
+}
+
 LayerGrads backward_layer(const Csr& csr, const Matrix& x, const Matrix& w,
                           Vid n_dst, AggMode f, EdgeWeightMode g,
                           bool relu_act, const Matrix& dy,
@@ -119,50 +252,38 @@ LayerGrads backward_layer(const Csr& csr, const Matrix& x, const Matrix& w,
   Matrix da = matmul_a_bt(dz, w);  // [n_dst, F]
 
   // Aggregation + weighting backward.
-  const std::size_t feat = x.cols();
-  grads.dx = Matrix::zeros(x.rows(), feat);
-  for (Vid d = 0; d < n_dst; ++d) {
-    const Eid begin = csr.row_ptr[d], end = csr.row_ptr[d + 1];
-    if (begin == end) continue;
-    const float coeff =
-        f == AggMode::kMean ? 1.0f / static_cast<float>(end - begin) : 1.0f;
-    const auto dad = da.row(d);
-    const auto xd = x.row(d);
-    for (Eid e = begin; e < end; ++e) {
-      const Vid s = csr.col_idx[e];
-      const auto xs = x.row(s);
-      auto dxs = grads.dx.row(s);
-      switch (g) {
-        case EdgeWeightMode::kNone:
-          for (std::size_t c = 0; c < feat; ++c) dxs[c] += coeff * dad[c];
-          break;
-        case EdgeWeightMode::kDot: {
-          const float we = cache.weights.at(e, 0);
-          // dL/dw_e = <coeff * da_d, x_s>; w_e = <x_s, x_d>.
-          float dwe = 0.0f;
-          for (std::size_t c = 0; c < feat; ++c)
-            dwe += coeff * dad[c] * xs[c];
-          dwe *= dot_weight_scale(feat);  // dw/dx carries the same scale
-          auto dxd = grads.dx.row(d);
-          for (std::size_t c = 0; c < feat; ++c) {
-            dxs[c] += coeff * we * dad[c] + dwe * xd[c];
-            dxd[c] += dwe * xs[c];
-          }
-          break;
-        }
-        case EdgeWeightMode::kElemProduct: {
-          auto dxd = grads.dx.row(d);
-          for (std::size_t c = 0; c < feat; ++c) {
-            const float dh = coeff * dad[c];
-            const float dwe = dh * xs[c];  // dL/dw_e[c]
-            dxs[c] += cache.weights.at(e, c) * dh + dwe * xd[c];
-            dxd[c] += dwe * xs[c];
-          }
-          break;
-        }
-      }
-    }
+  grads.dx = Matrix::zeros(x.rows(), x.cols());
+  backward_agg_core(csr, x, n_dst, f, g, da, cache.weights, grads.dx);
+  return grads;
+}
+
+LayerGradsView backward_layer(Arena& arena, const Csr& csr, ConstMatrixView x,
+                              ConstMatrixView w, Vid n_dst, AggMode f,
+                              EdgeWeightMode g, bool relu_act,
+                              ConstMatrixView dy,
+                              ConstMatrixView cache_weights,
+                              ConstMatrixView cache_aggr,
+                              ConstMatrixView cache_pre_act) {
+  if (f == AggMode::kMax)
+    throw std::invalid_argument("backward for max aggregation not supported");
+  // Combination backward.
+  ConstMatrixView dz = dy;
+  if (relu_act) {
+    MatrixView masked = arena.alloc(dy.rows(), dy.cols());
+    relu_backward_into(dy, cache_pre_act, masked);
+    dz = masked;
   }
+  LayerGradsView grads;
+  grads.dw = arena.alloc(cache_aggr.cols(), dz.cols());
+  matmul_at_b_into(cache_aggr, dz, grads.dw);
+  grads.db = arena.alloc(1, dz.cols());
+  col_sum_into(dz, grads.db);
+  MatrixView da = arena.alloc(dz.rows(), w.rows());  // [n_dst, F]
+  matmul_a_bt_into(dz, w, da);
+
+  // Aggregation + weighting backward.
+  grads.dx = arena.alloc(x.rows(), x.cols());
+  backward_agg_core(csr, x, n_dst, f, g, da, cache_weights, grads.dx);
   return grads;
 }
 

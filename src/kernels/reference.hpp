@@ -5,13 +5,20 @@
 // numerics bit-for-bit up to float re-association. The DKP equivalence
 // (combination-first == aggregation-first for scalar edge weights) is also
 // validated against this implementation.
+//
+// Every primitive exists in two forms: the owning one (fresh Matrix per
+// call — tests and cold paths) and an arena form writing activations into
+// gt::Arena views, which the steady-state service loop uses so repeated
+// batches allocate nothing. Both compute bit-identical values.
 #pragma once
 
 #include <vector>
 
 #include "graph/csr.hpp"
 #include "kernels/common.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/view.hpp"
 
 namespace gt::kernels::ref {
 
@@ -19,15 +26,23 @@ namespace gt::kernels::ref {
 /// kElemProduct, empty matrix for kNone.
 Matrix edge_weights(const Csr& csr, const Matrix& x, Vid n_dst,
                     EdgeWeightMode g);
+MatrixView edge_weights(Arena& arena, const Csr& csr, ConstMatrixView x,
+                        Vid n_dst, EdgeWeightMode g);
 
 /// Aggregate weighted source embeddings per dst: [n_dst, F].
 /// `weights` must come from edge_weights (ignored for kNone).
 Matrix aggregate(const Csr& csr, const Matrix& x, const Matrix& weights,
                  Vid n_dst, AggMode f, EdgeWeightMode g);
+MatrixView aggregate(Arena& arena, const Csr& csr, ConstMatrixView x,
+                     ConstMatrixView weights, Vid n_dst, AggMode f,
+                     EdgeWeightMode g);
 
 /// Combination: act(x W + b). `pre_act` (optional) receives x W + b.
 Matrix combine(const Matrix& x, const Matrix& w, const Matrix& b, bool relu,
                Matrix* pre_act = nullptr);
+MatrixView combine(Arena& arena, ConstMatrixView x, ConstMatrixView w,
+                   ConstMatrixView b, bool relu,
+                   MatrixView* pre_act = nullptr);
 
 /// Everything the backward pass needs from forward.
 struct LayerCache {
@@ -36,10 +51,21 @@ struct LayerCache {
   Matrix pre_act;  // A W + b (for the ReLU mask)
 };
 
+/// Arena-backed LayerCache: views live until the owning arena resets.
+struct LayerCacheView {
+  MatrixView weights;
+  MatrixView aggr;
+  MatrixView pre_act;
+};
+
 /// Full layer, aggregation-first: Y = act(aggregate(x) W + b).
 Matrix forward_layer(const Csr& csr, const Matrix& x, const Matrix& w,
                      const Matrix& b, Vid n_dst, AggMode f, EdgeWeightMode g,
                      bool relu, LayerCache* cache = nullptr);
+MatrixView forward_layer(Arena& arena, const Csr& csr, ConstMatrixView x,
+                         ConstMatrixView w, ConstMatrixView b, Vid n_dst,
+                         AggMode f, EdgeWeightMode g, bool relu,
+                         LayerCacheView* cache = nullptr);
 
 /// Full layer, combination-first (the DKP-rewritten order):
 /// Y = act(aggregate(x W, weights(x)) + b). Requires dkp_compatible(g).
@@ -47,6 +73,12 @@ Matrix forward_layer_combination_first(const Csr& csr, const Matrix& x,
                                        const Matrix& w, const Matrix& b,
                                        Vid n_dst, AggMode f, EdgeWeightMode g,
                                        bool relu);
+MatrixView forward_layer_combination_first(Arena& arena, const Csr& csr,
+                                           ConstMatrixView x,
+                                           ConstMatrixView w,
+                                           ConstMatrixView b, Vid n_dst,
+                                           AggMode f, EdgeWeightMode g,
+                                           bool relu);
 
 struct LayerGrads {
   Matrix dx;  // [n_vertices, F]
@@ -54,10 +86,22 @@ struct LayerGrads {
   Matrix db;  // 1 x H
 };
 
+struct LayerGradsView {
+  MatrixView dx;
+  MatrixView dw;
+  MatrixView db;
+};
+
 /// Backward through the aggregation-first layer. kMax is unsupported
 /// (throws): training models here use sum/mean, as the paper's GCN/NGCF do.
 LayerGrads backward_layer(const Csr& csr, const Matrix& x, const Matrix& w,
                           Vid n_dst, AggMode f, EdgeWeightMode g, bool relu,
                           const Matrix& dy, const LayerCache& cache);
+LayerGradsView backward_layer(Arena& arena, const Csr& csr, ConstMatrixView x,
+                              ConstMatrixView w, Vid n_dst, AggMode f,
+                              EdgeWeightMode g, bool relu, ConstMatrixView dy,
+                              ConstMatrixView cache_weights,
+                              ConstMatrixView cache_aggr,
+                              ConstMatrixView cache_pre_act);
 
 }  // namespace gt::kernels::ref

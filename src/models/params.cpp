@@ -20,11 +20,12 @@ ModelParams::ModelParams(const GnnModelConfig& config, std::size_t feature_dim,
   }
 }
 
-void ModelParams::sgd_update(std::uint32_t layer, const Matrix& dw,
-                             const Matrix& db, float lr) {
+void ModelParams::sgd_update(std::uint32_t layer, ConstMatrixView dw,
+                             ConstMatrixView db, float lr) {
   Matrix& w = w_.at(layer);
   Matrix& b = b_.at(layer);
-  if (!w.same_shape(dw) || !b.same_shape(db))
+  if (w.rows() != dw.rows() || w.cols() != dw.cols() ||
+      b.rows() != db.rows() || b.cols() != db.cols())
     throw std::invalid_argument("sgd_update: gradient shape mismatch");
   auto wd = w.data();
   auto dwd = dw.data();
@@ -32,6 +33,11 @@ void ModelParams::sgd_update(std::uint32_t layer, const Matrix& dw,
   auto bd = b.data();
   auto dbd = db.data();
   for (std::size_t i = 0; i < bd.size(); ++i) bd[i] -= lr * dbd[i];
+}
+
+void ModelParams::sgd_update(std::uint32_t layer, const Matrix& dw,
+                             const Matrix& db, float lr) {
+  sgd_update(layer, ConstMatrixView(dw), ConstMatrixView(db), lr);
 }
 
 std::size_t ModelParams::parameter_count() const noexcept {

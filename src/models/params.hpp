@@ -8,6 +8,7 @@
 
 #include "models/config.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/view.hpp"
 
 namespace gt::models {
 
@@ -33,7 +34,10 @@ class ModelParams {
     return w_.at(layer).cols();
   }
 
-  /// w -= lr * dw, b -= lr * db for one layer.
+  /// w -= lr * dw, b -= lr * db for one layer. The view form lets the
+  /// batch hot path apply gradients straight from arena downloads.
+  void sgd_update(std::uint32_t layer, ConstMatrixView dw, ConstMatrixView db,
+                  float lr);
   void sgd_update(std::uint32_t layer, const Matrix& dw, const Matrix& db,
                   float lr);
 

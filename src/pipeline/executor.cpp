@@ -1,6 +1,5 @@
 #include "pipeline/executor.hpp"
 
-#include <future>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -43,43 +42,71 @@ PreprocExecutor::PreprocExecutor(const Csr& graph,
 
 PreprocResult PreprocExecutor::run_serial(
     std::span<const Vid> batch_vids) const {
-  GT_OBS_SCOPE_N(span, "preproc.run_serial", "preproc");
-  span.arg("batch_size", static_cast<std::int64_t>(batch_vids.size()));
   PreprocResult result;
   VidHashTable table;
+  PreprocScratch scratch;
+  run_serial_into(batch_vids, table, result, scratch);
+  return result;
+}
+
+void PreprocExecutor::run_serial_into(std::span<const Vid> batch_vids,
+                                      VidHashTable& table, PreprocResult& out,
+                                      PreprocScratch& scratch) const {
+  GT_OBS_SCOPE_N(span, "preproc.run_serial", "preproc");
+  span.arg("batch_size", static_cast<std::int64_t>(batch_vids.size()));
+  out.clear_for_reuse();
+  scratch.layer_coo.resize(num_layers_);
+  out.layers.resize(num_layers_);
   {
     GT_OBS_SCOPE("S.sample", "sampling");
-    result.batch = sampler_.sample(batch_vids, num_layers_, table);
+    sampler_.sample_into(batch_vids, num_layers_, table, out.batch);
   }
   for (std::uint32_t l = 0; l < num_layers_; ++l) {
     GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
     r_span.arg("layer", static_cast<std::int64_t>(l));
-    result.layers.push_back(
-        sampling::reindex_layer(result.batch, table, l, formats_));
+    sampling::reindex_layer_into(out.batch, table, l, formats_, out.layers[l],
+                                 scratch.layer_coo[l]);
   }
   {
     GT_OBS_SCOPE("K.lookup", "lookup");
-    result.embeddings = lookup_.gather_all(result.batch.vid_order);
+    out.embeddings.resize(out.batch.vid_order.size(), lookup_.table().dim());
+    lookup_.gather_chunk(out.batch.vid_order, 0, out.batch.vid_order.size(),
+                         out.embeddings);
   }
-  result.hash_acquisitions = table.lock_acquisitions();
-  result.hash_contended = table.contended_acquisitions();
-  record_preproc_metrics(result);
-  return result;
+  out.hash_acquisitions = table.lock_acquisitions();
+  out.hash_contended = table.contended_acquisitions();
+  record_preproc_metrics(out);
 }
 
 PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
                                             ThreadPool& pool,
                                             std::size_t chunks) const {
+  PreprocResult result;
+  VidHashTable table;
+  PreprocScratch scratch;
+  run_parallel_into(batch_vids, pool, chunks, table, result, scratch);
+  return result;
+}
+
+void PreprocExecutor::run_parallel_into(std::span<const Vid> batch_vids,
+                                        ThreadPool& pool, std::size_t chunks,
+                                        VidHashTable& table,
+                                        PreprocResult& out,
+                                        PreprocScratch& scratch) const {
   if (chunks == 0) chunks = 1;
   GT_OBS_SCOPE_N(span, "preproc.run_parallel", "preproc");
   span.arg("batch_size", static_cast<std::int64_t>(batch_vids.size()));
   span.arg("chunks", static_cast<std::int64_t>(chunks));
-  PreprocResult result;
-  VidHashTable table;
+  out.clear_for_reuse();
+  scratch.layer_coo.resize(num_layers_);
+  scratch.chunk_edges.resize(chunks);
+  out.layers.resize(num_layers_);
 
-  SampledBatch& sb = result.batch;
+  SampledBatch& sb = out.batch;
   sb.num_layers = num_layers_;
   sb.batch.assign(batch_vids.begin(), batch_vids.end());
+  sb.set_sizes.clear();
+  sb.hops.resize(num_layers_);
 
   // Hop 0: batch insert (a serialized hash update).
   for (Vid v : batch_vids) {
@@ -93,24 +120,29 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
   std::vector<Vid> frontier(batch_vids.begin(), batch_vids.end());
   for (std::uint32_t h = 1; h <= num_layers_; ++h) {
     // A part: chunks of the frontier expand concurrently (per-vertex RNG
-    // keeps the result partition-invariant).
-    const std::size_t n = frontier.size();
-    const std::size_t per_chunk = (n + chunks - 1) / chunks;
-    std::vector<std::future<HopEdges>> parts;
-    for (std::size_t begin = 0; begin < n; begin += per_chunk) {
-      const std::size_t end = std::min(begin + per_chunk, n);
-      parts.push_back(pool.submit([this, &frontier, begin, end, h] {
-        GT_OBS_SCOPE_N(a_span, "S.A", "sampling");
-        a_span.arg("hop", static_cast<std::int64_t>(h));
-        a_span.arg("vertices", static_cast<std::int64_t>(end - begin));
-        return sampler_.choose_neighbors(
-            std::span(frontier).subspan(begin, end - begin), h);
-      }));
+    // keeps the result partition-invariant). Slots are pre-cleared because
+    // parallel_for may run fewer chunks than requested.
+    for (HopEdges& ce : scratch.chunk_edges) {
+      ce.src.clear();
+      ce.dst.clear();
     }
+    pool.parallel_for(
+        0, frontier.size(), chunks,
+        [this, &frontier, &scratch, h](std::size_t c, std::size_t lo,
+                                       std::size_t hi) {
+          GT_OBS_SCOPE_N(a_span, "S.A", "sampling");
+          a_span.arg("hop", static_cast<std::int64_t>(h));
+          a_span.arg("vertices", static_cast<std::int64_t>(hi - lo));
+          sampler_.choose_neighbors_into(
+              std::span(frontier).subspan(lo, hi - lo), h,
+              scratch.chunk_edges[c]);
+        });
     // H part: serialized, in chunk order -> deterministic VID assignment.
-    HopEdges edges;
-    for (auto& part : parts) {
-      HopEdges chunk = part.get();
+    HopEdges& edges = sb.hops[h - 1];
+    edges.src.clear();
+    edges.dst.clear();
+    for (const HopEdges& chunk : scratch.chunk_edges) {
+      if (chunk.src.empty()) continue;
       GT_OBS_SCOPE_N(h_span, "S.H", "sampling");
       h_span.arg("hop", static_cast<std::int64_t>(h));
       sampling::NeighborSampler::insert_vertices(table, chunk);
@@ -119,45 +151,42 @@ PreprocResult PreprocExecutor::run_parallel(std::span<const Vid> batch_vids,
     }
     const Vid prev_size = sb.set_sizes.back();
     sb.set_sizes.push_back(table.size());
-    sb.hops.push_back(std::move(edges));
     if (h < num_layers_) {
       const auto order = table.insertion_order();
       frontier.assign(order.begin() + prev_size,
                       order.begin() + table.size());
     }
   }
-  sb.vid_order = table.insertion_order();
+  table.insertion_order_into(sb.vid_order);
 
-  // R: layers reindex concurrently (read-only table traffic).
-  std::vector<std::future<LayerGraphHost>> layer_futures;
-  for (std::uint32_t l = 0; l < num_layers_; ++l) {
-    layer_futures.push_back(pool.submit([this, &sb, &table, l] {
-      GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
-      r_span.arg("layer", static_cast<std::int64_t>(l));
-      return sampling::reindex_layer(sb, table, l, formats_);
-    }));
-  }
+  // R: layers reindex concurrently (read-only table traffic). One chunk
+  // per layer keeps each layer's scratch private.
+  pool.parallel_for(0, num_layers_, num_layers_,
+                    [this, &sb, &table, &out, &scratch](
+                        std::size_t, std::size_t lo, std::size_t hi) {
+                      for (std::size_t l = lo; l < hi; ++l) {
+                        GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
+                        r_span.arg("layer", static_cast<std::int64_t>(l));
+                        sampling::reindex_layer_into(
+                            sb, table, static_cast<std::uint32_t>(l),
+                            formats_, out.layers[l], scratch.layer_coo[l]);
+                      }
+                    });
 
   // K: disjoint row ranges of the gathered table fill concurrently.
-  result.embeddings = Matrix(sb.vid_order.size(), lookup_.table().dim());
-  const std::size_t rows = sb.vid_order.size();
-  const std::size_t rows_per_chunk = (rows + chunks - 1) / chunks;
-  std::vector<std::future<void>> k_futures;
-  for (std::size_t begin = 0; begin < rows; begin += rows_per_chunk) {
-    const std::size_t end = std::min(begin + rows_per_chunk, rows);
-    k_futures.push_back(pool.submit([this, &sb, &result, begin, end] {
-      GT_OBS_SCOPE_N(k_span, "K.chunk", "lookup");
-      k_span.arg("rows", static_cast<std::int64_t>(end - begin));
-      lookup_.gather_chunk(sb.vid_order, begin, end, result.embeddings);
-    }));
-  }
+  out.embeddings.resize(sb.vid_order.size(), lookup_.table().dim());
+  pool.parallel_for(0, sb.vid_order.size(), chunks,
+                    [this, &sb, &out](std::size_t, std::size_t lo,
+                                      std::size_t hi) {
+                      GT_OBS_SCOPE_N(k_span, "K.chunk", "lookup");
+                      k_span.arg("rows", static_cast<std::int64_t>(hi - lo));
+                      lookup_.gather_chunk(sb.vid_order, lo, hi,
+                                           out.embeddings);
+                    });
 
-  for (auto& f : layer_futures) result.layers.push_back(f.get());
-  for (auto& f : k_futures) f.get();
-  result.hash_acquisitions = table.lock_acquisitions();
-  result.hash_contended = table.contended_acquisitions();
-  record_preproc_metrics(result);
-  return result;
+  out.hash_acquisitions = table.lock_acquisitions();
+  out.hash_contended = table.contended_acquisitions();
+  record_preproc_metrics(out);
 }
 
 }  // namespace gt::pipeline

@@ -7,6 +7,12 @@
 // parallel path must produce bit-identical results to the serial one;
 // tests enforce it. Real hash-table contention counters are reported for
 // the Fig 14 measurements.
+//
+// Both executors come in two forms: the owning run_serial/run_parallel
+// (fresh hash table and result per call) and the context-backed
+// run_serial_into/run_parallel_into, which fill a caller-held
+// PreprocResult + VidHashTable + PreprocScratch so the steady-state batch
+// loop reuses every buffer (gt::BatchContext owns that trio).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +34,19 @@ struct PreprocResult {
   Matrix embeddings;                             // layer-0 input table
   std::uint64_t hash_acquisitions = 0;
   std::uint64_t hash_contended = 0;
+
+  /// Reset counters for a fresh batch; every vector keeps its capacity
+  /// (the fillers overwrite the data in place).
+  void clear_for_reuse() noexcept {
+    hash_acquisitions = 0;
+    hash_contended = 0;
+  }
+};
+
+/// Reusable working memory the executors need besides the result itself.
+struct PreprocScratch {
+  std::vector<Coo> layer_coo;                 // per-layer reindex staging
+  std::vector<sampling::HopEdges> chunk_edges;  // per-A-chunk expansion
 };
 
 class PreprocExecutor {
@@ -39,6 +58,10 @@ class PreprocExecutor {
   const sampling::NeighborSampler& sampler() const noexcept {
     return sampler_;
   }
+  std::uint32_t num_layers() const noexcept { return num_layers_; }
+  const sampling::ReindexFormats& formats() const noexcept {
+    return formats_;
+  }
 
   /// Single-threaded: S hops, then R per layer, then K.
   PreprocResult run_serial(std::span<const Vid> batch_vids) const;
@@ -49,6 +72,17 @@ class PreprocExecutor {
   PreprocResult run_parallel(std::span<const Vid> batch_vids,
                              ThreadPool& pool,
                              std::size_t chunks = 8) const;
+
+  /// Context-backed run_serial: identical output, zero steady-state
+  /// allocation. `table` must be clear()ed by the caller.
+  void run_serial_into(std::span<const Vid> batch_vids, sampling::VidHashTable& table,
+                       PreprocResult& out, PreprocScratch& scratch) const;
+
+  /// Context-backed run_parallel; same determinism contract as
+  /// run_parallel (bit-identical to serial).
+  void run_parallel_into(std::span<const Vid> batch_vids, ThreadPool& pool,
+                         std::size_t chunks, sampling::VidHashTable& table,
+                         PreprocResult& out, PreprocScratch& scratch) const;
 
  private:
   const Csr& graph_;

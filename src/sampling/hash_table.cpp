@@ -50,6 +50,21 @@ std::vector<Vid> VidHashTable::insertion_order() const {
   return order_;
 }
 
+void VidHashTable::insertion_order_into(std::vector<Vid>& out) const {
+  std::lock_guard lock(order_mu_);
+  out.assign(order_.begin(), order_.end());
+}
+
+void VidHashTable::clear() {
+  for (Stripe& s : stripes_) s.map.clear();
+  next_id_.store(0, std::memory_order_release);
+  {
+    std::lock_guard lock(order_mu_);
+    order_.clear();
+  }
+  reset_contention_counters();
+}
+
 void VidHashTable::reset_contention_counters() noexcept {
   acquisitions_.store(0, std::memory_order_relaxed);
   contended_.store(0, std::memory_order_relaxed);

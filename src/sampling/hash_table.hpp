@@ -41,6 +41,16 @@ class VidHashTable {
   /// while no concurrent insertions run.
   std::vector<Vid> insertion_order() const;
 
+  /// Allocation-free insertion_order(): assigns into `out`, reusing its
+  /// capacity. Only valid while no concurrent insertions run.
+  void insertion_order_into(std::vector<Vid>& out) const;
+
+  /// Drop every entry but keep bucket arrays and the order vector's
+  /// capacity, so a reused table reaches steady state with no rehashing.
+  /// Contention counters restart too: a cleared table reports per-run
+  /// counts exactly like a freshly constructed one. Not thread-safe.
+  void clear();
+
   // -- Contention accounting -------------------------------------------------
   std::uint64_t lock_acquisitions() const noexcept {
     return acquisitions_.load(std::memory_order_relaxed);

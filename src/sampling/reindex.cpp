@@ -10,15 +10,27 @@ LayerGraphHost reindex_layer(const SampledBatch& batch,
                              const VidHashTable& table,
                              std::uint32_t exec_layer,
                              const ReindexFormats& formats) {
+  LayerGraphHost out;
+  Coo scratch;
+  reindex_layer_into(batch, table, exec_layer, formats, out, scratch);
+  return out;
+}
+
+void reindex_layer_into(const SampledBatch& batch, const VidHashTable& table,
+                        std::uint32_t exec_layer,
+                        const ReindexFormats& formats, LayerGraphHost& out,
+                        Coo& coo_scratch) {
   if (exec_layer >= batch.num_layers)
     throw std::out_of_range("reindex_layer: bad layer index");
-  LayerGraphHost out;
   out.n_dst = batch.layer_dst(exec_layer);
   out.n_vertices = batch.layer_vertices(exec_layer);
+  out.hash_lookups = 0;
 
   // Resolve every endpoint of hops 1 .. L-exec_layer through the table.
-  Coo coo;
+  Coo& coo = coo_scratch;
   coo.num_vertices = out.n_vertices;
+  coo.src.clear();
+  coo.dst.clear();
   const std::uint32_t num_hops = batch.num_layers - exec_layer;
   for (std::uint32_t h = 0; h < num_hops; ++h) {
     const HopEdges& edges = batch.hops[h];
@@ -39,11 +51,30 @@ LayerGraphHost reindex_layer(const SampledBatch& batch,
     for (Vid d : coo.dst)
       if (d >= out.n_dst)
         throw std::logic_error("reindex_layer: dst outside dense prefix");
-    out.csr = coo_to_csr(coo);
+    coo_to_csr_into(coo, out.csr);
+  } else {
+    out.csr.num_vertices = 0;
+    out.csr.row_ptr.clear();
+    out.csr.col_idx.clear();
   }
-  if (formats.csc) out.csc = coo_to_csc(coo);
-  if (formats.coo) out.coo = std::move(coo);
-  return out;
+  if (formats.csc) {
+    coo_to_csc_into(coo, out.csc);
+  } else {
+    out.csc.num_vertices = 0;
+    out.csc.col_ptr.clear();
+    out.csc.row_idx.clear();
+  }
+  if (formats.coo) {
+    // Copy (not move): both the scratch and the reused output keep their
+    // capacity for the next batch.
+    out.coo.num_vertices = coo.num_vertices;
+    out.coo.src.assign(coo.src.begin(), coo.src.end());
+    out.coo.dst.assign(coo.dst.begin(), coo.dst.end());
+  } else {
+    out.coo.num_vertices = 0;
+    out.coo.src.clear();
+    out.coo.dst.clear();
+  }
 }
 
 std::vector<Vid> map_vids(const VidHashTable& table,

@@ -38,6 +38,14 @@ LayerGraphHost reindex_layer(const SampledBatch& batch,
                              std::uint32_t exec_layer,
                              const ReindexFormats& formats);
 
+/// Context-backed reindex_layer(): overwrites `out`, reusing the capacity
+/// of its CSR/CSC/COO vectors, with the endpoint resolution staged through
+/// `coo_scratch` (also reused). Identical output to reindex_layer.
+void reindex_layer_into(const SampledBatch& batch, const VidHashTable& table,
+                        std::uint32_t exec_layer,
+                        const ReindexFormats& formats, LayerGraphHost& out,
+                        Coo& coo_scratch);
+
 /// Map a span of original VIDs through the table (used by tests and the
 /// chunked pipeline executor).
 std::vector<Vid> map_vids(const VidHashTable& table,

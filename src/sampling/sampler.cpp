@@ -41,6 +41,15 @@ NeighborSampler::NeighborSampler(const Csr& graph, std::uint32_t fanout,
 HopEdges NeighborSampler::choose_neighbors(std::span<const Vid> frontier,
                                            std::uint32_t hop) const {
   HopEdges edges;
+  choose_neighbors_into(frontier, hop, edges);
+  return edges;
+}
+
+void NeighborSampler::choose_neighbors_into(std::span<const Vid> frontier,
+                                            std::uint32_t hop,
+                                            HopEdges& edges) const {
+  edges.src.clear();
+  edges.dst.clear();
   edges.src.reserve(frontier.size() * fanout_);
   edges.dst.reserve(frontier.size() * fanout_);
   for (Vid v : frontier) {
@@ -80,7 +89,6 @@ HopEdges NeighborSampler::choose_neighbors(std::span<const Vid> frontier,
       }
     }
   }
-  return edges;
 }
 
 void NeighborSampler::insert_vertices(VidHashTable& table,
@@ -91,13 +99,22 @@ void NeighborSampler::insert_vertices(VidHashTable& table,
 SampledBatch NeighborSampler::sample(std::span<const Vid> batch,
                                      std::uint32_t layers,
                                      VidHashTable& table) const {
+  SampledBatch out;
+  sample_into(batch, layers, table, out);
+  return out;
+}
+
+void NeighborSampler::sample_into(std::span<const Vid> batch,
+                                  std::uint32_t layers, VidHashTable& table,
+                                  SampledBatch& out) const {
   if (layers == 0) throw std::invalid_argument("need at least one layer");
   if (table.size() != 0)
     throw std::invalid_argument("sample: hash table must start empty");
 
-  SampledBatch out;
   out.num_layers = layers;
   out.batch.assign(batch.begin(), batch.end());
+  out.set_sizes.clear();
+  out.hops.resize(layers);  // per-hop edge vectors keep their capacity
   for (Vid v : batch) {
     bool is_new = false;
     table.insert_or_get(v, &is_new);
@@ -109,20 +126,19 @@ SampledBatch NeighborSampler::sample(std::span<const Vid> batch,
   // Frontier for hop h: vertices first inserted during hop h-1.
   std::vector<Vid> frontier(batch.begin(), batch.end());
   for (std::uint32_t h = 1; h <= layers; ++h) {
-    HopEdges edges = choose_neighbors(frontier, h);
+    HopEdges& edges = out.hops[h - 1];
+    choose_neighbors_into(frontier, h, edges);
     insert_vertices(table, edges);
     const Vid prev_size = out.set_sizes.back();
     const Vid new_size = table.size();
     out.set_sizes.push_back(new_size);
-    out.hops.push_back(std::move(edges));
     // Next frontier: the newly discovered vertices, in insertion order.
     if (h < layers) {
       const auto order = table.insertion_order();
       frontier.assign(order.begin() + prev_size, order.begin() + new_size);
     }
   }
-  out.vid_order = table.insertion_order();
-  return out;
+  table.insertion_order_into(out.vid_order);
 }
 
 std::vector<Vid> NeighborSampler::pick_batch(std::size_t batch_size,

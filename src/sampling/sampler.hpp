@@ -80,6 +80,11 @@ class NeighborSampler {
   HopEdges choose_neighbors(std::span<const Vid> frontier,
                             std::uint32_t hop) const;
 
+  /// Allocation-free A-part: appends into `out`'s (cleared) edge vectors,
+  /// reusing their capacity. Identical output to choose_neighbors.
+  void choose_neighbors_into(std::span<const Vid> frontier, std::uint32_t hop,
+                             HopEdges& out) const;
+
   /// H-part: allocate new VIDs for every endpoint of `edges` (dsts are
   /// already present; srcs may be new).
   static void insert_vertices(VidHashTable& table, const HopEdges& edges);
@@ -89,6 +94,12 @@ class NeighborSampler {
   /// effect (reindexing reads it afterwards).
   SampledBatch sample(std::span<const Vid> batch, std::uint32_t layers,
                       VidHashTable& table) const;
+
+  /// Context-backed sample(): writes into `out`, reusing the capacity of
+  /// its vectors (hops, set_sizes, vid_order) across batches. `table` must
+  /// still start empty — callers clear() a reused table first.
+  void sample_into(std::span<const Vid> batch, std::uint32_t layers,
+                   VidHashTable& table, SampledBatch& out) const;
 
   /// Deterministically pick a batch of distinct destination vertices.
   std::vector<Vid> pick_batch(std::size_t batch_size,

@@ -2,7 +2,7 @@
 
 namespace gt::sampling {
 
-TransferResult Transfer::upload(const Matrix& m, std::string name) {
+TransferResult Transfer::upload(ConstMatrixView m, std::string name) {
   TransferResult result;
   result.buffer = kernels::upload_matrix(dev_, m, std::move(name));
   result.bytes = m.bytes();

@@ -9,6 +9,7 @@
 #include "kernels/common.hpp"
 #include "sampling/reindex.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/view.hpp"
 
 namespace gt::sampling {
 
@@ -25,8 +26,8 @@ class Transfer {
 
   bool pinned() const noexcept { return pinned_; }
 
-  /// Upload a host matrix (embedding table chunk or whole).
-  TransferResult upload(const Matrix& m, std::string name);
+  /// Upload a host matrix or view (embedding table chunk or whole).
+  TransferResult upload(ConstMatrixView m, std::string name);
 
   /// Upload graph structures for one layer; returns total structure bytes
   /// and time. Only the requested formats are moved.

@@ -1,0 +1,64 @@
+#include "tensor/arena.hpp"
+
+#include <algorithm>
+
+namespace gt {
+
+Arena::Arena(std::size_t initial_floats) {
+  if (initial_floats > 0) {
+    Block b;
+    b.storage.assign(initial_floats, 0.0f);
+    stats_.capacity_bytes += b.capacity() * sizeof(float);
+    ++stats_.growths;
+    blocks_.push_back(std::move(b));
+  }
+}
+
+std::span<float> Arena::take(std::size_t n) {
+  for (std::size_t i = current_; i < blocks_.size(); ++i) {
+    Block& b = blocks_[i];
+    if (b.capacity() - b.used >= n) {
+      float* p = b.storage.data() + b.used;
+      b.used += n;
+      // Later allocations keep probing from the first non-full block so a
+      // large request that skipped ahead doesn't strand earlier space.
+      while (current_ < blocks_.size() &&
+             blocks_[current_].used == blocks_[current_].capacity())
+        ++current_;
+      return {p, n};
+    }
+  }
+  // No block fits: grow with 2x slack so the next batch of similar shape
+  // reuses this block instead of growing again.
+  Block b;
+  b.storage.assign(std::max(kMinBlockFloats, 2 * n), 0.0f);
+  stats_.capacity_bytes += b.capacity() * sizeof(float);
+  ++stats_.growths;
+  b.used = n;
+  blocks_.push_back(std::move(b));
+  return {blocks_.back().storage.data(), n};
+}
+
+MatrixView Arena::alloc(std::size_t rows, std::size_t cols) {
+  std::span<float> s = alloc_floats(rows * cols);
+  return MatrixView(s.data(), rows, cols);
+}
+
+std::span<float> Arena::alloc_floats(std::size_t n) {
+  ++stats_.allocations;
+  if (n == 0) return {};
+  std::span<float> s = take(n);
+  std::fill(s.begin(), s.end(), 0.0f);
+  stats_.used_bytes += n * sizeof(float);
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.used_bytes);
+  return s;
+}
+
+void Arena::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  current_ = 0;
+  stats_.used_bytes = 0;
+  ++stats_.resets;
+}
+
+}  // namespace gt

@@ -1,0 +1,68 @@
+// Bump-pointer tensor workspace: the allocator behind gt::BatchContext.
+//
+// The paper's DL-approach critique is per-batch buffer churn; the host-side
+// mirror of the fix is a reusable arena. All per-batch activations,
+// gradients, and scratch tensors are carved out of chunked float blocks
+// with a bump pointer, then released wholesale via reset() at the start of
+// the next batch. Growth allocates a fresh block (never moves existing
+// ones), so handed-out MatrixViews stay valid for the whole batch, and a
+// block is sized with 2x slack so the steady state performs zero heap
+// allocation after warm-up — asserted by a regression test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/view.hpp"
+
+namespace gt {
+
+class Arena {
+ public:
+  struct Stats {
+    std::size_t capacity_bytes = 0;  ///< Sum of all block capacities.
+    std::size_t used_bytes = 0;      ///< Live bytes since the last reset().
+    std::size_t peak_bytes = 0;      ///< High-water mark of used_bytes.
+    std::uint64_t allocations = 0;   ///< alloc()/alloc_floats() calls served.
+    std::uint64_t growths = 0;       ///< New blocks taken from the heap.
+    std::uint64_t resets = 0;        ///< reset() calls.
+  };
+
+  /// Optionally pre-size the first block (in floats) to front-load growth.
+  explicit Arena(std::size_t initial_floats = 0);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Zero-filled rows x cols view, valid until the next reset().
+  MatrixView alloc(std::size_t rows, std::size_t cols);
+
+  /// Zero-filled raw float span, valid until the next reset().
+  std::span<float> alloc_floats(std::size_t n);
+
+  /// Release every allocation at once; capacity is retained for reuse.
+  void reset();
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Block {
+    std::vector<float> storage;
+    std::size_t used = 0;
+    std::size_t capacity() const noexcept { return storage.size(); }
+  };
+
+  // Blocks never exceed ~256 KiB of waste on tiny first requests, and a
+  // request larger than every block triggers one 2x-slack growth.
+  static constexpr std::size_t kMinBlockFloats = std::size_t{1} << 16;
+
+  std::span<float> take(std::size_t n);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< First block with possible free space.
+  Stats stats_;
+};
+
+}  // namespace gt

@@ -1,10 +1,25 @@
 #include "tensor/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "tensor/view.hpp"
+
 namespace gt {
+
+namespace {
+std::atomic<std::uint64_t> g_matrix_heap_allocations{0};
+}  // namespace
+
+std::uint64_t Matrix::heap_allocations() noexcept {
+  return g_matrix_heap_allocations.load(std::memory_order_relaxed);
+}
+
+void Matrix::count_heap_allocation() noexcept {
+  g_matrix_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+}
 
 Matrix Matrix::glorot(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
   Matrix m(rows, cols);
@@ -21,14 +36,23 @@ Matrix Matrix::uniform(std::size_t rows, std::size_t cols, Xoshiro256& rng,
   return m;
 }
 
-float max_abs_diff(const Matrix& a, const Matrix& b) {
-  if (!a.same_shape(b)) return std::numeric_limits<float>::infinity();
+float max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    return std::numeric_limits<float>::infinity();
   float worst = 0.0f;
   const auto da = a.data();
   const auto db = b.data();
   for (std::size_t i = 0; i < da.size(); ++i)
     worst = std::max(worst, std::abs(da[i] - db[i]));
   return worst;
+}
+
+bool allclose(ConstMatrixView a, ConstMatrixView b, float tol) {
+  return max_abs_diff(a, b) <= tol;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  return max_abs_diff(ConstMatrixView(a), ConstMatrixView(b));
 }
 
 bool allclose(const Matrix& a, const Matrix& b, float tol) {

@@ -4,7 +4,9 @@
 // correct, testable numerics.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -16,7 +18,24 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    if (!data_.empty()) count_heap_allocation();
+  }
+
+  Matrix(const Matrix& o)
+      : rows_(o.rows_), cols_(o.cols_), data_(o.data_) {
+    if (!data_.empty()) count_heap_allocation();
+  }
+  Matrix& operator=(const Matrix& o) {
+    if (this == &o) return *this;
+    if (o.data_.size() > data_.capacity()) count_heap_allocation();
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    data_ = o.data_;
+    return *this;
+  }
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
 
   static Matrix zeros(std::size_t rows, std::size_t cols) {
     return Matrix(rows, cols, 0.0f);
@@ -36,16 +55,20 @@ class Matrix {
   bool empty() const noexcept { return data_.empty(); }
 
   float& at(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_ && "Matrix::at out of bounds");
     return data_[r * cols_ + c];
   }
   float at(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_ && "Matrix::at out of bounds");
     return data_[r * cols_ + c];
   }
 
   std::span<float> row(std::size_t r) noexcept {
+    assert(r < rows_ && "Matrix::row out of bounds");
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_ && "Matrix::row out of bounds");
     return {data_.data() + r * cols_, cols_};
   }
 
@@ -54,13 +77,37 @@ class Matrix {
 
   void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshape to rows x cols, zero-filled. Reuses existing capacity; when
+  /// growth is unavoidable it reserves 1.5x so a slightly larger batch on
+  /// the next epoch stays allocation-free (steady-state contract).
+  void resize(std::size_t rows, std::size_t cols) {
+    const std::size_t n = rows * cols;
+    if (n > data_.capacity()) {
+      count_heap_allocation();
+      data_.reserve(n + n / 2);
+    }
+    data_.assign(n, 0.0f);
+    rows_ = rows;
+    cols_ = cols;
+  }
+
   bool same_shape(const Matrix& o) const noexcept {
     return rows_ == o.rows_ && cols_ == o.cols_;
   }
 
-  bool operator==(const Matrix&) const = default;
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// Process-wide count of float-buffer heap allocations performed by
+  /// Matrix objects (construction, copies, and capacity growth). The
+  /// steady-state regression test snapshots this across epochs to prove
+  /// the hot path stopped allocating.
+  static std::uint64_t heap_allocations() noexcept;
 
  private:
+  static void count_heap_allocation() noexcept;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;

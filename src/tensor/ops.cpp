@@ -17,69 +17,99 @@ void require(bool ok, const char* what) {
 }
 }  // namespace
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+void matmul_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   require(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  require(out.rows() == a.rows() && out.cols() == b.cols(),
+          "matmul: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n);
+  out.fill(0.0f);
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t p = 0; p < k; ++p) {
       const float av = a.at(i, p);
       if (av == 0.0f) continue;
       const auto brow = b.row(p);
-      auto crow = c.row(i);
+      auto crow = out.row(i);
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
   FlopCounter::instance().add(2ull * m * k * n);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  matmul_into(a, b, c);
   return c;
 }
 
-Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+void matmul_at_b_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   require(a.rows() == b.rows(), "matmul_at_b: leading dimensions differ");
+  require(out.rows() == a.cols() && out.cols() == b.cols(),
+          "matmul_at_b: output shape mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix c(m, n);
+  out.fill(0.0f);
   for (std::size_t p = 0; p < k; ++p) {
     const auto arow = a.row(p);
     const auto brow = b.row(p);
     for (std::size_t i = 0; i < m; ++i) {
       const float av = arow[i];
       if (av == 0.0f) continue;
-      auto crow = c.row(i);
+      auto crow = out.row(i);
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
   FlopCounter::instance().add(2ull * m * k * n);
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_at_b: leading dimensions differ");
+  Matrix c(a.cols(), b.cols());
+  matmul_at_b_into(a, b, c);
   return c;
 }
 
-Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+void matmul_a_bt_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   require(a.cols() == b.cols(), "matmul_a_bt: inner dimensions differ");
+  require(out.rows() == a.rows() && out.cols() == b.rows(),
+          "matmul_a_bt: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix c(m, n);
   for (std::size_t i = 0; i < m; ++i) {
     const auto arow = a.row(i);
     for (std::size_t j = 0; j < n; ++j) {
       const auto brow = b.row(j);
       float acc = 0.0f;
       for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c.at(i, j) = acc;
+      out.at(i, j) = acc;
     }
   }
   FlopCounter::instance().add(2ull * m * k * n);
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_a_bt: inner dimensions differ");
+  Matrix c(a.rows(), b.rows());
+  matmul_a_bt_into(a, b, c);
   return c;
+}
+
+void transpose_into(ConstMatrixView a, MatrixView out) {
+  require(out.rows() == a.cols() && out.cols() == a.rows(),
+          "transpose: output shape mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out.at(c, r) = a.at(r, c);
 }
 
 Matrix transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
-  for (std::size_t r = 0; r < a.rows(); ++r)
-    for (std::size_t c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
+  transpose_into(a, t);
   return t;
 }
 
-Matrix add_bias(const Matrix& a, const Matrix& bias) {
+void add_bias_into(ConstMatrixView a, ConstMatrixView bias, MatrixView out) {
   require(bias.rows() == 1 && bias.cols() == a.cols(),
           "add_bias: bias must be 1 x cols");
-  Matrix out(a.rows(), a.cols());
+  require(out.rows() == a.rows() && out.cols() == a.cols(),
+          "add_bias: output shape mismatch");
   const auto brow = bias.row(0);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const auto arow = a.row(r);
@@ -87,22 +117,51 @@ Matrix add_bias(const Matrix& a, const Matrix& bias) {
     for (std::size_t c = 0; c < a.cols(); ++c) orow[c] = arow[c] + brow[c];
   }
   FlopCounter::instance().add(a.size());
+}
+
+Matrix add_bias(const Matrix& a, const Matrix& bias) {
+  Matrix out(a.rows(), a.cols());
+  add_bias_into(a, bias, out);
   return out;
 }
 
 namespace {
 template <typename F>
-Matrix zip(const Matrix& a, const Matrix& b, F&& f, const char* what) {
-  if (!a.same_shape(b)) throw std::invalid_argument(what);
-  Matrix out(a.rows(), a.cols());
+void zip_into(ConstMatrixView a, ConstMatrixView b, MatrixView out, F&& f,
+              const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() ||
+      out.rows() != a.rows() || out.cols() != a.cols())
+    throw std::invalid_argument(what);
   const auto da = a.data();
   const auto db = b.data();
   auto dout = out.data();
   for (std::size_t i = 0; i < da.size(); ++i) dout[i] = f(da[i], db[i]);
   FlopCounter::instance().add(da.size());
+}
+
+template <typename F>
+Matrix zip(const Matrix& a, const Matrix& b, F&& f, const char* what) {
+  if (!a.same_shape(b)) throw std::invalid_argument(what);
+  Matrix out(a.rows(), a.cols());
+  zip_into(a, b, out, std::forward<F>(f), what);
   return out;
 }
 }  // namespace
+
+void add_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  zip_into(a, b, out, [](float x, float y) { return x + y; },
+           "add: shape mismatch");
+}
+
+void sub_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  zip_into(a, b, out, [](float x, float y) { return x - y; },
+           "sub: shape mismatch");
+}
+
+void hadamard_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  zip_into(a, b, out, [](float x, float y) { return x * y; },
+           "hadamard: shape mismatch");
+}
 
 Matrix add(const Matrix& a, const Matrix& b) {
   return zip(a, b, [](float x, float y) { return x + y; },
@@ -119,23 +178,42 @@ Matrix hadamard(const Matrix& a, const Matrix& b) {
              "hadamard: shape mismatch");
 }
 
-Matrix scale(const Matrix& a, float s) {
-  Matrix out(a.rows(), a.cols());
+void scale_into(ConstMatrixView a, float s, MatrixView out) {
+  require(out.rows() == a.rows() && out.cols() == a.cols(),
+          "scale: output shape mismatch");
   const auto da = a.data();
   auto dout = out.data();
   for (std::size_t i = 0; i < da.size(); ++i) dout[i] = da[i] * s;
   FlopCounter::instance().add(da.size());
+}
+
+Matrix scale(const Matrix& a, float s) {
+  Matrix out(a.rows(), a.cols());
+  scale_into(a, s, out);
   return out;
 }
 
-Matrix relu(const Matrix& a) {
-  Matrix out(a.rows(), a.cols());
+void relu_into(ConstMatrixView a, MatrixView out) {
+  require(out.rows() == a.rows() && out.cols() == a.cols(),
+          "relu: output shape mismatch");
   const auto da = a.data();
   auto dout = out.data();
   for (std::size_t i = 0; i < da.size(); ++i)
     dout[i] = da[i] > 0.0f ? da[i] : 0.0f;
   FlopCounter::instance().add(da.size());
+}
+
+Matrix relu(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  relu_into(a, out);
   return out;
+}
+
+void relu_backward_into(ConstMatrixView grad_out, ConstMatrixView x,
+                        MatrixView out) {
+  zip_into(grad_out, x,
+           out, [](float g, float xv) { return xv > 0.0f ? g : 0.0f; },
+           "relu_backward: shape mismatch");
 }
 
 Matrix relu_backward(const Matrix& grad_out, const Matrix& x) {
@@ -143,8 +221,9 @@ Matrix relu_backward(const Matrix& grad_out, const Matrix& x) {
              "relu_backward: shape mismatch");
 }
 
-Matrix softmax_rows(const Matrix& a) {
-  Matrix out(a.rows(), a.cols());
+void softmax_rows_into(ConstMatrixView a, MatrixView out) {
+  require(out.rows() == a.rows() && out.cols() == a.cols(),
+          "softmax_rows: output shape mismatch");
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const auto arow = a.row(r);
     auto orow = out.row(r);
@@ -158,39 +237,77 @@ Matrix softmax_rows(const Matrix& a) {
     for (std::size_t c = 0; c < a.cols(); ++c) orow[c] /= sum;
   }
   FlopCounter::instance().add(4ull * a.size());
+}
+
+Matrix softmax_rows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  softmax_rows_into(a, out);
   return out;
+}
+
+float softmax_cross_entropy_into(ConstMatrixView logits,
+                                 const std::vector<std::uint32_t>& labels,
+                                 MatrixView grad) {
+  require(labels.size() == logits.rows(),
+          "softmax_cross_entropy: one label per row required");
+  const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  float loss = 0.0f;
+  if (!grad.empty()) {
+    require(grad.rows() == logits.rows() && grad.cols() == logits.cols(),
+            "softmax_cross_entropy: grad shape mismatch");
+    // Probabilities land directly in grad, then become dL/dlogits in place
+    // — bit-identical to the owning form, which also scales probs last.
+    softmax_rows_into(logits, grad);
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      require(labels[r] < logits.cols(), "softmax_cross_entropy: bad label");
+      loss -= std::log(std::max(grad.at(r, labels[r]), 1e-12f));
+    }
+    loss *= inv_n;
+    for (std::size_t r = 0; r < logits.rows(); ++r)
+      grad.at(r, labels[r]) -= 1.0f;
+    scale_into(ConstMatrixView(grad), inv_n, grad);
+  } else {
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      require(labels[r] < logits.cols(), "softmax_cross_entropy: bad label");
+      const auto lrow = logits.row(r);
+      float mx = lrow[0];
+      for (float v : lrow) mx = std::max(mx, v);
+      float sum = 0.0f;
+      for (float v : lrow) sum += std::exp(v - mx);
+      const float p = std::exp(lrow[labels[r]] - mx) / sum;
+      loss -= std::log(std::max(p, 1e-12f));
+    }
+    loss *= inv_n;
+    FlopCounter::instance().add(4ull * logits.size());
+  }
+  return loss;
 }
 
 float softmax_cross_entropy(const Matrix& logits,
                             const std::vector<std::uint32_t>& labels,
                             Matrix* grad) {
-  require(labels.size() == logits.rows(),
-          "softmax_cross_entropy: one label per row required");
-  Matrix probs = softmax_rows(logits);
-  const float inv_n = 1.0f / static_cast<float>(logits.rows());
-  float loss = 0.0f;
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    require(labels[r] < logits.cols(), "softmax_cross_entropy: bad label");
-    loss -= std::log(std::max(probs.at(r, labels[r]), 1e-12f));
-  }
-  loss *= inv_n;
   if (grad != nullptr) {
-    *grad = probs;
-    for (std::size_t r = 0; r < logits.rows(); ++r)
-      grad->at(r, labels[r]) -= 1.0f;
-    *grad = scale(*grad, inv_n);
+    grad->resize(logits.rows(), logits.cols());
+    return softmax_cross_entropy_into(logits, labels, *grad);
   }
-  return loss;
+  return softmax_cross_entropy_into(logits, labels, MatrixView());
 }
 
-Matrix col_sum(const Matrix& a) {
-  Matrix out(1, a.cols());
+void col_sum_into(ConstMatrixView a, MatrixView out) {
+  require(out.rows() == 1 && out.cols() == a.cols(),
+          "col_sum: output must be 1 x cols");
+  out.fill(0.0f);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const auto arow = a.row(r);
     auto orow = out.row(0);
     for (std::size_t c = 0; c < a.cols(); ++c) orow[c] += arow[c];
   }
   FlopCounter::instance().add(a.size());
+}
+
+Matrix col_sum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  col_sum_into(a, out);
   return out;
 }
 

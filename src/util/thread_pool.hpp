@@ -2,9 +2,11 @@
 // preprocessing subtasks concurrently (the paper's host-side S/R/K/T threads).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -42,6 +44,39 @@ class ThreadPool {
 
   /// Block until the queue is empty and every worker is idle.
   void wait_idle();
+
+  /// Split [begin, end) into at most `chunks` contiguous ranges and run
+  /// `fn(chunk_index, chunk_begin, chunk_end)` on the pool, blocking until
+  /// every chunk finishes. Chunk boundaries are a pure function of
+  /// (begin, end, chunks) — identical to the hand-rolled fan-out loops this
+  /// replaces — so chunked algorithms stay deterministic. The first
+  /// exception thrown by any chunk is rethrown on the calling thread after
+  /// all chunks complete.
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t chunks,
+                    F&& fn) {
+    if (end <= begin) return;
+    const std::size_t n = end - begin;
+    chunks = std::max<std::size_t>(1, std::min(chunks, n));
+    const std::size_t per = (n + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * per;
+      if (lo >= end) break;
+      const std::size_t hi = std::min(end, lo + per);
+      futures.push_back(submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
 
  private:
   void worker_loop();

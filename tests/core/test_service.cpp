@@ -53,6 +53,70 @@ TEST(GnnService, LearnsAboveChance) {
   EXPECT_GE(after, before - 0.05);
 }
 
+TEST(GnnService, ConcurrentWorkersMatchSerialBitForBit) {
+  // The steady-state loop's determinism contract: preprocessing overlap
+  // across N worker contexts must not change a single report field that is
+  // batch-intrinsic. (arena_capacity_bytes / arena_growths are context
+  // warm-up properties and legitimately differ across worker counts.)
+  ServiceOptions opt;
+  opt.framework = "Prepro-GT";
+  opt.batch_size = 48;
+  opt.workers = 1;
+  GnnService serial(generate("products", 3), models::gcn(8, 47), opt);
+  opt.workers = 4;
+  GnnService concurrent(generate("products", 3), models::gcn(8, 47), opt);
+  EXPECT_EQ(concurrent.workers(), 4u);
+
+  const auto a = serial.train_batches(8);
+  const auto b = concurrent.train_batches(8);
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_FALSE(a[i].oom);
+    EXPECT_FALSE(b[i].oom);
+    EXPECT_EQ(a[i].loss, b[i].loss);
+    EXPECT_EQ(a[i].end_to_end_us, b[i].end_to_end_us);
+    EXPECT_EQ(a[i].kernel_total_us, b[i].kernel_total_us);
+    EXPECT_EQ(a[i].flops, b[i].flops);
+    EXPECT_EQ(a[i].peak_memory_bytes, b[i].peak_memory_bytes);
+    EXPECT_EQ(a[i].preproc_makespan_us, b[i].preproc_makespan_us);
+    EXPECT_EQ(a[i].arena_peak_bytes, b[i].arena_peak_bytes);
+    EXPECT_EQ(a[i].arena_allocations, b[i].arena_allocations);
+    EXPECT_EQ(a[i].layer_comb_first_fwd, b[i].layer_comb_first_fwd);
+  }
+  // The trained parameters end up identical too.
+  EXPECT_DOUBLE_EQ(serial.evaluate(2), concurrent.evaluate(2));
+}
+
+TEST(GnnService, MoreWorkersThanBatchesIsFine) {
+  ServiceOptions opt;
+  opt.framework = "Base-GT";
+  opt.batch_size = 32;
+  opt.workers = 8;
+  GnnService service(generate("products", 3), models::gcn(8, 47), opt);
+  const auto reports = service.train_batches(2);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.oom);
+    EXPECT_GT(r.loss, 0.0f);
+  }
+}
+
+TEST(GnnService, EpochStatsAggregateArenaTelemetry) {
+  ServiceOptions opt;
+  opt.framework = "Base-GT";
+  opt.batch_size = 48;
+  GnnService service(generate("products", 3), models::gcn(8, 47), opt);
+  EpochStats first = service.train_epoch(3);
+  EXPECT_GT(first.arena_peak_bytes, 0u);
+  EXPECT_GT(first.arena_allocations, 0u);
+  EXPECT_GT(first.arena_growths, 0u);  // cold context pays warm-up
+  EpochStats second = service.train_epoch(3);
+  EXPECT_GT(second.arena_peak_bytes, 0u);
+  EXPECT_EQ(second.arena_growths, 0u);  // steady state: no growth at all
+}
+
 TEST(GnnService, EvaluateIsDeterministic) {
   ServiceOptions opt;
   opt.framework = "Base-GT";

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "datasets/catalog.hpp"
+#include "frameworks/framework.hpp"
+#include "models/config.hpp"
+#include "models/params.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gt::frameworks {
+namespace {
+
+BatchSpec spec_for(std::uint64_t index) {
+  BatchSpec spec;
+  spec.batch_size = 64;
+  spec.batch_index = index;
+  spec.seed = 5;
+  spec.learning_rate = 0.05f;
+  return spec;
+}
+
+// The tentpole regression test: after a warm-up epoch, replaying the same
+// batches through the same BatchContext must be allocation-free — zero
+// arena block growths and zero new heap Matrix allocations. Every
+// activation, gradient, download, hash slot, and preprocessing buffer
+// comes back from capacity retained by the context.
+TEST(SteadyState, SecondEpochPerformsNoArenaGrowthOrHeapMatrixAllocs) {
+  Dataset data = generate("products", 7);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  models::ModelParams params(model, data.spec.feature_dim, 5);
+  auto fw = make_framework("Base-GT");
+  pipeline::BatchContext ctx;
+
+  constexpr std::uint64_t kBatches = 3;
+  for (std::uint64_t b = 0; b < kBatches; ++b) {
+    RunReport r = fw->run_batch(data, model, params, spec_for(b), ctx);
+    ASSERT_FALSE(r.oom) << r.oom_what;
+  }
+
+  const std::uint64_t growths = ctx.arena().stats().growths;
+  const std::size_t capacity = ctx.arena().stats().capacity_bytes;
+  const std::uint64_t heap = Matrix::heap_allocations();
+  for (std::uint64_t b = 0; b < kBatches; ++b) {
+    RunReport r = fw->run_batch(data, model, params, spec_for(b), ctx);
+    ASSERT_FALSE(r.oom) << r.oom_what;
+    EXPECT_EQ(r.arena_growths, 0u) << "batch " << b;
+    EXPECT_GT(r.arena_peak_bytes, 0u);
+    EXPECT_GT(r.arena_allocations, 0u);
+  }
+  EXPECT_EQ(ctx.arena().stats().growths, growths);
+  EXPECT_EQ(ctx.arena().stats().capacity_bytes, capacity);
+  EXPECT_EQ(Matrix::heap_allocations(), heap);
+}
+
+// Arena telemetry must be batch-intrinsic: rerunning the same batch spec
+// in a *fresh* context reports the same peak and allocation count even
+// though the fresh context pays warm-up growths.
+TEST(SteadyState, ArenaReportFieldsAreBatchIntrinsic) {
+  Dataset data = generate("products", 7);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  auto fw = make_framework("Dynamic-GT");
+
+  models::ModelParams params_a(model, data.spec.feature_dim, 5);
+  pipeline::BatchContext warm;
+  for (std::uint64_t b = 0; b < 2; ++b)
+    fw->run_batch(data, model, params_a, spec_for(b), warm);
+  RunReport warm_report =
+      fw->run_batch(data, model, params_a, spec_for(2), warm);
+
+  auto fw2 = make_framework("Dynamic-GT");
+  models::ModelParams params_b(model, data.spec.feature_dim, 5);
+  pipeline::BatchContext cold;
+  for (std::uint64_t b = 0; b < 2; ++b)
+    fw2->run_batch(data, model, params_b, spec_for(b), cold);
+  // Replace the context mid-stream: batch 2 now runs completely cold.
+  pipeline::BatchContext fresh;
+  RunReport cold_report =
+      fw2->run_batch(data, model, params_b, spec_for(2), fresh);
+
+  EXPECT_EQ(warm_report.arena_peak_bytes, cold_report.arena_peak_bytes);
+  EXPECT_EQ(warm_report.arena_allocations, cold_report.arena_allocations);
+  EXPECT_EQ(warm_report.loss, cold_report.loss);
+  // The warm context grew nothing for batch 2; the fresh one had to.
+  EXPECT_EQ(warm_report.arena_growths, 0u);
+  EXPECT_GT(cold_report.arena_growths, 0u);
+}
+
+}  // namespace
+}  // namespace gt::frameworks

@@ -1,0 +1,142 @@
+#include "tensor/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/view.hpp"
+
+namespace gt {
+namespace {
+
+TEST(Arena, AllocReturnsZeroedViewOfRequestedShape) {
+  Arena arena;
+  MatrixView v = arena.alloc(3, 5);
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 5u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c) EXPECT_EQ(v.at(r, c), 0.0f);
+}
+
+TEST(Arena, TracksUsedAndHighWaterMark) {
+  Arena arena;
+  arena.alloc(2, 8);  // 16 floats
+  EXPECT_EQ(arena.stats().used_bytes, 16 * sizeof(float));
+  arena.alloc(1, 4);  // 4 floats
+  EXPECT_EQ(arena.stats().used_bytes, 20 * sizeof(float));
+  EXPECT_EQ(arena.stats().peak_bytes, 20 * sizeof(float));
+  EXPECT_EQ(arena.stats().allocations, 2u);
+
+  arena.reset();
+  EXPECT_EQ(arena.stats().used_bytes, 0u);
+  // The high-water mark survives reset — it is the sizing signal.
+  EXPECT_EQ(arena.stats().peak_bytes, 20 * sizeof(float));
+  EXPECT_EQ(arena.stats().resets, 1u);
+
+  arena.alloc(8, 8);  // 64 floats > previous peak of 20
+  EXPECT_EQ(arena.stats().peak_bytes, 64 * sizeof(float));
+}
+
+TEST(Arena, ResetRetainsCapacityAndSteadyStateNeverGrows) {
+  Arena arena;
+  auto one_batch = [&] {
+    arena.alloc(30, 16);
+    arena.alloc(30, 16);
+    arena.alloc(1, 16);
+  };
+  one_batch();
+  const std::size_t capacity = arena.stats().capacity_bytes;
+  const std::uint64_t growths = arena.stats().growths;
+  EXPECT_GT(capacity, 0u);
+  for (int batch = 0; batch < 10; ++batch) {
+    arena.reset();
+    one_batch();
+  }
+  EXPECT_EQ(arena.stats().capacity_bytes, capacity);
+  EXPECT_EQ(arena.stats().growths, growths);
+}
+
+TEST(Arena, ReusedMemoryComesBackZeroed) {
+  Arena arena;
+  MatrixView v = arena.alloc(4, 4);
+  v.fill(7.5f);
+  arena.reset();
+  MatrixView w = arena.alloc(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(w.at(r, c), 0.0f);
+}
+
+TEST(Arena, GrowthNeverInvalidatesHandedOutViews) {
+  Arena arena;
+  // First allocation lands in the initial block.
+  MatrixView first = arena.alloc(4, 4);
+  first.fill(3.0f);
+  const float* first_data = first.data().data();
+  // Far larger than any existing block: forces a fresh-block growth.
+  const std::size_t huge = (std::size_t{1} << 20);
+  std::span<float> big = arena.alloc_floats(huge);
+  EXPECT_EQ(big.size(), huge);
+  EXPECT_GE(arena.stats().growths, 2u);
+  // The old view still points at intact storage.
+  EXPECT_EQ(first.data().data(), first_data);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(first.at(r, c), 3.0f);
+}
+
+TEST(Arena, OversizedRequestGetsTwoXSlackBlock) {
+  Arena arena;
+  const std::size_t n = (std::size_t{1} << 17);  // > kMinBlockFloats
+  arena.alloc_floats(n);
+  // Block is sized 2x the request, so an immediate same-size request after
+  // reset plus one more fits without another growth.
+  const std::uint64_t growths = arena.stats().growths;
+  arena.reset();
+  arena.alloc_floats(n);
+  arena.alloc_floats(n / 2);
+  EXPECT_EQ(arena.stats().growths, growths);
+}
+
+TEST(Arena, AllocFloatsCountsAllocations) {
+  Arena arena;
+  arena.alloc_floats(10);
+  arena.alloc(2, 2);
+  EXPECT_EQ(arena.stats().allocations, 2u);
+}
+
+TEST(Arena, EmptyAllocationIsHarmless) {
+  Arena arena;
+  MatrixView v = arena.alloc(0, 8);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(arena.stats().used_bytes, 0u);
+}
+
+TEST(MatrixContract, HeapAllocationCounterAdvancesOnGrowthOnly) {
+  const std::uint64_t before = Matrix::heap_allocations();
+  Matrix m(8, 8);
+  EXPECT_GT(Matrix::heap_allocations(), before);
+  const std::uint64_t after_ctor = Matrix::heap_allocations();
+  m.resize(4, 4);  // shrink: reuses capacity
+  m.resize(8, 8);  // back to original: still within capacity
+  EXPECT_EQ(Matrix::heap_allocations(), after_ctor);
+  m.resize(64, 64);  // genuine growth
+  EXPECT_GT(Matrix::heap_allocations(), after_ctor);
+}
+
+// Satellite contract test: Matrix::at bounds-checks via assert in debug
+// builds. In NDEBUG builds the check compiles out, so the death test only
+// runs when asserts are live.
+TEST(MatrixDeathTest, AtOutOfBoundsDiesInDebugBuilds) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "assertions compiled out under NDEBUG";
+#else
+  Matrix m(2, 3);
+  EXPECT_DEATH((void)m.at(2, 0), "out of bounds");
+  EXPECT_DEATH((void)m.at(0, 3), "out of bounds");
+  const MatrixView v{m};
+  EXPECT_DEATH((void)v.at(5, 0), "out of bounds");
+#endif
+}
+
+}  // namespace
+}  // namespace gt
