@@ -11,8 +11,10 @@
 // bars); weighted models cannot be reordered in their user code.
 #include "bench_util.hpp"
 #include <map>
+#include <thread>
 
 #include "frameworks/graphtensor.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -156,6 +158,40 @@ int main() {
                geomean(s.pyg));
     bench::row(bucket + " geomean vs Base-GT", "", "Dynamic-GT", c.paper_dyn,
                geomean(s.dyn));
+  }
+
+  // -- Host wall-clock vs compute threads ------------------------------------
+  // Real (steady_clock) end-to-end time for one GCN batch per framework on
+  // products, at 1 and 8 compute-engine threads. Simulated reports are
+  // bit-identical across thread counts (the engine's determinism contract);
+  // only this section moves. Speedup is bounded by the host's core count.
+  std::printf("\nhost wall-clock, products GCN, one batch per framework:\n");
+  {
+    Dataset data = generate("products", bench::kSeed);
+    const models::GnnModelConfig model = bench::gcn_for(data);
+    std::map<std::size_t, double> wall_us;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      set_compute_threads(threads);
+      bench::run_one("Base-GT", data, model);  // warm-up: pool spawn, faults
+      bench::WallTimer timer;
+      for (const auto& fw : frameworks::framework_names())
+        bench::run_one(fw, data, model);
+      wall_us[threads] = timer.elapsed_us();
+      bench::row("wall-clock all frameworks", "products",
+                 std::to_string(threads) + " compute threads", 0.0,
+                 wall_us[threads], "us");
+      std::printf("  %zu compute thread(s): %.0f us\n", threads,
+                  wall_us[threads]);
+    }
+    const double speedup =
+        wall_us[8] > 0.0 ? wall_us[1] / wall_us[8] : 0.0;
+    bench::row("wall-clock speedup 1->8 compute threads", "products", "all",
+               0.0, speedup, "x");
+    std::printf("  speedup 1 -> 8 compute threads: %.2fx (host has %u "
+                "hardware thread%s)\n",
+                speedup, std::thread::hardware_concurrency(),
+                std::thread::hardware_concurrency() == 1 ? "" : "s");
+    set_compute_threads(0);  // restore the environment/hardware default
   }
   return 0;
 }

@@ -8,6 +8,8 @@
 #include "kernels/dl_approach.hpp"
 #include "kernels/graph_approach.hpp"
 #include "kernels/napa.hpp"
+#include "tensor/ops.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -137,6 +139,49 @@ void BM_ApplyDense(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ApplyDense)->Args({1000, 16})->Args({1000, 544});
+
+// Tile-size sweep for the blocked matmul: register tile (row_tile) x cache
+// block (k_block = n_block). The fastest combination becomes MatmulTiling's
+// defaults; record sweep results in EXPERIMENTS.md when they move.
+// Args: {row_tile, cache_block}. Shape fixed at 768x512 * 512x512 — large
+// enough that blocking matters, GNN-sized (hidden dims, batch rows).
+void BM_MatmulTiled(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  const Matrix a = Matrix::uniform(768, 512, rng);
+  const Matrix b = Matrix::uniform(512, 512, rng);
+  Matrix c(768, 512);
+  MatmulTiling tiling;
+  tiling.row_tile = static_cast<std::size_t>(state.range(0));
+  tiling.k_block = static_cast<std::size_t>(state.range(1));
+  tiling.n_block = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    matmul_into_tiled(a, b, c, tiling);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * a.rows() * a.cols() *
+                          b.cols());
+}
+BENCHMARK(BM_MatmulTiled)
+    ->Args({4, 64})->Args({4, 128})->Args({4, 256})
+    ->Args({8, 64})->Args({8, 128})->Args({8, 256});
+
+// Same kernel at 1 vs default compute threads (wall-clock scaling check;
+// identical bits either way).
+void BM_MatmulThreads(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  const Matrix a = Matrix::uniform(768, 512, rng);
+  const Matrix b = Matrix::uniform(512, 512, rng);
+  Matrix c(768, 512);
+  set_compute_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  set_compute_threads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * a.rows() * a.cols() *
+                          b.cols());
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(8);
 
 }  // namespace
 

@@ -10,6 +10,12 @@
 //                contexts: preprocessing of up to N batches overlaps on a
 //                thread pool while training executes strictly in batch
 //                order. Reports are bit-identical to --workers=1.
+//   --compute-threads=N (GT_COMPUTE_THREADS) host threads for the compute
+//                engine: simulated-device kernels run their per-SM block
+//                sequences on N pool workers and the dense tensor ops
+//                parallelize over row tiles. Reports (simulated times,
+//                losses, gradients) are bit-identical for every N — only
+//                host wall-clock changes.
 //   --batches=M  explicit batch count (wins over the positional form).
 //
 // Observability flags (anywhere on the command line); each flag also
@@ -70,6 +76,7 @@ int main(int argc, char** argv) {
   std::string trace_flag, metrics_flag, bench_flag;
   std::vector<std::string> positional;
   int workers = 1;
+  int compute_threads = 0;  // 0 = GT_COMPUTE_THREADS / hardware default
   int batches_flag = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +90,10 @@ int main(int argc, char** argv) {
       workers = std::atoi(arg.c_str() + 10);
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if (arg.rfind("--compute-threads=", 0) == 0) {
+      compute_threads = std::atoi(arg.c_str() + 18);
+    } else if (arg == "--compute-threads" && i + 1 < argc) {
+      compute_threads = std::atoi(argv[++i]);
     } else if (arg.rfind("--batches=", 0) == 0) {
       batches_flag = std::atoi(arg.c_str() + 10);
     } else if (arg == "--batches" && i + 1 < argc) {
@@ -117,6 +128,8 @@ int main(int argc, char** argv) {
   options.framework = framework;
   options.learning_rate = 0.1f;
   options.workers = static_cast<std::size_t>(workers);
+  if (compute_threads > 0)
+    options.compute_threads = static_cast<std::size_t>(compute_threads);
   gt::GnnService service(std::move(data), model, options);
 
   std::printf("training %s on %s via %s (%d batches of %zu, %d worker%s)\n\n",
@@ -126,6 +139,7 @@ int main(int argc, char** argv) {
   gt::Table table({"batch", "loss", "kernel us", "preproc us", "e2e us",
                    "peak mem", "arena peak", "placement L0"});
   std::vector<double> e2e_us, losses, arena_peaks, arena_allocs;
+  std::vector<double> host_prep_us, host_exec_us;
   const std::vector<gt::frameworks::RunReport> reports =
       service.train_batches(static_cast<std::size_t>(batches));
   for (std::size_t b = 0; b < reports.size(); ++b) {
@@ -138,6 +152,8 @@ int main(int argc, char** argv) {
     losses.push_back(r.loss);
     arena_peaks.push_back(static_cast<double>(r.arena_peak_bytes));
     arena_allocs.push_back(static_cast<double>(r.arena_allocations));
+    host_prep_us.push_back(r.host_prepare_us);
+    host_exec_us.push_back(r.host_execute_us);
     table.add_row({std::to_string(b), gt::Table::fmt(r.loss, 4),
                    gt::Table::fmt(r.kernel_total_us, 1),
                    gt::Table::fmt(r.preproc_makespan_us, 1),
@@ -198,6 +214,16 @@ int main(int argc, char** argv) {
       row.metric = "arena allocations per batch";
       row.unit = "count";
       row.measured = gt::mean(arena_allocs);
+      rep.add_row(row);
+      // Real host time (steady_clock), not simulated: varies with machine
+      // load and --compute-threads, unlike every row above.
+      row.metric = "mean host prepare wall";
+      row.unit = "us";
+      row.measured = gt::mean(host_prep_us);
+      rep.add_row(row);
+      row.metric = "mean host execute wall";
+      row.unit = "us";
+      row.measured = gt::mean(host_exec_us);
       rep.add_row(row);
     }
     if (rep.write_json_file(bench_out))

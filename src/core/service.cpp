@@ -1,6 +1,7 @@
 #include "core/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 
 #include "kernels/reference.hpp"
@@ -9,8 +10,17 @@
 #include "pipeline/executor.hpp"
 #include "tensor/view.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace gt {
+
+namespace {
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+}  // namespace
 
 GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
                        ServiceOptions options)
@@ -20,10 +30,13 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
       params_(model_, dataset_.spec.feature_dim, options.seed),
       backend_(frameworks::make_framework(options.framework)) {
   if (options_.workers == 0) options_.workers = 1;
+  if (options_.compute_threads != 0)
+    set_compute_threads(options_.compute_threads);
   log_info("service: ", options_.framework, " on ", dataset_.spec.name,
            " (batch ", options_.batch_size, ", ", model_.num_layers,
            " layers, ", options_.workers, " worker context",
-           options_.workers == 1 ? "" : "s", ")");
+           options_.workers == 1 ? "" : "s", ", ", compute_threads(),
+           " compute thread", compute_threads() == 1 ? "" : "s", ")");
 }
 
 frameworks::BatchSpec GnnService::next_spec(bool inference) {
@@ -86,14 +99,18 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
   obs::metrics().gauge("service.workers").set(static_cast<double>(workers));
 
   std::vector<std::future<void>> inflight(workers);
+  std::vector<double> prepare_us(workers, 0.0);
   auto launch_prepare = [&](std::size_t i) {
     pipeline::BatchContext* ctx = contexts_[i % workers].get();
+    double* slot_us = &prepare_us[i % workers];
     const frameworks::BatchSpec spec = specs[i];
-    inflight[i % workers] = pool_->submit([this, ctx, spec] {
+    inflight[i % workers] = pool_->submit([this, ctx, spec, slot_us] {
       GT_OBS_SCOPE_N(span, "service.prepare_batch", "service");
       span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
+      const auto t0 = std::chrono::steady_clock::now();
       ctx->begin_batch();
       backend_->prepare_batch(dataset_, model_, spec, *ctx);
+      *slot_us = elapsed_us(t0);
     });
   };
   for (std::size_t i = 0; i < workers; ++i) launch_prepare(i);
@@ -101,8 +118,12 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
     inflight[i % workers].get();  // rethrows preprocessing failures
     GT_OBS_SCOPE_N(span, "service.train_batch", "service");
     span.arg("batch", static_cast<std::int64_t>(specs[i].batch_index));
+    const double batch_prepare_us = prepare_us[i % workers];
+    const auto t0 = std::chrono::steady_clock::now();
     reports.push_back(backend_->execute_prepared(
         dataset_, model_, params_, specs[i], *contexts_[i % workers]));
+    reports.back().host_execute_us = elapsed_us(t0);
+    reports.back().host_prepare_us = batch_prepare_us;
     if (i + workers < batches) launch_prepare(i + workers);
   }
   return reports;

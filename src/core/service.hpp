@@ -33,6 +33,12 @@ struct ServiceOptions {
   /// overlaps preprocessing of up to N batches; results stay bit-identical
   /// to workers == 1.
   std::size_t workers = 1;
+  /// Host threads for the process-wide compute engine (simulated-device
+  /// kernel execution and dense tensor ops). 0 leaves the current global
+  /// setting (GT_COMPUTE_THREADS / hardware default) untouched; any other
+  /// value reconfigures the engine via set_compute_threads. Reports are
+  /// bit-identical for every value — only host wall-clock changes.
+  std::size_t compute_threads = 0;
 };
 
 struct EpochStats {

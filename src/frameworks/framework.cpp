@@ -1,5 +1,6 @@
 #include "frameworks/framework.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "frameworks/baselines.hpp"
@@ -7,14 +8,28 @@
 
 namespace gt::frameworks {
 
+namespace {
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+}  // namespace
+
 RunReport Framework::run_batch(const Dataset& data,
                                const models::GnnModelConfig& model,
                                models::ModelParams& params,
                                const BatchSpec& spec,
                                pipeline::BatchContext& ctx) {
   ctx.begin_batch();
+  const auto t0 = std::chrono::steady_clock::now();
   prepare_batch(data, model, spec, ctx);
-  return execute_prepared(data, model, params, spec, ctx);
+  const double prepare_us = elapsed_us(t0);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunReport report = execute_prepared(data, model, params, spec, ctx);
+  report.host_execute_us = elapsed_us(t1);
+  report.host_prepare_us = prepare_us;
+  return report;
 }
 
 RunReport Framework::run_batch(const Dataset& data,

@@ -67,6 +67,12 @@ struct RunReport {
   double preproc_makespan_us = 0.0;
   double end_to_end_us = 0.0;
 
+  // Real (steady_clock) host time spent running this batch, as opposed to
+  // the *simulated* times above. Varies run to run with machine load and
+  // the compute-engine thread count; equivalence checks must ignore it.
+  double host_prepare_us = 0.0;  // prepare_batch wall-clock
+  double host_execute_us = 0.0;  // execute_prepared wall-clock
+
   // -- Batch context (arena) -------------------------------------------------
   // Per-batch values (peak/allocations) are batch-intrinsic and identical
   // no matter which worker context ran the batch; capacity/growths are

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "util/parallel.hpp"
 
 namespace gt::gpusim {
 
@@ -113,6 +115,17 @@ void BlockCtx::flops(std::uint64_t n) { dev_.sms_[sm_].flops += n; }
 
 void BlockCtx::atomic(std::uint64_t n) { dev_.sms_[sm_].atomics += n; }
 
+void BlockCtx::atomic_add(float& slot, float v) {
+  if (!dev_.atomic_exec_) {
+    slot += v;
+    return;
+  }
+  std::atomic_ref<float> ref(slot);
+  float cur = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
 // ---- Device -----------------------------------------------------------------
 
 Device::Device(DeviceConfig config) : config_(config) {
@@ -209,7 +222,8 @@ void Device::reset_peak() noexcept { peak_bytes_ = used_bytes_; }
 KernelStats Device::run_kernel(const std::string& name,
                                KernelCategory category,
                                std::size_t num_blocks,
-                               const std::function<void(BlockCtx&)>& body) {
+                               const std::function<void(BlockCtx&)>& body,
+                               BlockSafety safety) {
   // Fresh per-kernel SM state: caches do not persist useful data across
   // kernel boundaries in this model.
   for (auto& sm : sms_) {
@@ -219,11 +233,38 @@ KernelStats Device::run_kernel(const std::string& name,
     sm.atomics = 0;
   }
 
+  // Parallel path: shard blocks by their assigned SM and run each SM's
+  // block sequence (b = sm, sm + S, sm + 2S, ...) on a pool worker. Per-SM
+  // simulator state is touched only by that SM's thread and blocks of one
+  // SM keep their serial order, so every SmState — and therefore the priced
+  // KernelStats — is bit-identical to the serial loop below.
+  ThreadPool* pool =
+      safety == BlockSafety::kSerial ? nullptr : compute_pool();
+  const bool parallel = pool != nullptr && !on_compute_worker() &&
+                        num_blocks > 1 && config_.num_sms > 1;
   in_kernel_ = true;
-  for (std::size_t b = 0; b < num_blocks; ++b) {
-    BlockCtx ctx(*this, b, b % config_.num_sms);
-    body(ctx);
+  atomic_exec_ = parallel && safety == BlockSafety::kAtomicAdd;
+  if (parallel) {
+    const std::size_t num_sms = config_.num_sms;
+    pool->parallel_for(
+        0, num_sms, compute_threads(),
+        [this, &body, num_blocks, num_sms](std::size_t, std::size_t lo,
+                                           std::size_t hi) {
+          detail::ComputeWorkerScope scope;
+          for (std::size_t sm = lo; sm < hi; ++sm) {
+            for (std::size_t b = sm; b < num_blocks; b += num_sms) {
+              BlockCtx ctx(*this, b, sm);
+              body(ctx);
+            }
+          }
+        });
+  } else {
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      BlockCtx ctx(*this, b, b % config_.num_sms);
+      body(ctx);
+    }
   }
+  atomic_exec_ = false;
   in_kernel_ = false;
 
   // Price the kernel. Compute throughput and DRAM bandwidth are

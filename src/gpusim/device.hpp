@@ -28,6 +28,31 @@ class Device;
 using BufferId = std::uint32_t;
 inline constexpr BufferId kInvalidBuffer = ~0u;
 
+/// How a kernel's thread blocks may be executed on the host.
+///
+/// The simulator's per-SM state (cache, flop/byte/atomic tallies) is
+/// independent by construction, and blocks assigned to one SM always run
+/// in block order on one host thread — so KernelStats are bit-identical to
+/// serial execution for every safety class. What the declaration governs
+/// is the *numerics*: whether the kernel body's real float math is safe to
+/// run from several host threads at once.
+enum class BlockSafety {
+  /// Blocks may share mutable host state (edge-wise scatter-adds writing
+  /// the same destination row, seed flags, ...). Blocks run serially on
+  /// the calling thread regardless of the compute-engine configuration.
+  kSerial,
+  /// Blocks write disjoint host memory (vertex-centric NAPA / Pull /
+  /// Apply kernels: one destination row per block). Each SM's block
+  /// sequence runs on a pool worker; results are bit-identical to serial.
+  kParallel,
+  /// Blocks scatter-add into shared rows through BlockCtx::atomic_add,
+  /// which turns into a CAS-add under parallel execution. Results are
+  /// correct but the float reduction order depends on interleaving — only
+  /// for kernels whose consumers tolerate that (none of the evaluation
+  /// backends do; they declare kSerial and keep bit-stable gradients).
+  kAtomicAdd,
+};
+
 /// Thrown when an allocation exceeds device capacity — reproduces the
 /// paper's livejournal out-of-memory failure for PyG/GNNAdvisor NGCF.
 class GpuOomError : public std::runtime_error {
@@ -69,6 +94,14 @@ class BlockCtx {
   /// aggregation): charged a serialization penalty.
   void atomic(std::uint64_t n = 1);
 
+  /// Host-side scatter-add on possibly-shared memory. Under serial
+  /// execution this is a plain `slot += v`; when the kernel was declared
+  /// BlockSafety::kAtomicAdd and runs parallel it becomes a CAS-add so the
+  /// sum is correct whatever the interleaving. This models the data
+  /// movement of nothing — call atomic() separately to price the
+  /// serialization.
+  void atomic_add(float& slot, float v);
+
  private:
   friend class Device;
   BlockCtx(Device& dev, std::size_t block, std::size_t sm)
@@ -108,9 +141,16 @@ class Device {
   /// with a BlockCtx bound to the block's SM (round-robin assignment,
   /// matching how a grid fills SMs). Returns the priced KernelStats and
   /// appends it to the profile. Allocation inside a kernel is forbidden.
+  ///
+  /// With a parallel-safe `safety` declaration and a multi-threaded
+  /// compute engine (gt::set_compute_threads), blocks are sharded by their
+  /// SM and each SM's block sequence runs on a pool worker. Simulated
+  /// KernelStats — flops, global/cache bytes, atomics, priced µs — are
+  /// bit-identical to serial execution in every mode.
   KernelStats run_kernel(const std::string& name, KernelCategory category,
                          std::size_t num_blocks,
-                         const std::function<void(BlockCtx&)>& body);
+                         const std::function<void(BlockCtx&)>& body,
+                         BlockSafety safety = BlockSafety::kSerial);
 
   /// Charge a synthetic kernel (e.g. device-side sort during format
   /// translation) without executing per-block bodies.
@@ -161,6 +201,9 @@ class Device {
   std::size_t alloc_count_ = 0;
   std::vector<SmState> sms_;
   bool in_kernel_ = false;
+  // True while a kAtomicAdd kernel is actually executing on pool workers;
+  // BlockCtx::atomic_add switches from plain add to CAS-add when set.
+  bool atomic_exec_ = false;
   std::vector<KernelStats> profile_;
 };
 

@@ -7,6 +7,7 @@
 namespace gt::kernels::dl {
 
 using gpusim::BlockCtx;
+using gpusim::BlockSafety;
 using gpusim::BufferId;
 using gpusim::Device;
 using gpusim::KernelCategory;
@@ -31,7 +32,7 @@ BufferId gather_rows(Device& dev, BufferId x, BufferId ids,
     ctx.load(x, v, fb);
     std::copy_n(&xv[static_cast<std::size_t>(v) * feat], feat, &ov[k * feat]);
     ctx.store(out, static_cast<std::uint32_t>(k), fb);
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -80,7 +81,7 @@ BufferId edge_weight_dense(Device& dev, BufferId dense_src,
       ctx.flops(feat);
       ctx.store(out, static_cast<std::uint32_t>(k), fb);
     }
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -109,7 +110,7 @@ BufferId apply_weights_dense(Device& dev, BufferId dense_src,
     }
     ctx.flops(feat);
     ctx.store(out, static_cast<std::uint32_t>(k), fb);
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -150,7 +151,7 @@ BufferId scatter_aggregate(Device& dev, const DeviceCsr& csr,
       ctx.flops(feat);
     }
     ctx.store(out, d, fb);
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -211,7 +212,7 @@ BufferId backward_aggregate(Device& dev, const DeviceCsr& csr, BufferId x,
       ctx.store(ddense, k, fb);
       ctx.flops(feat);
     }
-  });
+  }, BlockSafety::kParallel);
 
   auto xv = dev.f32(x);
   auto dxv = dev.f32(dx);
@@ -282,6 +283,8 @@ BufferId backward_aggregate(Device& dev, const DeviceCsr& csr, BufferId x,
       }
     }
     ctx.store(dx, s, fb);
+    // Edge blocks collide on dx[s] and dx[d] (read-modify-write of whole
+    // rows): stays BlockSafety::kSerial so gradients remain bit-stable.
   });
 
   dev.free(ddense);
@@ -344,6 +347,8 @@ BufferId aggregate_neighbor_groups(Device& dev, const DeviceCsr& csr,
     for (std::size_t c = 0; c < feat; ++c) od[c] += acc[c];
     ctx.flops(feat);
     ctx.store(out, g.d, fb);
+    // Groups of one dst merge into the same output row, so the kernel is
+    // left BlockSafety::kSerial (the simulated atomics price the cost).
   });
 
   if (f == AggMode::kMean) {
@@ -359,7 +364,7 @@ BufferId aggregate_neighbor_groups(Device& dev, const DeviceCsr& csr,
       for (std::size_t c = 0; c < feat; ++c) od[c] *= inv;
       ctx.flops(feat);
       ctx.store(out, d, fb);
-    });
+    }, BlockSafety::kParallel);
   }
   return out;
 }

@@ -8,6 +8,7 @@
 namespace gt::kernels::graphsim {
 
 using gpusim::BlockCtx;
+using gpusim::BlockSafety;
 using gpusim::BufferId;
 using gpusim::Device;
 using gpusim::KernelCategory;
@@ -151,7 +152,7 @@ BufferId sddmm_edgewise(Device& dev, const DeviceCoo& coo, BufferId x,
       ctx.flops(feat);
       ctx.store(out, static_cast<std::uint32_t>(e), fb);
     }
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -216,6 +217,9 @@ BufferId spmm_edgewise(Device& dev, const DeviceCsr& csr, BufferId x,
     seeded[d] = true;
     ctx.flops((gmode == EdgeWeightMode::kNone ? 1 : 2) * feat);
     ctx.store(out, d, fb);
+    // Edge blocks of one dst collide on `od` and on the shared `seeded`
+    // flags: stays BlockSafety::kSerial (the contention is what the
+    // simulated atomics price).
   });
 
   if (f == AggMode::kMean) {
@@ -231,7 +235,7 @@ BufferId spmm_edgewise(Device& dev, const DeviceCsr& csr, BufferId x,
       for (std::size_t c = 0; c < feat; ++c) od[c] *= inv;
       ctx.flops(feat);
       ctx.store(out, d, fb);
-    });
+    }, BlockSafety::kParallel);
   }
   return out;
 }
@@ -319,6 +323,7 @@ BufferId backward_edgewise(Device& dev, const DeviceCoo& coo,
     ctx.store(dx, s, fb);
     if (gmode != EdgeWeightMode::kNone)
       ctx.store(dx, d, fb);
+    // Edge blocks collide on dx[s]/dx[d]: stays BlockSafety::kSerial.
   });
   return dx;
 }

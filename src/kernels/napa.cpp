@@ -7,9 +7,14 @@
 namespace gt::kernels::napa {
 
 using gpusim::BlockCtx;
+using gpusim::BlockSafety;
 using gpusim::BufferId;
 using gpusim::Device;
 using gpusim::KernelCategory;
+
+// Every NAPA kernel is vertex-centric: block b owns output row b (or the
+// edge range of destination b), so writes are disjoint and the kernels are
+// declared BlockSafety::kParallel throughout.
 
 gpusim::BufferId neighbor_apply(Device& dev, const DeviceCsr& g, BufferId x,
                                 EdgeWeightMode gmode) {
@@ -51,7 +56,7 @@ gpusim::BufferId neighbor_apply(Device& dev, const DeviceCsr& g, BufferId x,
         ctx.store(out, e, fb);
       }
     }
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -112,7 +117,7 @@ gpusim::BufferId pull(Device& dev, const DeviceCsr& g, BufferId x,
     }
     // The accumulator lived in registers; one store materializes the row.
     ctx.store(out, d, fb);
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -164,7 +169,7 @@ gpusim::BufferId apply_dense(Device& dev, BufferId x, BufferId w, BufferId b,
     ctx.flops(2ull * feat * hidden + 2ull * hidden);
     if (pre != gpusim::kInvalidBuffer) ctx.store(pre, r, hb);
     ctx.store(out, r, hb);
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -198,7 +203,7 @@ DenseGrads apply_dense_backward(Device& dev, BufferId x, BufferId w,
       }
       ctx.flops(hidden);
       ctx.store(dz, r, hb);
-    });
+    }, BlockSafety::kParallel);
   } else {
     std::copy(dyv.begin(), dyv.end(), dzv.begin());
     dev.charge_kernel("Apply.IdentityGrad", KernelCategory::kCombination, 0,
@@ -226,7 +231,7 @@ DenseGrads apply_dense_backward(Device& dev, BufferId x, BufferId w,
       }
       ctx.flops(2ull * feat * hidden);
       ctx.store(grads.dx, r, feat * sizeof(float));
-    });
+    }, BlockSafety::kParallel);
   }
 
   // dW = X^T dZ and db = colsum(dZ): bandwidth-dominated reductions.
@@ -279,7 +284,7 @@ gpusim::BufferId apply_matmul(Device& dev, BufferId x, BufferId w) {
     }
     ctx.flops(2ull * feat * hidden);
     ctx.store(out, r, hb);
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -315,7 +320,7 @@ MatmulGrads apply_matmul_backward(Device& dev, BufferId x, BufferId w,
       }
       ctx.flops(2ull * feat * hidden);
       ctx.store(grads.dx, r, feat * sizeof(float));
-    });
+    }, BlockSafety::kParallel);
   }
 
   auto xv = dev.f32(x);
@@ -373,7 +378,7 @@ gpusim::BufferId apply_bias_act(Device& dev, BufferId x, BufferId b,
     ctx.flops(2 * hidden);
     if (pre != gpusim::kInvalidBuffer) ctx.store(pre, r, hb);
     ctx.store(out, r, hb);
-  });
+  }, BlockSafety::kParallel);
   return out;
 }
 
@@ -404,7 +409,7 @@ BiasActGrads apply_bias_act_backward(Device& dev, BufferId pre_act,
     }
     ctx.flops(hidden);
     ctx.store(grads.dx, r, hb);
-  });
+  }, BlockSafety::kParallel);
   // db reduction: bandwidth-dominated.
   for (std::size_t r = 0; r < rows; ++r)
     for (std::size_t c = 0; c < hidden; ++c)
@@ -457,7 +462,7 @@ gpusim::BufferId pull_backward_h(Device& dev, const DeviceCsr& csr,
       touched = true;
     }
     if (touched) ctx.store(dt, s, hb);
-  });
+  }, BlockSafety::kParallel);
   return dt;
 }
 
@@ -512,7 +517,7 @@ void edge_weight_backward_cf(Device& dev, const DeviceCsr& csr,
       ctx.flops(2 * hidden + 2 * feat);
     }
     ctx.store(dx, s, fb);
-  });
+  }, BlockSafety::kParallel);
 
   // CSR pass: dst-side terms dX[d] += dw_e * x[s].
   dev.run_kernel("napa.EdgeWeightBackwardCF.dst", KernelCategory::kEdgeWeight,
@@ -534,7 +539,7 @@ void edge_weight_backward_cf(Device& dev, const DeviceCsr& csr,
       ctx.flops(2 * hidden + 2 * feat);
     }
     ctx.store(dx, d, fb);
-  });
+  }, BlockSafety::kParallel);
 }
 
 gpusim::BufferId pull_backward(Device& dev, const DeviceCsr& csr,
@@ -615,7 +620,7 @@ gpusim::BufferId pull_backward(Device& dev, const DeviceCsr& csr,
       touched = true;
     }
     if (touched) ctx.store(dx, s, fb);
-  });
+  }, BlockSafety::kParallel);
   return dx;
 }
 
@@ -665,7 +670,7 @@ void neighbor_apply_backward(Device& dev, const DeviceCsr& g, BufferId x,
       }
     }
     ctx.store(dx, d, fb);
-  });
+  }, BlockSafety::kParallel);
 }
 
 }  // namespace gt::kernels::napa

@@ -86,7 +86,7 @@ gpusim::BufferId EmbeddingCache::assemble(gpusim::Device& dev,
       std::copy_n(&mv[m * dim_], dim_, &ov[static_cast<std::size_t>(row) * dim_]);
       ctx.store(out, row, row_bytes_);
     }
-  });
+  }, gpusim::BlockSafety::kParallel);
   return out;
 }
 

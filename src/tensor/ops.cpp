@@ -4,35 +4,85 @@
 #include <cmath>
 #include <stdexcept>
 
-namespace gt {
+#include "util/parallel.hpp"
 
-FlopCounter& FlopCounter::instance() {
-  thread_local FlopCounter counter;
-  return counter;
-}
+namespace gt {
 
 namespace {
 void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
+
+// Below this many FLOPs the pool dispatch overhead outweighs the work and
+// the tiled kernel runs inline on the calling thread. The kernel itself is
+// the same either way, so the cutoff never affects results.
+constexpr std::uint64_t kParallelFlopThreshold = 1ull << 18;
+
+// Split the `tiles` row tiles of an output matrix into compute-engine
+// chunks and run `fn(tile_lo, tile_hi)` over each. Chunk boundaries fall
+// between row tiles, and no tile's math depends on its chunk, so results
+// are bit-identical for any thread count. Each chunk counts its own FLOPs
+// (workers' counters are merged at join by ThreadPool::parallel_for).
+template <typename F>
+void for_each_tile_chunk(std::size_t tiles, std::uint64_t total_flops,
+                         F&& fn) {
+  if (tiles == 0) return;
+  if (total_flops < kParallelFlopThreshold) {
+    fn(std::size_t{0}, tiles);
+    return;
+  }
+  compute_parallel_for(0, tiles, fn);
+}
 }  // namespace
 
-void matmul_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+void matmul_into_tiled(ConstMatrixView a, ConstMatrixView b, MatrixView out,
+                       const MatmulTiling& tiling) {
   require(a.cols() == b.rows(), "matmul: inner dimensions differ");
   require(out.rows() == a.rows() && out.cols() == b.cols(),
           "matmul: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  out.fill(0.0f);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = a.at(i, p);
-      if (av == 0.0f) continue;
-      const auto brow = b.row(p);
-      auto crow = out.row(i);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  if (m == 0 || n == 0) return;
+  const std::size_t mr = std::max<std::size_t>(1, tiling.row_tile);
+  const std::size_t kc = std::max<std::size_t>(1, tiling.k_block);
+  const std::size_t nc = std::max<std::size_t>(1, tiling.n_block);
+  const std::size_t tiles = (m + mr - 1) / mr;
+  for_each_tile_chunk(tiles, 2ull * m * k * n, [&](std::size_t t_lo,
+                                                   std::size_t t_hi) {
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      const std::size_t i_lo = t * mr;
+      const std::size_t i_hi = std::min(m, i_lo + mr);
+      for (std::size_t i = i_lo; i < i_hi; ++i) {
+        auto crow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      }
+      // B panel [p0, p0+kc) x [j0, j0+nc) stays cache-resident while the
+      // tile's rows stream over it; per output element the inner index p
+      // ascends across and within panels, so the accumulation order never
+      // depends on the blocking of the other dimensions.
+      for (std::size_t p0 = 0; p0 < k; p0 += kc) {
+        const std::size_t p_hi = std::min(k, p0 + kc);
+        for (std::size_t j0 = 0; j0 < n; j0 += nc) {
+          const std::size_t j_hi = std::min(n, j0 + nc);
+          for (std::size_t p = p0; p < p_hi; ++p) {
+            const auto brow = b.row(p);
+            for (std::size_t i = i_lo; i < i_hi; ++i) {
+              const float av = a.at(i, p);
+              auto crow = out.row(i);
+              for (std::size_t j = j0; j < j_hi; ++j)
+                crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
     }
-  }
-  FlopCounter::instance().add(2ull * m * k * n);
+    const std::size_t rows =
+        std::min(m, t_hi * mr) - std::min(m, t_lo * mr);
+    FlopCounter::instance().add(2ull * rows * k * n);
+  });
+}
+
+void matmul_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  matmul_into_tiled(a, b, out, MatmulTiling{});
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -47,18 +97,43 @@ void matmul_at_b_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   require(out.rows() == a.cols() && out.cols() == b.cols(),
           "matmul_at_b: output shape mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  out.fill(0.0f);
-  for (std::size_t p = 0; p < k; ++p) {
-    const auto arow = a.row(p);
-    const auto brow = b.row(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      auto crow = out.row(i);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  if (m == 0 || n == 0) return;
+  const MatmulTiling tiling;
+  const std::size_t mr = tiling.row_tile, kc = tiling.k_block,
+                    nc = tiling.n_block;
+  const std::size_t tiles = (m + mr - 1) / mr;
+  for_each_tile_chunk(tiles, 2ull * m * k * n, [&](std::size_t t_lo,
+                                                   std::size_t t_hi) {
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      // Output rows are columns of A: tile t owns C rows [i_lo, i_hi) and
+      // reads A column-strided; B panels are reused exactly as in matmul.
+      const std::size_t i_lo = t * mr;
+      const std::size_t i_hi = std::min(m, i_lo + mr);
+      for (std::size_t i = i_lo; i < i_hi; ++i) {
+        auto crow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      }
+      for (std::size_t p0 = 0; p0 < k; p0 += kc) {
+        const std::size_t p_hi = std::min(k, p0 + kc);
+        for (std::size_t j0 = 0; j0 < n; j0 += nc) {
+          const std::size_t j_hi = std::min(n, j0 + nc);
+          for (std::size_t p = p0; p < p_hi; ++p) {
+            const auto arow = a.row(p);
+            const auto brow = b.row(p);
+            for (std::size_t i = i_lo; i < i_hi; ++i) {
+              const float av = arow[i];
+              auto crow = out.row(i);
+              for (std::size_t j = j0; j < j_hi; ++j)
+                crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
     }
-  }
-  FlopCounter::instance().add(2ull * m * k * n);
+    const std::size_t rows =
+        std::min(m, t_hi * mr) - std::min(m, t_lo * mr);
+    FlopCounter::instance().add(2ull * rows * k * n);
+  });
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
@@ -73,16 +148,36 @@ void matmul_a_bt_into(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   require(out.rows() == a.rows() && out.cols() == b.rows(),
           "matmul_a_bt: output shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto arow = a.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const auto brow = b.row(j);
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      out.at(i, j) = acc;
+  if (m == 0 || n == 0) return;
+  const MatmulTiling tiling;
+  const std::size_t mr = tiling.row_tile, nc = tiling.n_block;
+  const std::size_t tiles = (m + mr - 1) / mr;
+  for_each_tile_chunk(tiles, 2ull * m * k * n, [&](std::size_t t_lo,
+                                                   std::size_t t_hi) {
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      const std::size_t i_lo = t * mr;
+      const std::size_t i_hi = std::min(m, i_lo + mr);
+      // Each element is one full-k dot product (k is a feature dimension,
+      // small enough that both operand rows sit in L1); blocking over B's
+      // rows keeps the [j0, j_hi) panel resident across the tile's rows.
+      for (std::size_t j0 = 0; j0 < n; j0 += nc) {
+        const std::size_t j_hi = std::min(n, j0 + nc);
+        for (std::size_t i = i_lo; i < i_hi; ++i) {
+          const auto arow = a.row(i);
+          auto crow = out.row(i);
+          for (std::size_t j = j0; j < j_hi; ++j) {
+            const auto brow = b.row(j);
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] = acc;
+          }
+        }
+      }
     }
-  }
-  FlopCounter::instance().add(2ull * m * k * n);
+    const std::size_t rows =
+        std::min(m, t_hi * mr) - std::min(m, t_lo * mr);
+    FlopCounter::instance().add(2ull * rows * k * n);
+  });
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {

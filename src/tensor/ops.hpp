@@ -19,24 +19,31 @@
 
 #include "tensor/matrix.hpp"
 #include "tensor/view.hpp"
+#include "util/flops.hpp"
 
 namespace gt {
 
-/// Thread-local floating-point-operation counter.
-class FlopCounter {
- public:
-  static FlopCounter& instance();
-  void add(std::uint64_t flops) noexcept { count_ += flops; }
-  std::uint64_t count() const noexcept { return count_; }
-  void reset() noexcept { count_ = 0; }
-
- private:
-  std::uint64_t count_ = 0;
+/// Blocking parameters for the dense matmul family. `row_tile` rows of the
+/// output are produced together (the A column values live in registers
+/// while a B panel streams through); `k_block` x `n_block` bounds the B
+/// panel so it stays cache-resident across those rows. Large matmuls are
+/// parallelized over row tiles on the process-wide compute engine
+/// (util/parallel.hpp); results are bit-identical for any thread count
+/// because each output element's accumulation order over the inner
+/// dimension is ascending regardless of which chunk its row lands in.
+/// Defaults come from the bench_micro_kernels tile sweep (EXPERIMENTS.md).
+struct MatmulTiling {
+  std::size_t row_tile = 8;   // MR: output rows per register tile
+  std::size_t k_block = 128;  // KC: inner-dimension block
+  std::size_t n_block = 256;  // NC: output-column block
 };
 
 /// C = A * B.           A: [m,k], B: [k,n] -> C: [m,n].   2*m*k*n FLOPs.
 Matrix matmul(const Matrix& a, const Matrix& b);
 void matmul_into(ConstMatrixView a, ConstMatrixView b, MatrixView out);
+/// As matmul_into but with explicit blocking (bench tile sweep entry point).
+void matmul_into_tiled(ConstMatrixView a, ConstMatrixView b, MatrixView out,
+                       const MatmulTiling& tiling);
 
 /// C = A^T * B.         A: [k,m], B: [k,n] -> C: [m,n].
 Matrix matmul_at_b(const Matrix& a, const Matrix& b);

@@ -1,0 +1,30 @@
+// Thread-local floating-point-operation counter.
+//
+// Every dense tensor op adds its arithmetic work here so benchmarks
+// (Fig 18) can report FLOPs without instrumenting call sites. The counter
+// is strictly thread-local; code that fans work out across threads is
+// responsible for merging the workers' deltas back into the spawning
+// thread's counter (ThreadPool::parallel_for does this automatically), so
+// a caller always observes the exact serial count no matter how many
+// compute threads ran.
+#pragma once
+
+#include <cstdint>
+
+namespace gt {
+
+class FlopCounter {
+ public:
+  static FlopCounter& instance() {
+    thread_local FlopCounter counter;
+    return counter;
+  }
+  void add(std::uint64_t flops) noexcept { count_ += flops; }
+  std::uint64_t count() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace gt

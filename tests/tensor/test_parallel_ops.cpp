@@ -1,0 +1,115 @@
+// Determinism of the tiled/parallel dense kernels: the matmul family must
+// return bit-identical floats for every compute-thread count and for every
+// tiling, because each output element's accumulation order is fixed
+// (ascending k) regardless of how row tiles are chunked across workers.
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/flops.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace gt {
+namespace {
+
+/// Restore the environment/hardware thread default when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { set_compute_threads(0); }
+};
+
+Matrix rnd(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return Matrix::uniform(r, c, rng);
+}
+
+bool bit_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+// Shapes big enough to cross the parallel-dispatch FLOP threshold (2mkn >
+// 2^18), with ragged dimensions so tile/chunk boundaries don't divide
+// evenly.
+constexpr std::size_t kM = 129, kK = 65, kN = 67;
+
+TEST(ParallelOps, MatmulBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const Matrix a = rnd(kM, kK, 1), b = rnd(kK, kN, 2);
+  set_compute_threads(1);
+  const Matrix serial = matmul(a, b);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    set_compute_threads(threads);
+    EXPECT_TRUE(bit_equal(matmul(a, b), serial)) << threads << " threads";
+  }
+}
+
+TEST(ParallelOps, TransposedVariantsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const Matrix a = rnd(kK, kM, 3), b = rnd(kK, kN, 4);  // at_b: [k,m]x[k,n]
+  const Matrix c = rnd(kM, kK, 5), d = rnd(kN, kK, 6);  // a_bt: [m,k]x[n,k]
+  set_compute_threads(1);
+  const Matrix at_b = matmul_at_b(a, b);
+  const Matrix a_bt = matmul_a_bt(c, d);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    set_compute_threads(threads);
+    EXPECT_TRUE(bit_equal(matmul_at_b(a, b), at_b)) << threads << " threads";
+    EXPECT_TRUE(bit_equal(matmul_a_bt(c, d), a_bt)) << threads << " threads";
+  }
+}
+
+TEST(ParallelOps, TiledMatmulBitIdenticalAcrossTilings) {
+  // Cache-block and register-tile sizes change the loop nest, not the
+  // per-element accumulation order, so every tiling gives the same bits.
+  ThreadGuard guard;
+  set_compute_threads(8);
+  const Matrix a = rnd(kM, kK, 7), b = rnd(kK, kN, 8);
+  Matrix ref(kM, kN);
+  matmul_into_tiled(a, b, ref, MatmulTiling{});
+  for (const std::size_t row_tile : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t block : {std::size_t{16}, std::size_t{256}}) {
+      MatmulTiling tiling;
+      tiling.row_tile = row_tile;
+      tiling.k_block = block;
+      tiling.n_block = block;
+      Matrix out(kM, kN);
+      matmul_into_tiled(a, b, out, tiling);
+      EXPECT_TRUE(bit_equal(out, ref))
+          << "row_tile " << row_tile << ", block " << block;
+    }
+  }
+}
+
+TEST(ParallelOps, SmallMatmulStaysBelowParallelThreshold) {
+  // Tiny products run inline (the pool would cost more than the math);
+  // the result must still match the multi-thread configuration bit-wise.
+  ThreadGuard guard;
+  const Matrix a = rnd(5, 7, 9), b = rnd(7, 3, 10);
+  set_compute_threads(1);
+  const Matrix serial = matmul(a, b);
+  set_compute_threads(8);
+  EXPECT_TRUE(bit_equal(matmul(a, b), serial));
+}
+
+TEST(ParallelOps, FlopCounterExactUnderParallelExecution) {
+  // Worker-thread FlopCounter deltas merge back into the calling thread at
+  // parallel_for join, so the caller observes the exact serial count.
+  ThreadGuard guard;
+  const Matrix a = rnd(kM, kK, 11), b = rnd(kK, kN, 12);
+  const std::uint64_t expected = 2ull * kM * kK * kN;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    set_compute_threads(threads);
+    Matrix out(kM, kN);
+    FlopCounter::instance().reset();
+    matmul_into(a, b, out);
+    EXPECT_EQ(FlopCounter::instance().count(), expected)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace gt
