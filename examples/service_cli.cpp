@@ -18,6 +18,17 @@
 //                host wall-clock changes.
 //   --batches=M  explicit batch count (wins over the positional form).
 //
+// Fault injection / chaos serving (DESIGN.md §11):
+//   --fault-spec=SPEC (GT_FAULT_SPEC) arms a gt::fault schedule, e.g.
+//                --fault-spec="gpusim.alloc@batch=3;preproc.sample@batch=7"
+//                Transient faults are retried with virtual backoff; a
+//                batch past the retry budget shows as "degraded" in the
+//                table and the epoch keeps going.
+//   --max-retries=N retry budget per batch (default 3).
+//   Chaos example:
+//     ./examples/service_cli products GCN Prepro-GT 8 --workers=4 \
+//         --fault-spec="preproc.sample@batch=2;gpusim.kernel@batch=5:always"
+//
 // Observability flags (anywhere on the command line); each flag also
 // honors its GT_* environment-variable equivalent, for parity with the
 // bench binaries' env-driven hook (the flag wins when both are set):
@@ -36,6 +47,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,10 +86,12 @@ std::string out_path(const std::string& flag_value, const char* env_name) {
 
 int main(int argc, char** argv) {
   std::string trace_flag, metrics_flag, bench_flag;
+  std::string fault_spec;  // empty = GT_FAULT_SPEC / no faults
   std::vector<std::string> positional;
   int workers = 1;
   int compute_threads = 0;  // 0 = GT_COMPUTE_THREADS / hardware default
   int batches_flag = -1;
+  int max_retries = -1;  // -1 = ServiceOptions default
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -98,6 +112,14 @@ int main(int argc, char** argv) {
       batches_flag = std::atoi(arg.c_str() + 10);
     } else if (arg == "--batches" && i + 1 < argc) {
       batches_flag = std::atoi(argv[++i]);
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      fault_spec = arg.substr(13);
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (arg.rfind("--max-retries=", 0) == 0) {
+      max_retries = std::atoi(arg.c_str() + 14);
+    } else if (arg == "--max-retries" && i + 1 < argc) {
+      max_retries = std::atoi(argv[++i]);
     } else {
       positional.push_back(arg);
     }
@@ -130,7 +152,18 @@ int main(int argc, char** argv) {
   options.workers = static_cast<std::size_t>(workers);
   if (compute_threads > 0)
     options.compute_threads = static_cast<std::size_t>(compute_threads);
-  gt::GnnService service(std::move(data), model, options);
+  options.fault_spec = fault_spec;  // empty falls back to GT_FAULT_SPEC
+  if (max_retries >= 0)
+    options.max_retries = static_cast<std::uint32_t>(max_retries);
+  std::unique_ptr<gt::GnnService> service_ptr;
+  try {
+    service_ptr = std::make_unique<gt::GnnService>(std::move(data), model,
+                                                   options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  gt::GnnService& service = *service_ptr;
 
   std::printf("training %s on %s via %s (%d batches of %zu, %d worker%s)\n\n",
               model_name.c_str(), dataset_name.c_str(), framework.c_str(),
@@ -142,8 +175,16 @@ int main(int argc, char** argv) {
   std::vector<double> host_prep_us, host_exec_us;
   const std::vector<gt::frameworks::RunReport> reports =
       service.train_batches(static_cast<std::size_t>(batches));
+  std::size_t degraded_batches = 0;
+  std::uint64_t recovery_retries = 0;
   for (std::size_t b = 0; b < reports.size(); ++b) {
     const gt::frameworks::RunReport& r = reports[b];
+    recovery_retries += r.retries;
+    if (r.failed) {
+      ++degraded_batches;
+      table.add_row({std::to_string(b), "degraded: " + r.failed_reason});
+      continue;  // the service already moved on; so does the table
+    }
     if (r.oom) {
       table.add_row({std::to_string(b), "OOM: " + r.oom_what});
       break;
@@ -224,6 +265,14 @@ int main(int argc, char** argv) {
       row.metric = "mean host execute wall";
       row.unit = "us";
       row.measured = gt::mean(host_exec_us);
+      rep.add_row(row);
+      row.metric = "degraded batches";
+      row.unit = "count";
+      row.measured = static_cast<double>(degraded_batches);
+      rep.add_row(row);
+      row.metric = "recovery retries";
+      row.unit = "count";
+      row.measured = static_cast<double>(recovery_retries);
       rep.add_row(row);
     }
     if (rep.write_json_file(bench_out))

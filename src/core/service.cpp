@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 
 #include "kernels/reference.hpp"
@@ -32,6 +33,17 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
   if (options_.workers == 0) options_.workers = 1;
   if (options_.compute_threads != 0)
     set_compute_threads(options_.compute_threads);
+  std::string spec_text = options_.fault_spec;
+  if (spec_text.empty()) {
+    if (const char* env = std::getenv("GT_FAULT_SPEC")) spec_text = env;
+  }
+  if (!spec_text.empty()) {
+    fault_plan_ = std::make_unique<fault::FaultPlan>(
+        fault::FaultPlan::parse(spec_text).entries());
+    log_info("service: fault plan armed (", fault_plan_->entry_count(),
+             " entr", fault_plan_->entry_count() == 1 ? "y" : "ies", ", ",
+             options_.max_retries, " retries max): ", spec_text);
+  }
   log_info("service: ", options_.framework, " on ", dataset_.spec.name,
            " (batch ", options_.batch_size, ", ", model_.num_layers,
            " layers, ", options_.workers, " worker context",
@@ -55,16 +67,87 @@ void GnnService::ensure_contexts(std::size_t n) {
     contexts_.push_back(std::make_unique<pipeline::BatchContext>());
 }
 
+std::uint64_t GnnService::backoff_for(std::uint32_t attempt) const noexcept {
+  const std::uint32_t shift = attempt > 1 ? attempt - 1 : 0;
+  if (shift >= 63) return options_.backoff_max_ticks;
+  const std::uint64_t ticks = options_.backoff_base_ticks << shift;
+  // Shifted past the representable range -> saturate at the cap.
+  if (options_.backoff_base_ticks != 0 &&
+      (ticks >> shift) != options_.backoff_base_ticks)
+    return options_.backoff_max_ticks;
+  return std::min(ticks, options_.backoff_max_ticks);
+}
+
+frameworks::RunReport GnnService::degraded_report(
+    const frameworks::BatchSpec& spec, const std::string& reason,
+    std::uint32_t retries, std::uint64_t backoff) {
+  frameworks::RunReport r;
+  r.framework = backend_->name();
+  r.model = model_.name;
+  r.dataset = dataset_.spec.name;
+  r.failed = true;
+  r.failed_reason = reason;
+  r.retries = retries;
+  r.backoff_ticks = backoff;
+  obs::metrics().counter("service.degraded_batches").add(1);
+  log_warn("service: batch ", spec.batch_index, " degraded after ", retries,
+           " retr", retries == 1 ? "y" : "ies", ": ", reason);
+  return r;
+}
+
+frameworks::RunReport GnnService::run_with_recovery(
+    const frameworks::BatchSpec& spec, pipeline::BatchContext& ctx,
+    std::uint32_t failed_attempts, std::string last_reason) {
+  std::uint64_t backoff = 0;
+  while (true) {
+    if (failed_attempts > options_.max_retries)
+      return degraded_report(spec, last_reason, failed_attempts - 1, backoff);
+    if (failed_attempts > 0) {
+      // Virtual backoff: a deterministic tick counter stands in for the
+      // wall-clock sleep a real service would take, keeping recovered
+      // runs bit-identical and tests instant.
+      const std::uint64_t ticks = backoff_for(failed_attempts);
+      backoff += ticks;
+      backoff_ticks_total_ += ticks;
+      obs::metrics().counter("service.retries").add(1);
+      obs::metrics().counter("service.backoff_ticks").add(ticks);
+      GT_OBS_SCOPE_N(span, "service.retry", "service");
+      span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
+      span.arg("attempt", static_cast<std::int64_t>(failed_attempts));
+      span.arg("backoff_ticks", static_cast<std::int64_t>(ticks));
+      log_warn("service: batch ", spec.batch_index, " retry ",
+               failed_attempts, "/", options_.max_retries, " after ", ticks,
+               " backoff tick", ticks == 1 ? "" : "s", ": ", last_reason);
+    }
+    try {
+      // run_batch begins with ctx.begin_batch(), which doubles as the
+      // quarantine reset after a failed attempt left the context
+      // mid-batch.
+      fault::PlanScope scope(fault_plan_.get(), spec.batch_index);
+      frameworks::RunReport r =
+          backend_->run_batch(dataset_, model_, params_, spec, ctx);
+      r.retries = failed_attempts;
+      r.backoff_ticks = backoff;
+      return r;
+    } catch (const fault::InjectedFault& f) {
+      if (f.kind() == fault::Kind::kAbort) {
+        ctx.begin_batch();  // leave the context clean behind the unwind
+        throw;
+      }
+      ++failed_attempts;
+      last_reason = f.what();
+    }
+  }
+}
+
 frameworks::RunReport GnnService::train_batch() {
   ensure_contexts(1);
-  return backend_->run_batch(dataset_, model_, params_, next_spec(false),
-                             *contexts_[0]);
+  return run_with_recovery(next_spec(false), *contexts_[0], 0, {});
 }
 
 frameworks::RunReport GnnService::infer_batch() {
   ensure_contexts(1);
-  return backend_->run_batch(dataset_, model_, params_, next_spec(true),
-                             *contexts_[0]);
+  return run_with_recovery(next_spec(true), *contexts_[0], 0, {});
 }
 
 std::vector<frameworks::RunReport> GnnService::run_batches(
@@ -84,8 +167,7 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
   if (workers <= 1) {
     for (std::size_t i = 0; i < batches; ++i) {
       GT_OBS_SCOPE("service.train_batch", "service");
-      reports.push_back(backend_->run_batch(dataset_, model_, params_,
-                                            specs[i], *contexts_[0]));
+      reports.push_back(run_with_recovery(specs[i], *contexts_[0], 0, {}));
     }
     return reports;
   }
@@ -100,14 +182,32 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
 
   std::vector<std::future<void>> inflight(workers);
   std::vector<double> prepare_us(workers, 0.0);
+
+  // Exception safety: the pool tasks write through captured pointers into
+  // `prepare_us` and the worker contexts. Before ANY unwind of this frame
+  // every launched task must have finished — wait() (unlike get()) does
+  // not rethrow, so the drain itself cannot throw; a stored exception is
+  // discarded with its future.
+  auto drain_inflight = [&]() noexcept {
+    for (std::future<void>& f : inflight)
+      if (f.valid()) f.wait();
+  };
+  // A throwing attempt leaves its context mid-batch; reset all of them so
+  // a caller that catches the propagated exception can keep serving.
+  auto quarantine_contexts = [&]() noexcept {
+    for (std::size_t w = 0; w < workers; ++w) contexts_[w]->begin_batch();
+  };
+
   auto launch_prepare = [&](std::size_t i) {
     pipeline::BatchContext* ctx = contexts_[i % workers].get();
     double* slot_us = &prepare_us[i % workers];
     const frameworks::BatchSpec spec = specs[i];
-    inflight[i % workers] = pool_->submit([this, ctx, spec, slot_us] {
+    fault::FaultPlan* plan = fault_plan_.get();
+    inflight[i % workers] = pool_->submit([this, ctx, spec, slot_us, plan] {
       GT_OBS_SCOPE_N(span, "service.prepare_batch", "service");
       span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
       const auto t0 = std::chrono::steady_clock::now();
+      fault::PlanScope scope(plan, spec.batch_index);
       ctx->begin_batch();
       backend_->prepare_batch(dataset_, model_, spec, *ctx);
       *slot_us = elapsed_us(t0);
@@ -115,15 +215,49 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
   };
   for (std::size_t i = 0; i < workers; ++i) launch_prepare(i);
   for (std::size_t i = 0; i < batches; ++i) {
-    inflight[i % workers].get();  // rethrows preprocessing failures
-    GT_OBS_SCOPE_N(span, "service.train_batch", "service");
-    span.arg("batch", static_cast<std::int64_t>(specs[i].batch_index));
-    const double batch_prepare_us = prepare_us[i % workers];
-    const auto t0 = std::chrono::steady_clock::now();
-    reports.push_back(backend_->execute_prepared(
-        dataset_, model_, params_, specs[i], *contexts_[i % workers]));
-    reports.back().host_execute_us = elapsed_us(t0);
-    reports.back().host_prepare_us = batch_prepare_us;
+    pipeline::BatchContext& ctx = *contexts_[i % workers];
+    bool prepared = true;
+    try {
+      inflight[i % workers].get();  // rethrows preprocessing failures
+    } catch (const fault::InjectedFault& f) {
+      if (f.kind() == fault::Kind::kAbort) {
+        drain_inflight();
+        quarantine_contexts();
+        throw;
+      }
+      // Transient: re-run the whole batch serially (prepare burned
+      // attempt #0); the ring stays intact for the batches behind it.
+      prepared = false;
+      reports.push_back(run_with_recovery(specs[i], ctx, 1, f.what()));
+    } catch (...) {
+      drain_inflight();
+      quarantine_contexts();
+      throw;
+    }
+    if (prepared) {
+      GT_OBS_SCOPE_N(span, "service.train_batch", "service");
+      span.arg("batch", static_cast<std::int64_t>(specs[i].batch_index));
+      const double batch_prepare_us = prepare_us[i % workers];
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        fault::PlanScope scope(fault_plan_.get(), specs[i].batch_index);
+        reports.push_back(backend_->execute_prepared(dataset_, model_,
+                                                     params_, specs[i], ctx));
+        reports.back().host_execute_us = elapsed_us(t0);
+        reports.back().host_prepare_us = batch_prepare_us;
+      } catch (const fault::InjectedFault& f) {
+        if (f.kind() == fault::Kind::kAbort) {
+          drain_inflight();
+          quarantine_contexts();
+          throw;
+        }
+        reports.push_back(run_with_recovery(specs[i], ctx, 1, f.what()));
+      } catch (...) {
+        drain_inflight();
+        quarantine_contexts();
+        throw;
+      }
+    }
     if (i + workers < batches) launch_prepare(i + workers);
   }
   return reports;
@@ -145,9 +279,16 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
   obs::MetricsRegistry& m = obs::metrics();
   EpochStats stats;
   const std::vector<frameworks::RunReport> reports = train_batches(batches);
+  bool first_ok = true;
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const frameworks::RunReport& report = reports[i];
     ++stats.batches;
+    stats.retries += report.retries;
+    stats.backoff_ticks += report.backoff_ticks;
+    if (report.failed) {
+      ++stats.degraded_batches;
+      continue;  // degraded_report already logged + counted
+    }
     if (report.oom) {
       ++stats.oom_batches;
       m.counter("service.oom_batches").add(1);
@@ -156,7 +297,10 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
     }
     log_debug("service: batch ", i, " loss ", report.loss, " e2e ",
               report.end_to_end_us, "us");
-    if (i == 0) stats.first_loss = report.loss;
+    if (first_ok) {
+      stats.first_loss = report.loss;
+      first_ok = false;
+    }
     stats.last_loss = report.loss;
     stats.mean_loss += report.loss;
     stats.mean_end_to_end_us += report.end_to_end_us;
@@ -169,8 +313,8 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
         .observe(report.loss);
     m.histogram("service.batch_e2e_us").observe(report.end_to_end_us);
   }
-  const double n =
-      static_cast<double>(stats.batches - stats.oom_batches);
+  const double n = static_cast<double>(stats.batches - stats.oom_batches -
+                                       stats.degraded_batches);
   if (n > 0) {
     stats.mean_loss /= n;
     stats.mean_end_to_end_us /= n;
@@ -185,8 +329,6 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
 double GnnService::evaluate(std::size_t batches) {
   GT_OBS_SCOPE_N(span, "service.evaluate", "service");
   span.arg("batches", static_cast<std::int64_t>(batches));
-  // Held-out stream: offset the batch index far away from training.
-  const std::uint64_t eval_base = 1u << 20;
   const sampling::ReindexFormats formats{.coo = false, .csr = true,
                                          .csc = false};
   if (!eval_context_)
@@ -199,7 +341,7 @@ double GnnService::evaluate(std::size_t batches) {
   for (std::size_t b = 0; b < batches; ++b) {
     ctx.begin_batch();
     ctx.batch_vids() =
-        exec.sampler().pick_batch(options_.batch_size, eval_base + b);
+        exec.sampler().pick_batch(options_.batch_size, eval_batch_index(b));
     exec.run_serial_into(ctx.batch_vids(), ctx.table(), ctx.preproc(),
                          ctx.scratch());
     const pipeline::PreprocResult& pre = ctx.preproc();

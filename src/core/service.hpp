@@ -9,6 +9,15 @@
 // in context (i % workers) — while execute_prepared (device compute +
 // SGD) always runs on the caller thread, in batch order. Preprocessing is
 // parameter-independent, so the reports are bit-identical to a serial run.
+//
+// Fault tolerance (DESIGN.md §11): with a fault plan armed
+// (ServiceOptions::fault_spec / GT_FAULT_SPEC), instrumented sites throw
+// typed InjectedFaults. The loop is exception-safe — before any unwind it
+// drains every in-flight preparation and quarantines (resets) the worker
+// contexts, so no pool task outlives the loop's stack frames. Transient
+// faults are retried with bounded virtual exponential backoff; a batch
+// that exhausts its retry budget degrades to a RunReport::failed entry
+// instead of aborting the epoch.
 #pragma once
 
 #include <memory>
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "datasets/catalog.hpp"
+#include "fault/fault.hpp"
 #include "frameworks/framework.hpp"
 #include "models/config.hpp"
 #include "models/params.hpp"
@@ -39,6 +49,22 @@ struct ServiceOptions {
   /// value reconfigures the engine via set_compute_threads. Reports are
   /// bit-identical for every value — only host wall-clock changes.
   std::size_t compute_threads = 0;
+  /// Fault-injection schedule (gt::fault grammar, e.g.
+  /// "gpusim.alloc@batch=3:layer=1;preproc.sample@batch=7"). Empty = no
+  /// plan; GT_FAULT_SPEC supplies one when this field is empty. The
+  /// constructor throws std::invalid_argument on a malformed spec.
+  std::string fault_spec;
+  /// Recovery budget: a batch whose attempt throws a *transient*
+  /// InjectedFault is re-run up to this many times before it degrades to
+  /// a RunReport::failed entry. kind=abort faults and non-injected
+  /// exceptions are never retried — they unwind after a full drain.
+  std::uint32_t max_retries = 3;
+  /// Virtual exponential backoff before retry k (1-based):
+  /// min(backoff_base_ticks << (k - 1), backoff_max_ticks) ticks. Ticks
+  /// are a deterministic counter (no wall-clock sleep), so recovered runs
+  /// stay bit-identical and tests stay fast.
+  std::uint64_t backoff_base_ticks = 1;
+  std::uint64_t backoff_max_ticks = 64;
 };
 
 struct EpochStats {
@@ -49,6 +75,12 @@ struct EpochStats {
   double mean_kernel_us = 0.0;
   std::size_t batches = 0;
   std::size_t oom_batches = 0;
+  /// Batches that exhausted the retry budget (RunReport::failed). Like
+  /// OOM batches they are excluded from every mean.
+  std::size_t degraded_batches = 0;
+  /// Recovery attempts and virtual backoff consumed across the epoch.
+  std::uint64_t retries = 0;
+  std::uint64_t backoff_ticks = 0;
   // Arena telemetry across the epoch's batches.
   std::size_t arena_peak_bytes = 0;      // max per-batch arena usage
   std::uint64_t arena_allocations = 0;   // total arena allocs
@@ -68,6 +100,25 @@ class GnnService {
   }
   std::size_t workers() const noexcept { return options_.workers; }
 
+  /// Armed fault plan, or null when no spec was given. Exposed so tests
+  /// and the harness can assert injection counts / rearm between runs.
+  fault::FaultPlan* fault_plan() noexcept { return fault_plan_.get(); }
+
+  /// Total virtual backoff ticks the service has waited so far.
+  std::uint64_t virtual_backoff_ticks() const noexcept {
+    return backoff_ticks_total_;
+  }
+
+  /// Held-out evaluation stream: evaluation batch b draws from batch
+  /// index (kEvalStreamTag | b). The tag occupies the top bit of the
+  /// 64-bit index domain, so the stream is disjoint from every training
+  /// batch index a service could reach by counting up from zero (the old
+  /// 1 << 20 offset collided once training passed 2^20 batches).
+  static constexpr std::uint64_t kEvalStreamTag = 1ull << 63;
+  static constexpr std::uint64_t eval_batch_index(std::uint64_t b) noexcept {
+    return kEvalStreamTag | b;
+  }
+
   /// Train one batch; batches advance deterministically.
   frameworks::RunReport train_batch();
 
@@ -85,15 +136,28 @@ class GnnService {
   /// Train `batches` consecutive batches and aggregate the reports.
   EpochStats train_epoch(std::size_t batches);
 
-  /// Classification accuracy on `batches` *held-out* batches (a disjoint
-  /// deterministic batch stream), computed with the CPU reference forward
-  /// in a dedicated arena-backed context.
+  /// Classification accuracy on `batches` *held-out* batches (the
+  /// kEvalStreamTag batch stream), computed with the CPU reference
+  /// forward in a dedicated arena-backed context.
   double evaluate(std::size_t batches = 4);
 
  private:
   frameworks::BatchSpec next_spec(bool inference);
   std::vector<frameworks::RunReport> run_batches(std::size_t batches,
                                                  bool inference);
+  /// Run one batch attempt-by-attempt: retry transient InjectedFaults
+  /// with virtual backoff (`failed_attempts` counts attempts already
+  /// burned by the caller, e.g. a ring preparation that threw), degrade
+  /// to a failed report past max_retries. kind=abort rethrows.
+  frameworks::RunReport run_with_recovery(const frameworks::BatchSpec& spec,
+                                          pipeline::BatchContext& ctx,
+                                          std::uint32_t failed_attempts,
+                                          std::string last_reason);
+  frameworks::RunReport degraded_report(const frameworks::BatchSpec& spec,
+                                        const std::string& reason,
+                                        std::uint32_t retries,
+                                        std::uint64_t backoff);
+  std::uint64_t backoff_for(std::uint32_t attempt) const noexcept;
   void ensure_contexts(std::size_t n);
 
   Dataset dataset_;
@@ -101,7 +165,9 @@ class GnnService {
   ServiceOptions options_;
   models::ModelParams params_;
   std::unique_ptr<frameworks::Framework> backend_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;  // null = faults off
   std::uint64_t next_batch_ = 0;
+  std::uint64_t backoff_ticks_total_ = 0;
   std::vector<std::unique_ptr<pipeline::BatchContext>> contexts_;
   std::unique_ptr<pipeline::BatchContext> eval_context_;
   std::unique_ptr<ThreadPool> pool_;  // lazy; only when workers > 1

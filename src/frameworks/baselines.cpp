@@ -333,11 +333,7 @@ RunReport BaselineFramework::execute_prepared(
     detail::finalize_report(report, dev, ctx.schedule(),
                             options_.overlap_compute, &ctx);
   } catch (const gpusim::GpuOomError& e) {
-    report.oom = true;
-    report.oom_what = e.what();
-    report.schedule = ctx.schedule();
-    report.preproc_makespan_us = ctx.schedule().makespan_us;
-    obs::metrics().counter("frameworks.oom_batches").add(1);
+    detail::record_oom(report, e, ctx);
   }
   return report;
 }

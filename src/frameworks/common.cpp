@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "datasets/embedding.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -135,9 +136,19 @@ void preprocess_into(const Dataset& data, const BatchSpec& spec,
   ctx.schedule() = pipeline::plan_preprocessing(ctx.workload(), plan);
 }
 
+void record_oom(RunReport& report, const gpusim::GpuOomError& e,
+                const pipeline::BatchContext& ctx) {
+  report.oom = true;
+  report.oom_what = e.what();
+  report.schedule = ctx.schedule();
+  report.preproc_makespan_us = ctx.schedule().makespan_us;
+  obs::metrics().counter("frameworks.oom_batches").add(1);
+}
+
 std::unique_ptr<DeviceSession> open_session(
     const pipeline::PreprocResult& pre, const models::ModelParams& params,
     const sampling::ReindexFormats& formats, bool upload_input) {
+  fault::check(fault::Site::kTransfer);
   auto session = std::make_unique<DeviceSession>(eval_device_config());
   gpusim::Device& dev = session->dev;
 

@@ -64,6 +64,13 @@ void apply_sgd(gpusim::Device& dev, models::ModelParams& params,
                std::uint32_t layer, gpusim::BufferId dw, gpusim::BufferId db,
                float lr, pipeline::BatchContext* ctx = nullptr);
 
+/// Shared tail of the frameworks' GpuOomError handling: mark the report
+/// OOM, keep the priced preprocessing schedule (the host-side work really
+/// happened), and bump the OOM counter. The batch is *reported*, never
+/// rethrown — the service's degradation accounting builds on this.
+void record_oom(RunReport& report, const gpusim::GpuOomError& e,
+                const pipeline::BatchContext& ctx);
+
 /// Fill the RunReport's GPU-side fields from the device profile and
 /// combine preprocessing + compute into the end-to-end latency. With
 /// `ctx`, the report's arena counters are filled from the context.

@@ -49,6 +49,20 @@ struct RunReport {
   bool oom = false;           // GPU out-of-memory (run aborted)
   std::string oom_what;
 
+  // -- Degraded serving (gt::fault) -----------------------------------------
+  // A batch whose prepare/execute kept throwing past the service's retry
+  // budget is recorded here instead of aborting the epoch (the OOM path
+  // above, generalized). `retries` counts recovery attempts consumed by
+  // the batch (0 on the happy path) and `backoff_ticks` the virtual
+  // (clock-free) backoff the service waited before those attempts.
+  bool failed = false;
+  std::string failed_reason;
+  std::uint32_t retries = 0;
+  std::uint64_t backoff_ticks = 0;
+
+  /// True when the batch produced a real training/inference result.
+  bool ok() const noexcept { return !oom && !failed; }
+
   // -- GPU side (kernel profile, Nsight-equivalent) -------------------------
   double kernel_total_us = 0.0;
   double fwp_us = 0.0;  // forward-pass share of kernel_total_us

@@ -74,6 +74,24 @@ RunReport GraphTensorFramework::execute_prepared(
   dfg::DfgGraph graph = dfg::build_gnn_dfg(L, model.edge_weighted());
   if (dkp_active) graph.rewrite_dkp();
 
+  // Cost-model samples are buffered and committed only when the batch
+  // reaches a reported outcome (success or OOM). An exception unwinding
+  // out of this function — an injected fault the service will retry —
+  // must leave the framework state untouched, or the retried batch would
+  // diverge from a fault-free run.
+  struct PendingSample {
+    LayerDims dims;
+    dfg::PlacementCase pc;
+    double us;
+  };
+  std::vector<PendingSample> pending;
+  auto commit_samples = [&] {
+    for (const PendingSample& s : pending)
+      cost_model_.record(s.dims, s.pc, s.us);
+    pending.clear();
+    ++batches_seen_;
+  };
+
   try {
     auto session = detail::open_session(pre, params, formats,
                                         /*upload_input=*/!use_cache);
@@ -160,12 +178,12 @@ RunReport GraphTensorFramework::execute_prepared(
           lg[l], x, dfg::LayerParams{session->w[l], session->b[l]},
           model.relu_at(l), orders[l]));
       if (dkp_active)
-        cost_model_.record(
-            dims_of(l),
-            dfg::PlacementCase{orders[l], /*backward=*/false,
-                               /*first_layer=*/l == 0,
-                               model.edge_weighted()},
-            dev.profile_latency_us() - before);
+        pending.push_back(
+            {dims_of(l),
+             dfg::PlacementCase{orders[l], /*backward=*/false,
+                                /*first_layer=*/l == 0,
+                                model.edge_weighted()},
+             dev.profile_latency_us() - before});
       x = fwds.back().out;
     }
 
@@ -174,7 +192,7 @@ RunReport GraphTensorFramework::execute_prepared(
     if (spec.inference) {
       detail::finalize_report(report, dev, ctx.schedule(),
                               /*overlap_compute=*/true, &ctx);
-      ++batches_seen_;
+      commit_samples();
       return report;
     }
 
@@ -192,12 +210,12 @@ RunReport GraphTensorFramework::execute_prepared(
           lg[li], x_in, dfg::LayerParams{session->w[li], session->b[li]},
           model.relu_at(li), fwds[li], dy, /*want_dx=*/li > 0);
       if (dkp_active)
-        cost_model_.record(
-            dims_of(li),
-            dfg::PlacementCase{orders[li], /*backward=*/true,
-                               /*first_layer=*/li == 0,
-                               model.edge_weighted()},
-            dev.profile_latency_us() - before);
+        pending.push_back(
+            {dims_of(li),
+             dfg::PlacementCase{orders[li], /*backward=*/true,
+                                /*first_layer=*/li == 0,
+                                model.edge_weighted()},
+             dev.profile_latency_us() - before});
       detail::apply_sgd(dev, params, li, grads.dw, grads.db,
                         spec.learning_rate, &ctx);
       dev.free(grads.dw);
@@ -211,14 +229,10 @@ RunReport GraphTensorFramework::execute_prepared(
     detail::finalize_report(report, dev, ctx.schedule(),
                             /*overlap_compute=*/true, &ctx);
   } catch (const gpusim::GpuOomError& e) {
-    report.oom = true;
-    report.oom_what = e.what();
-    report.schedule = ctx.schedule();
-    report.preproc_makespan_us = ctx.schedule().makespan_us;
-    obs::metrics().counter("frameworks.oom_batches").add(1);
+    detail::record_oom(report, e, ctx);
   }
 
-  ++batches_seen_;
+  commit_samples();
   if (dkp_active && !cost_model_.fitted() &&
       batches_seen_ >= kFitAfterBatches) {
     cost_model_.fit();

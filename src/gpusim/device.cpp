@@ -6,6 +6,7 @@
 #include <cassert>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -43,6 +44,22 @@ void record_kernel_metrics(const KernelStats& ks) {
   m.cache_loaded_bytes.add(ks.cache_loaded_bytes);
   m.atomic_ops.add(ks.atomic_ops);
   per_category[static_cast<std::size_t>(ks.category)]->observe(ks.latency_us);
+}
+
+/// gpusim.alloc injection hook. A kind=oom entry surfaces as GpuOomError —
+/// the frameworks' existing report-and-continue OOM path — instead of the
+/// retryable InjectedFault every other kind raises.
+void maybe_inject_alloc_fault(std::size_t requested, std::size_t capacity,
+                              std::size_t used) {
+  try {
+    fault::check(fault::Site::kGpusimAlloc);
+  } catch (const fault::InjectedFault& f) {
+    if (f.kind() == fault::Kind::kOom) {
+      obs::metrics().counter("gpusim.oom_aborts").add(1);
+      throw GpuOomError(requested, capacity - used);
+    }
+    throw;
+  }
 }
 
 }  // namespace
@@ -148,6 +165,8 @@ BufferId Device::alloc_f32(std::size_t rows, std::size_t cols,
                            std::string name) {
   if (in_kernel_)
     throw std::logic_error("device allocation inside a kernel is forbidden");
+  maybe_inject_alloc_fault(rows * cols * sizeof(float),
+                           config_.memory_capacity_bytes, used_bytes_);
   track_alloc(rows * cols * sizeof(float));
   Buffer b;
   b.name = std::move(name);
@@ -162,6 +181,8 @@ BufferId Device::alloc_f32(std::size_t rows, std::size_t cols,
 BufferId Device::alloc_u32(std::size_t count, std::string name) {
   if (in_kernel_)
     throw std::logic_error("device allocation inside a kernel is forbidden");
+  maybe_inject_alloc_fault(count * sizeof(std::uint32_t),
+                           config_.memory_capacity_bytes, used_bytes_);
   track_alloc(count * sizeof(std::uint32_t));
   Buffer b;
   b.name = std::move(name);
@@ -224,6 +245,7 @@ KernelStats Device::run_kernel(const std::string& name,
                                std::size_t num_blocks,
                                const std::function<void(BlockCtx&)>& body,
                                BlockSafety safety) {
+  fault::check(fault::Site::kGpusimKernel);
   // Fresh per-kernel SM state: caches do not persist useful data across
   // kernel boundaries in this model.
   for (auto& sm : sms_) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -62,6 +63,7 @@ void PreprocExecutor::run_serial_into(std::span<const Vid> batch_vids,
     sampler_.sample_into(batch_vids, num_layers_, table, out.batch);
   }
   for (std::uint32_t l = 0; l < num_layers_; ++l) {
+    fault::check(fault::Site::kPreprocReindex, l);
     GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
     r_span.arg("layer", static_cast<std::int64_t>(l));
     sampling::reindex_layer_into(out.batch, table, l, formats_, out.layers[l],
@@ -94,6 +96,7 @@ void PreprocExecutor::run_parallel_into(std::span<const Vid> batch_vids,
                                         PreprocResult& out,
                                         PreprocScratch& scratch) const {
   if (chunks == 0) chunks = 1;
+  fault::check(fault::Site::kPreprocSample);
   GT_OBS_SCOPE_N(span, "preproc.run_parallel", "preproc");
   span.arg("batch_size", static_cast<std::int64_t>(batch_vids.size()));
   span.arg("chunks", static_cast<std::int64_t>(chunks));
@@ -160,7 +163,10 @@ void PreprocExecutor::run_parallel_into(std::span<const Vid> batch_vids,
   table.insertion_order_into(sb.vid_order);
 
   // R: layers reindex concurrently (read-only table traffic). One chunk
-  // per layer keeps each layer's scratch private.
+  // per layer keeps each layer's scratch private. Fault checks run on the
+  // calling thread (the pool workers carry no fault scope).
+  for (std::uint32_t l = 0; l < num_layers_; ++l)
+    fault::check(fault::Site::kPreprocReindex, l);
   pool.parallel_for(0, num_layers_, num_layers_,
                     [this, &sb, &table, &out, &scratch](
                         std::size_t, std::size_t lo, std::size_t hi) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.hpp"
 #include "util/rng.hpp"
 
 namespace gt::sampling {
@@ -107,6 +108,7 @@ SampledBatch NeighborSampler::sample(std::span<const Vid> batch,
 void NeighborSampler::sample_into(std::span<const Vid> batch,
                                   std::uint32_t layers, VidHashTable& table,
                                   SampledBatch& out) const {
+  fault::check(fault::Site::kPreprocSample);
   if (layers == 0) throw std::invalid_argument("need at least one layer");
   if (table.size() != 0)
     throw std::invalid_argument("sample: hash table must start empty");

@@ -1,10 +1,13 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "util/log.hpp"
 
 namespace gt {
 
@@ -14,8 +17,12 @@ thread_local bool t_on_compute_worker = false;
 
 std::size_t default_threads() {
   if (const char* env = std::getenv("GT_COMPUTE_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
+    bool valid = false;
+    const std::size_t v = parse_thread_count(env, &valid);
+    if (valid) return v;
+    log_warn("parallel: ignoring invalid GT_COMPUTE_THREADS='", env,
+             "' (want an integer in [1, ", kMaxComputeThreads,
+             "]); using the hardware default");
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 16);
@@ -33,6 +40,26 @@ Engine& engine() {
 }
 
 }  // namespace
+
+std::size_t parse_thread_count(const char* text, bool* valid) {
+  *valid = false;
+  if (text == nullptr) return 0;
+  // The old parser took strtol's best effort, so "8x" silently became 8
+  // and "abc" became a rejected 0 with no diagnostic. Require a fully
+  // consumed non-negative decimal (surrounding whitespace allowed).
+  const char* p = text;
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(p, &end, 10);
+  if (end == p) return 0;
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return 0;
+  if (v < 1) return 0;
+  *valid = true;
+  return std::min<std::size_t>(static_cast<std::size_t>(v),
+                               kMaxComputeThreads);
+}
 
 std::size_t compute_threads() {
   Engine& e = engine();

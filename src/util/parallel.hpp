@@ -23,8 +23,20 @@
 
 namespace gt {
 
+/// Hard ceiling applied to environment-supplied thread counts; a typo'd
+/// GT_COMPUTE_THREADS=999 must not fork-bomb the host.
+inline constexpr std::size_t kMaxComputeThreads = 64;
+
+/// Parse a thread-count string (GT_COMPUTE_THREADS): a fully consumed
+/// positive decimal, surrounding whitespace allowed, clamped to
+/// [1, kMaxComputeThreads]. On success sets *valid = true and returns the
+/// count; on any reject (null, empty, trailing garbage, zero, negative)
+/// sets *valid = false and returns 0.
+std::size_t parse_thread_count(const char* text, bool* valid);
+
 /// Number of compute threads the engine is configured for (>= 1).
-/// Initialized lazily from GT_COMPUTE_THREADS, else from
+/// Initialized lazily from GT_COMPUTE_THREADS (validated via
+/// parse_thread_count, invalid values warn and fall through), else from
 /// hardware_concurrency clamped to [1, 16].
 std::size_t compute_threads();
 

@@ -1,0 +1,148 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::fault {
+namespace {
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "gpusim.alloc@batch=3:layer=1;preproc.sample@batch=7;"
+      " transfer@batch=0:times=2 ; gpusim.kernel@batch=9:always;"
+      "preproc.reindex@batch=4:layer=0:kind=abort;"
+      "gpusim.alloc@batch=5:kind=oom:times=inf");
+  const auto entries = plan.entries();
+  ASSERT_EQ(entries.size(), 6u);
+  EXPECT_EQ(entries[0].site, Site::kGpusimAlloc);
+  EXPECT_EQ(entries[0].batch, 3u);
+  EXPECT_EQ(entries[0].coord, 1u);
+  EXPECT_EQ(entries[0].kind, Kind::kTransient);
+  EXPECT_EQ(entries[0].times, 1u);
+  EXPECT_EQ(entries[1].site, Site::kPreprocSample);
+  EXPECT_EQ(entries[1].coord, kAnyCoord);
+  EXPECT_EQ(entries[2].times, 2u);
+  EXPECT_EQ(entries[3].times, kForever);
+  EXPECT_EQ(entries[4].kind, Kind::kAbort);
+  EXPECT_EQ(entries[5].kind, Kind::kOom);
+  EXPECT_EQ(entries[5].times, kForever);
+}
+
+TEST(FaultSpec, EmptyAndSemicolonOnlySpecsYieldEmptyPlans) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(" ; ;").empty());
+}
+
+TEST(FaultSpec, RejectsMalformedEntries) {
+  EXPECT_THROW(FaultPlan::parse("gpusim.alloc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("bogus.site@batch=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("gpusim.alloc@layer=1"),
+               std::invalid_argument);  // batch= is required
+  EXPECT_THROW(FaultPlan::parse("gpusim.alloc@batch=x"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("gpusim.alloc@batch=1:times=0"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("gpusim.alloc@batch=1:kind=wat"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("gpusim.alloc@batch=1:frobnicate=2"),
+               std::invalid_argument);
+  // kind=oom only makes sense where an allocator can fail.
+  EXPECT_THROW(FaultPlan::parse("preproc.sample@batch=1:kind=oom"),
+               std::invalid_argument);
+}
+
+TEST(FaultCheck, NoScopeMeansNoOp) {
+  EXPECT_FALSE(active());
+  EXPECT_NO_THROW(check(Site::kGpusimAlloc));
+  EXPECT_NO_THROW(check(Site::kPreprocReindex, 0));
+}
+
+TEST(FaultCheck, NullPlanScopeStaysInert) {
+  PlanScope scope(nullptr, 0);
+  EXPECT_FALSE(active());
+  EXPECT_NO_THROW(check(Site::kTransfer));
+}
+
+TEST(FaultCheck, MatchesBatchAndThrowsTyped) {
+  FaultPlan plan = FaultPlan::parse("preproc.sample@batch=2");
+  {
+    PlanScope scope(&plan, 1);
+    EXPECT_TRUE(active());
+    EXPECT_NO_THROW(check(Site::kPreprocSample));  // wrong batch
+  }
+  {
+    PlanScope scope(&plan, 2);
+    EXPECT_NO_THROW(check(Site::kTransfer));  // wrong site
+    try {
+      check(Site::kPreprocSample);
+      FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault& f) {
+      EXPECT_EQ(f.site(), Site::kPreprocSample);
+      EXPECT_EQ(f.kind(), Kind::kTransient);
+      EXPECT_EQ(f.batch(), 2u);
+      EXPECT_NE(std::string(f.what()).find("preproc.sample@batch=2"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(plan.injected(), 1u);
+}
+
+TEST(FaultCheck, TimesBudgetDisarmsAndRearmResets) {
+  FaultPlan plan = FaultPlan::parse("gpusim.kernel@batch=0:times=2");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    PlanScope scope(&plan, 0);
+    EXPECT_THROW(check(Site::kGpusimKernel), InjectedFault);
+  }
+  {
+    PlanScope scope(&plan, 0);
+    EXPECT_NO_THROW(check(Site::kGpusimKernel));  // budget spent
+  }
+  EXPECT_EQ(plan.injected(), 2u);
+  plan.rearm();
+  EXPECT_EQ(plan.injected(), 0u);
+  PlanScope scope(&plan, 0);
+  EXPECT_THROW(check(Site::kGpusimKernel), InjectedFault);
+}
+
+TEST(FaultCheck, OccurrenceOrdinalsSelectTheNthCheck) {
+  // layer=2 on an occurrence-coordinate site: the third check of that
+  // site within one attempt fires, earlier ones pass.
+  FaultPlan plan = FaultPlan::parse("gpusim.alloc@batch=0:layer=2");
+  {
+    PlanScope scope(&plan, 0);
+    EXPECT_NO_THROW(check(Site::kGpusimAlloc));  // occurrence 0
+    EXPECT_NO_THROW(check(Site::kGpusimAlloc));  // occurrence 1
+    EXPECT_THROW(check(Site::kGpusimAlloc), InjectedFault);  // 2
+  }
+  // A fresh scope (= a retry attempt) resets the ordinals, so the same
+  // coordinate is reproduced deterministically.
+  plan.rearm();
+  PlanScope scope(&plan, 0);
+  EXPECT_NO_THROW(check(Site::kGpusimAlloc));
+  EXPECT_NO_THROW(check(Site::kGpusimAlloc));
+  EXPECT_THROW(check(Site::kGpusimAlloc), InjectedFault);
+}
+
+TEST(FaultCheck, ExplicitCoordinatesBypassOrdinals) {
+  FaultPlan plan = FaultPlan::parse("preproc.reindex@batch=0:layer=1");
+  PlanScope scope(&plan, 0);
+  EXPECT_NO_THROW(check(Site::kPreprocReindex, 0));
+  EXPECT_THROW(check(Site::kPreprocReindex, 1), InjectedFault);
+  EXPECT_NO_THROW(check(Site::kPreprocReindex, 2));
+}
+
+TEST(FaultCheck, ScopesNestAndRestore) {
+  FaultPlan outer_plan = FaultPlan::parse("transfer@batch=1:always");
+  PlanScope outer(&outer_plan, 1);
+  EXPECT_THROW(check(Site::kTransfer), InjectedFault);
+  {
+    PlanScope inner(nullptr, 0);
+    EXPECT_FALSE(active());
+    EXPECT_NO_THROW(check(Site::kTransfer));
+  }
+  EXPECT_TRUE(active());
+  EXPECT_THROW(check(Site::kTransfer), InjectedFault);
+}
+
+}  // namespace
+}  // namespace gt::fault

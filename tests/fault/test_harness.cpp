@@ -1,0 +1,47 @@
+#include "fault/harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::fault {
+namespace {
+
+TEST(FaultHarness, ParamsDigestDiscriminates) {
+  const Dataset data = generate("products", 3);
+  models::ModelParams a(models::gcn(8, 47), data.spec.feature_dim, 42);
+  models::ModelParams b(models::gcn(8, 47), data.spec.feature_dim, 42);
+  EXPECT_EQ(params_digest(a), params_digest(b));
+  models::ModelParams c(models::gcn(8, 47), data.spec.feature_dim, 43);
+  EXPECT_NE(params_digest(a), params_digest(c));
+}
+
+// The full four-backend matrix runs in CI via tools/fault_harness; the
+// unit test keeps one GT variant and one baseline so the suite stays
+// fast while still crossing both execute paths (session-per-batch
+// baseline vs cost-model GT).
+TEST(FaultHarness, SweepInvariantsHoldAcrossBackendsAndWorkers) {
+  HarnessOptions opts;
+  opts.backends = {"DGL", "Prepro-GT"};
+  opts.worker_counts = {1, 4};
+  opts.batches = 6;
+  const HarnessResult result = run_sweep(opts);
+  // 1 baseline + specs x worker counts, per backend.
+  ASSERT_EQ(result.runs.size(),
+            opts.backends.size() * (1 + opts.fault_specs.size() * 2));
+  for (const HarnessRun& r : result.runs) {
+    SCOPED_TRACE(r.backend + " workers=" + std::to_string(r.workers) +
+                 " spec='" + r.fault_spec + "'");
+    EXPECT_TRUE(r.ok) << r.why;
+    EXPECT_TRUE(r.params_match);
+    EXPECT_TRUE(r.reports_match);
+    if (r.recoverable && !r.fault_spec.empty()) {
+      EXPECT_GT(r.injected, 0u);
+      EXPECT_GT(r.retries, 0u);
+      EXPECT_GT(r.backoff_ticks, 0u);
+      EXPECT_EQ(r.degraded, 0u);
+    }
+  }
+  EXPECT_TRUE(result.all_ok);
+}
+
+}  // namespace
+}  // namespace gt::fault

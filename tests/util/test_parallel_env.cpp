@@ -1,0 +1,69 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt {
+namespace {
+
+std::size_t parse(const char* text, bool* valid) {
+  *valid = false;
+  return parse_thread_count(text, valid);
+}
+
+TEST(ParseThreadCount, AcceptsPlainIntegers) {
+  bool valid = false;
+  EXPECT_EQ(parse("8", &valid), 8u);
+  EXPECT_TRUE(valid);
+  EXPECT_EQ(parse("1", &valid), 1u);
+  EXPECT_TRUE(valid);
+  EXPECT_EQ(parse("64", &valid), 64u);
+  EXPECT_TRUE(valid);
+}
+
+TEST(ParseThreadCount, AcceptsSurroundingWhitespace) {
+  bool valid = false;
+  EXPECT_EQ(parse("  8", &valid), 8u);
+  EXPECT_TRUE(valid);
+  EXPECT_EQ(parse("8  ", &valid), 8u);
+  EXPECT_TRUE(valid);
+  EXPECT_EQ(parse("\t12\n", &valid), 12u);
+  EXPECT_TRUE(valid);
+}
+
+TEST(ParseThreadCount, RejectsPartiallyConsumedInput) {
+  // The old strtol-based parser silently accepted "8x" as 8.
+  bool valid = true;
+  EXPECT_EQ(parse("8x", &valid), 0u);
+  EXPECT_FALSE(valid);
+  parse("4 threads", &valid);
+  EXPECT_FALSE(valid);
+  parse("1.5", &valid);
+  EXPECT_FALSE(valid);
+}
+
+TEST(ParseThreadCount, RejectsNonNumbersAndNonPositives) {
+  bool valid = true;
+  parse("abc", &valid);
+  EXPECT_FALSE(valid);
+  parse("0", &valid);
+  EXPECT_FALSE(valid);
+  parse("-3", &valid);
+  EXPECT_FALSE(valid);
+  parse("", &valid);
+  EXPECT_FALSE(valid);
+  parse("   ", &valid);
+  EXPECT_FALSE(valid);
+  parse(nullptr, &valid);
+  EXPECT_FALSE(valid);
+}
+
+TEST(ParseThreadCount, ClampsOversizedValuesToTheCeiling) {
+  bool valid = false;
+  EXPECT_EQ(parse("999", &valid), kMaxComputeThreads);
+  EXPECT_TRUE(valid);
+  EXPECT_EQ(parse("65", &valid), kMaxComputeThreads);
+  EXPECT_TRUE(valid);
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,51 @@
+// FaultHarness CLI: sweep the stock fault-injection schedules over the
+// serving backends and verify the recovery invariants (bit-identical
+// parameters for recoverable schedules, worker-count parity for all).
+// Exits nonzero on any violated invariant — CI's chaos gate.
+//
+//   $ ./tools/fault_harness [--batches=N] [--quick]
+//
+// --quick trims the sweep to one GT backend and one baseline (the unit
+// tests cover the rest); the default runs the full four-backend matrix.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fault/harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  gt::fault::HarnessOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--batches=", 0) == 0) {
+      opts.batches = static_cast<std::size_t>(
+          std::max(1, std::atoi(arg.c_str() + 10)));
+    } else if (arg == "--quick") {
+      opts.backends = {"DGL", "Prepro-GT"};
+      opts.worker_counts = {1, 4};
+    } else {
+      std::fprintf(stderr, "usage: %s [--batches=N] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const gt::fault::HarnessResult result = gt::fault::run_sweep(opts);
+
+  gt::Table table({"backend", "workers", "schedule", "injected", "retries",
+                   "degraded", "oom", "params", "reports", "status"});
+  for (const gt::fault::HarnessRun& r : result.runs) {
+    table.add_row({r.backend, std::to_string(r.workers),
+                   r.fault_spec.empty() ? "(fault-free)" : r.fault_spec,
+                   std::to_string(r.injected), std::to_string(r.retries),
+                   std::to_string(r.degraded), std::to_string(r.oom),
+                   r.params_match ? "match" : "MISMATCH",
+                   r.reports_match ? "match" : "MISMATCH",
+                   r.ok ? "ok" : ("FAIL: " + r.why)});
+  }
+  table.print();
+  std::printf("\n%zu runs, %s\n", result.runs.size(),
+              result.all_ok ? "all invariants hold" : "INVARIANT VIOLATED");
+  return result.all_ok ? 0 : 1;
+}
