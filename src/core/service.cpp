@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <future>
 
 #include "kernels/reference.hpp"
@@ -197,6 +198,24 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
   auto quarantine_contexts = [&]() noexcept {
     for (std::size_t w = 0; w < workers; ++w) contexts_[w]->begin_batch();
   };
+  // Every unwind of this frame must run the drain first — not just the
+  // exceptions the catch handlers below see directly. A retry issued from
+  // inside a catch handler can itself throw (e.g. a kind=abort entry armed
+  // for a later attempt of the same batch), and that path would otherwise
+  // leave pool tasks writing through pointers into the destroyed stack
+  // vectors. Declared after the vectors and lambdas so it is destroyed
+  // before them on unwind.
+  auto unwind_cleanup = [&]() noexcept {
+    drain_inflight();
+    quarantine_contexts();
+  };
+  struct UnwindGuard {
+    decltype(unwind_cleanup)& cleanup;
+    int base = std::uncaught_exceptions();
+    ~UnwindGuard() {
+      if (std::uncaught_exceptions() > base) cleanup();
+    }
+  } guard{unwind_cleanup};
 
   auto launch_prepare = [&](std::size_t i) {
     pipeline::BatchContext* ctx = contexts_[i % workers].get();
@@ -220,19 +239,12 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
     try {
       inflight[i % workers].get();  // rethrows preprocessing failures
     } catch (const fault::InjectedFault& f) {
-      if (f.kind() == fault::Kind::kAbort) {
-        drain_inflight();
-        quarantine_contexts();
-        throw;
-      }
+      if (f.kind() == fault::Kind::kAbort) throw;  // guard drains behind us
       // Transient: re-run the whole batch serially (prepare burned
-      // attempt #0); the ring stays intact for the batches behind it.
+      // attempt #0); the ring stays intact for the batches behind it. If
+      // the re-run itself throws, the guard drains behind that unwind too.
       prepared = false;
       reports.push_back(run_with_recovery(specs[i], ctx, 1, f.what()));
-    } catch (...) {
-      drain_inflight();
-      quarantine_contexts();
-      throw;
     }
     if (prepared) {
       GT_OBS_SCOPE_N(span, "service.train_batch", "service");
@@ -246,16 +258,8 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
         reports.back().host_execute_us = elapsed_us(t0);
         reports.back().host_prepare_us = batch_prepare_us;
       } catch (const fault::InjectedFault& f) {
-        if (f.kind() == fault::Kind::kAbort) {
-          drain_inflight();
-          quarantine_contexts();
-          throw;
-        }
+        if (f.kind() == fault::Kind::kAbort) throw;  // guard drains behind us
         reports.push_back(run_with_recovery(specs[i], ctx, 1, f.what()));
-      } catch (...) {
-        drain_inflight();
-        quarantine_contexts();
-        throw;
       }
     }
     if (i + workers < batches) launch_prepare(i + workers);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 namespace gt::fault {
 
@@ -34,13 +35,17 @@ std::string_view trim(std::string_view s) {
                               "': " + why);
 }
 
-/// Fully-consumed non-negative decimal, or nullopt.
+/// Fully-consumed non-negative decimal; false on a non-digit or a value
+/// past 2^64-1 (silent wrap-around would arm the fault at the wrong batch).
 bool parse_u64(std::string_view text, std::uint64_t* out) {
   if (text.empty()) return false;
   std::uint64_t v = 0;
   for (char c : text) {
     if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      return false;
+    v = v * 10 + digit;
   }
   *out = v;
   return true;

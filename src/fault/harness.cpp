@@ -29,6 +29,7 @@ bool spec_is_recoverable(const std::string& spec) {
 bool reports_equal(const frameworks::RunReport& a,
                    const frameworks::RunReport& b) {
   return a.oom == b.oom && a.failed == b.failed && a.loss == b.loss &&
+         a.kernel_launches == b.kernel_launches &&
          a.kernel_total_us == b.kernel_total_us &&
          a.end_to_end_us == b.end_to_end_us && a.flops == b.flops &&
          a.global_bytes == b.global_bytes &&
@@ -131,7 +132,19 @@ HarnessResult run_sweep(const HarnessOptions& opts) {
       r.params_match = r.reports_match = r.ok = true;
       result.runs.push_back(std::move(r));
     }
-    for (const std::string& spec : opts.fault_specs) {
+    // The stock specs all hit first-occurrence coordinates. Aim one extra
+    // transient fault at the LAST kernel launch of a batch — deep in the
+    // backward pass, after gradients for later layers are already staged —
+    // the coordinate that used to leak partially applied SGD updates into
+    // the retry. The occurrence count is backend-specific, so it is read
+    // off the fault-free baseline's report.
+    std::vector<std::string> specs = opts.fault_specs;
+    if (opts.batches > 1 && base.reports.size() > 1 &&
+        base.reports[1].kernel_launches > 0)
+      specs.push_back(
+          "gpusim.kernel@batch=1:layer=" +
+          std::to_string(base.reports[1].kernel_launches - 1));
+    for (const std::string& spec : specs) {
       const bool recoverable = spec_is_recoverable(spec);
       // Reference for worker-count parity: the first worker count's run
       // of this same schedule.

@@ -65,7 +65,10 @@ struct HarnessResult {
 std::uint64_t params_digest(const models::ModelParams& params);
 
 /// Run the sweep. Per backend: a fault-free workers=1 baseline, then one
-/// service per (fault spec x worker count). Invariants checked per run:
+/// service per (fault spec x worker count). On top of opts.fault_specs the
+/// sweep aims one transient fault at batch 1's last kernel launch (a
+/// mid-backward coordinate, derived from the baseline's kernel_launches),
+/// guarding the staged-SGD commit rule. Invariants checked per run:
 /// params_match — recoverable schedules match the fault-free digest, all
 /// others match the same-spec workers=worker_counts[0] digest;
 /// reports_match — the analogous per-batch intrinsic-field comparison;

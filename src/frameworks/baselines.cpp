@@ -275,6 +275,10 @@ RunReport BaselineFramework::execute_prepared(
   const bool comb_first = spec.order == OrderPolicy::kCombinationFirst &&
                           model.g == EdgeWeightMode::kNone;
 
+  // SGD updates are staged and committed only when the batch reaches a
+  // reported outcome; a faulted attempt the service retries must leave
+  // the parameters untouched (see detail::SgdStage).
+  detail::SgdStage sgd(params, spec.learning_rate);
   try {
     auto session = detail::open_session(pre, params, formats);
     gpusim::Device& dev = session->dev;
@@ -320,8 +324,7 @@ RunReport BaselineFramework::execute_prepared(
                                caches[li], dy, relu, want_dx)
               : backward_dl(io, session->csr[li], x_in, session->w[li],
                             caches[li], dy, relu, want_dx);
-      detail::apply_sgd(dev, params, li, grads.dw, grads.db,
-                        spec.learning_rate, &ctx);
+      sgd.stage(dev, li, grads.dw, grads.db, ctx);
       dev.free(grads.dw);
       dev.free(grads.db);
       dev.free(dy);
@@ -335,6 +338,7 @@ RunReport BaselineFramework::execute_prepared(
   } catch (const gpusim::GpuOomError& e) {
     detail::record_oom(report, e, ctx);
   }
+  sgd.commit();  // reported outcome: success, or OOM with partial backward
   return report;
 }
 

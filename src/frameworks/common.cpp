@@ -212,16 +212,17 @@ float loss_head(gpusim::Device& dev, gpusim::BufferId logits,
   return loss;
 }
 
-void apply_sgd(gpusim::Device& dev, models::ModelParams& params,
-               std::uint32_t layer, gpusim::BufferId dw, gpusim::BufferId db,
-               float lr, pipeline::BatchContext* ctx) {
-  if (ctx) {
-    params.sgd_update(layer, kernels::download_matrix(dev, dw, ctx->arena()),
-                      kernels::download_matrix(dev, db, ctx->arena()), lr);
-    return;
-  }
-  params.sgd_update(layer, kernels::download_matrix(dev, dw),
-                    kernels::download_matrix(dev, db), lr);
+void SgdStage::stage(gpusim::Device& dev, std::uint32_t layer,
+                     gpusim::BufferId dw, gpusim::BufferId db,
+                     pipeline::BatchContext& ctx) {
+  pending_.push_back({layer, kernels::download_matrix(dev, dw, ctx.arena()),
+                      kernels::download_matrix(dev, db, ctx.arena())});
+}
+
+void SgdStage::commit() {
+  for (const Pending& p : pending_)
+    params_->sgd_update(p.layer, p.dw, p.db, lr_);
+  pending_.clear();
 }
 
 void finalize_report(RunReport& report, const gpusim::Device& dev,
@@ -229,6 +230,7 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
                      bool overlap_compute,
                      const pipeline::BatchContext* ctx) {
   std::size_t cache_hit_bytes = 0;
+  report.kernel_launches = dev.kernel_launch_count();
   for (const auto& k : dev.profile()) {
     report.kernel_total_us += k.latency_us;
     report.kernel_category_us[static_cast<std::size_t>(k.category)] +=

@@ -58,11 +58,36 @@ float loss_head(gpusim::Device& dev, gpusim::BufferId logits,
                 std::uint64_t seed, gpusim::BufferId* dlogits,
                 pipeline::BatchContext* ctx = nullptr);
 
-/// Download a layer's parameter gradients and apply SGD host-side. With
-/// `ctx`, the downloads land in arena views instead of fresh matrices.
-void apply_sgd(gpusim::Device& dev, models::ModelParams& params,
-               std::uint32_t layer, gpusim::BufferId dw, gpusim::BufferId db,
-               float lr, pipeline::BatchContext* ctx = nullptr);
+/// Buffers a batch's per-layer SGD updates so nothing touches the model
+/// parameters until the batch reaches a reported outcome (success or OOM,
+/// matching the kernel work that actually ran). An exception unwinding out
+/// of execute_prepared mid-backward — e.g. a transient injected fault the
+/// service will retry — discards the stage, so the retried batch starts
+/// from exactly the parameters a fault-free run would see (the fault.hpp
+/// determinism contract); a batch that degrades past the retry budget
+/// likewise contributes nothing. The downloads are arena views, valid
+/// until the context's next begin_batch — well past commit().
+class SgdStage {
+ public:
+  SgdStage(models::ModelParams& params, float lr)
+      : params_(&params), lr_(lr) {}
+
+  /// Download `layer`'s dw/db into `ctx`'s arena and hold them.
+  void stage(gpusim::Device& dev, std::uint32_t layer, gpusim::BufferId dw,
+             gpusim::BufferId db, pipeline::BatchContext& ctx);
+
+  /// Apply every staged update in stage order and clear the stage.
+  void commit();
+
+ private:
+  struct Pending {
+    std::uint32_t layer;
+    ConstMatrixView dw, db;
+  };
+  models::ModelParams* params_;
+  float lr_;
+  std::vector<Pending> pending_;
+};
 
 /// Shared tail of the frameworks' GpuOomError handling: mark the report
 /// OOM, keep the priced preprocessing schedule (the host-side work really

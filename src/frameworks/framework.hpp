@@ -64,6 +64,11 @@ struct RunReport {
   bool ok() const noexcept { return !oom && !failed; }
 
   // -- GPU side (kernel profile, Nsight-equivalent) -------------------------
+  /// Kernel launches over the batch's device — exactly the gpusim.kernel
+  /// fault-occurrence domain: a gt::fault `layer=` coordinate in
+  /// [0, kernel_launches) lands on that launch. Synthetic charges (sorts,
+  /// alloc overhead) appear in the profile but are not launch sites.
+  std::uint64_t kernel_launches = 0;
   double kernel_total_us = 0.0;
   double fwp_us = 0.0;  // forward-pass share of kernel_total_us
   double bwp_us = 0.0;  // loss + backward share (0 for inference)

@@ -74,11 +74,13 @@ RunReport GraphTensorFramework::execute_prepared(
   dfg::DfgGraph graph = dfg::build_gnn_dfg(L, model.edge_weighted());
   if (dkp_active) graph.rewrite_dkp();
 
-  // Cost-model samples are buffered and committed only when the batch
-  // reaches a reported outcome (success or OOM). An exception unwinding
-  // out of this function — an injected fault the service will retry —
-  // must leave the framework state untouched, or the retried batch would
-  // diverge from a fault-free run.
+  // Cost-model samples and SGD updates are buffered and committed only
+  // when the batch reaches a reported outcome (success or OOM). An
+  // exception unwinding out of this function — an injected fault the
+  // service will retry — must leave the framework state AND the model
+  // parameters untouched, or the retried batch would diverge from a
+  // fault-free run.
+  detail::SgdStage sgd(params, spec.learning_rate);
   struct PendingSample {
     LayerDims dims;
     dfg::PlacementCase pc;
@@ -216,8 +218,7 @@ RunReport GraphTensorFramework::execute_prepared(
                                 /*first_layer=*/li == 0,
                                 model.edge_weighted()},
              dev.profile_latency_us() - before});
-      detail::apply_sgd(dev, params, li, grads.dw, grads.db,
-                        spec.learning_rate, &ctx);
+      sgd.stage(dev, li, grads.dw, grads.db, ctx);
       dev.free(grads.dw);
       dev.free(grads.db);
       dev.free(dy);
@@ -232,6 +233,10 @@ RunReport GraphTensorFramework::execute_prepared(
     detail::record_oom(report, e, ctx);
   }
 
+  // Reported outcome (success or OOM): commit what the batch earned. The
+  // OOM commit applies exactly the layers whose backward completed before
+  // the allocator gave out — the same updates an eager apply performed.
+  sgd.commit();
   commit_samples();
   if (dkp_active && !cost_model_.fitted() &&
       batches_seen_ >= kFitAfterBatches) {

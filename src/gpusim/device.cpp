@@ -245,6 +245,7 @@ KernelStats Device::run_kernel(const std::string& name,
                                std::size_t num_blocks,
                                const std::function<void(BlockCtx&)>& body,
                                BlockSafety safety) {
+  ++launches_;  // counter and fault check must stay 1:1 (occurrence domain)
   fault::check(fault::Site::kGpusimKernel);
   // Fresh per-kernel SM state: caches do not persist useful data across
   // kernel boundaries in this model.

@@ -164,6 +164,14 @@ class Device {
   const std::vector<KernelStats>& profile() const noexcept { return profile_; }
   void clear_profile() { profile_.clear(); }
 
+  /// run_kernel calls over the device's lifetime — exactly the
+  /// gt::fault `gpusim.kernel` occurrence domain for the batch attempt
+  /// that owns this device (charge_kernel / charge_alloc_overhead price
+  /// synthetic work and are not launch sites). Not reset by
+  /// clear_profile(), so a fault `layer=` coordinate in
+  /// [0, kernel_launch_count()) always lands on a real launch.
+  std::uint64_t kernel_launch_count() const noexcept { return launches_; }
+
   /// Sum of latencies currently in the profile.
   double profile_latency_us() const noexcept;
 
@@ -205,6 +213,7 @@ class Device {
   // BlockCtx::atomic_add switches from plain add to CAS-add when set.
   bool atomic_exec_ = false;
   std::vector<KernelStats> profile_;
+  std::uint64_t launches_ = 0;  // run_kernel calls (fault-check 1:1)
 };
 
 }  // namespace gt::gpusim

@@ -44,6 +44,7 @@ void expect_intrinsics_equal(const frameworks::RunReport& a,
   EXPECT_EQ(a.oom, b.oom);
   EXPECT_EQ(a.failed, b.failed);
   EXPECT_EQ(a.loss, b.loss);
+  EXPECT_EQ(a.kernel_launches, b.kernel_launches);
   EXPECT_EQ(a.kernel_total_us, b.kernel_total_us);
   EXPECT_EQ(a.end_to_end_us, b.end_to_end_us);
   EXPECT_EQ(a.flops, b.flops);
@@ -83,6 +84,40 @@ TEST(ServiceFaults, AbortDuringExecuteAlsoDrainsAndRecovers) {
   opt.fault_spec = "gpusim.kernel@batch=0:kind=abort";
   GnnService service = make_service(opt);
   EXPECT_THROW(service.train_batches(6), fault::InjectedFault);
+  const auto reports = service.train_batches(2);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].ok());
+  EXPECT_TRUE(reports[1].ok());
+}
+
+// An abort can also fire on a RETRY — the attempt run_with_recovery
+// launches from inside the ring's catch handler after a transient fault
+// burned attempt #0. That unwind starts while later batches are still
+// preparing on the pool; before the unwind guard it skipped the drain
+// entirely (the retry had no surrounding try), reviving the
+// use-after-scope this file's headline test pins down. Both entries match
+// the same coordinates, so the transient one fires first and the abort
+// takes over on the retry.
+TEST(ServiceFaults, AbortOnPrepareRetryStillDrainsInflight) {
+  ServiceOptions opt = base_options();
+  opt.workers = 4;
+  opt.fault_spec =
+      "preproc.sample@batch=2;preproc.sample@batch=2:kind=abort";
+  GnnService service = make_service(opt);
+  EXPECT_THROW(service.train_batches(8), fault::InjectedFault);
+  ASSERT_EQ(service.fault_plan()->injected(), 2u);  // transient, then abort
+  const auto reports = service.train_batches(4);
+  ASSERT_EQ(reports.size(), 4u);
+  for (const auto& r : reports) EXPECT_TRUE(r.ok());
+}
+
+TEST(ServiceFaults, AbortOnExecuteRetryStillDrainsInflight) {
+  ServiceOptions opt = base_options();
+  opt.workers = 4;
+  opt.fault_spec = "gpusim.kernel@batch=1;gpusim.kernel@batch=1:kind=abort";
+  GnnService service = make_service(opt);
+  EXPECT_THROW(service.train_batches(6), fault::InjectedFault);
+  ASSERT_EQ(service.fault_plan()->injected(), 2u);
   const auto reports = service.train_batches(2);
   ASSERT_EQ(reports.size(), 2u);
   EXPECT_TRUE(reports[0].ok());
@@ -139,6 +174,61 @@ TEST(ServiceFaults, TransientExecuteFaultRecoversRing) {
 
 TEST(ServiceFaults, TransientTransferFaultRecovers) {
   expect_transient_recovery("transfer@batch=0", 0, 4);
+}
+
+// A transient fault at the batch's LAST kernel launch fires deep in the
+// backward pass, after later layers' gradients are already downloaded.
+// Before SGD updates were staged (detail::SgdStage), the faulted attempt
+// had already committed those layers' updates to the service's params, so
+// the retry re-ran against mutated parameters and diverged from the
+// fault-free run. The launch count is probed off a clean service's report
+// for the same batch index (it is batch-intrinsic and deterministic).
+TEST(ServiceFaults, MidBackwardTransientFaultRecoversBitIdentical) {
+  GnnService probe = make_service(base_options());
+  probe.train_batch();                      // batch 0
+  const auto probed = probe.train_batch();  // batch 1
+  ASSERT_GT(probed.kernel_launches, 0u);
+
+  ServiceOptions opt = base_options();
+  GnnService clean = make_service(opt);
+  opt.fault_spec = "gpusim.kernel@batch=1:layer=" +
+                   std::to_string(probed.kernel_launches - 1);
+  GnnService faulted = make_service(opt);
+
+  const auto a = clean.train_batches(3);
+  const auto b = faulted.train_batches(3);
+  ASSERT_EQ(faulted.fault_plan()->injected(), 1u);
+  EXPECT_EQ(b[1].retries, 1u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_intrinsics_equal(a[i], b[i]);
+  }
+  expect_params_equal(clean.params(), faulted.params());
+}
+
+// The same coordinate with an `always` budget degrades the batch; a
+// degraded batch must contribute NOTHING to the parameters (it is excluded
+// from the epoch stats), not the partial backward it got through before
+// each attempt failed.
+TEST(ServiceFaults, MidBackwardDegradedBatchLeavesParamsUntouched) {
+  GnnService probe = make_service(base_options());
+  probe.train_batch();
+  probe.train_batch();
+  const auto probed = probe.train_batch();  // batch 2
+  ASSERT_GT(probed.kernel_launches, 0u);
+
+  ServiceOptions opt = base_options();
+  opt.fault_spec = "gpusim.kernel@batch=2:layer=" +
+                   std::to_string(probed.kernel_launches - 1) + ":always";
+  GnnService faulted = make_service(opt);
+  const auto reports = faulted.train_batches(3);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_TRUE(reports[2].failed);
+
+  // Params must equal a clean run that never saw batch 2 at all.
+  GnnService clean = make_service(base_options());
+  clean.train_batches(2);
+  expect_params_equal(clean.params(), faulted.params());
 }
 
 TEST(ServiceFaults, RepeatedFaultConsumesExponentialBackoff) {

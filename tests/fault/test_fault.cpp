@@ -51,6 +51,21 @@ TEST(FaultSpec, RejectsMalformedEntries) {
                std::invalid_argument);
 }
 
+TEST(FaultSpec, RejectsOverflowingIntegers) {
+  // 2^64 + 1 would silently wrap to batch=1 without the overflow check,
+  // arming the fault at an unintended batch.
+  EXPECT_THROW(FaultPlan::parse("preproc.sample@batch=18446744073709551617"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("preproc.sample@batch=99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("gpusim.kernel@batch=1:times=18446744073709551616"),
+               std::invalid_argument);
+  // The exact maximum still parses.
+  const FaultPlan plan =
+      FaultPlan::parse("preproc.sample@batch=18446744073709551615");
+  EXPECT_EQ(plan.entries().at(0).batch, 18446744073709551615ull);
+}
+
 TEST(FaultCheck, NoScopeMeansNoOp) {
   EXPECT_FALSE(active());
   EXPECT_NO_THROW(check(Site::kGpusimAlloc));

@@ -24,9 +24,16 @@ TEST(FaultHarness, SweepInvariantsHoldAcrossBackendsAndWorkers) {
   opts.worker_counts = {1, 4};
   opts.batches = 6;
   const HarnessResult result = run_sweep(opts);
-  // 1 baseline + specs x worker counts, per backend.
+  // 1 baseline + (specs + the derived mid-backward kernel spec) x worker
+  // counts, per backend.
   ASSERT_EQ(result.runs.size(),
-            opts.backends.size() * (1 + opts.fault_specs.size() * 2));
+            opts.backends.size() * (1 + (opts.fault_specs.size() + 1) * 2));
+  bool saw_derived_spec = false;
+  for (const HarnessRun& r : result.runs)
+    saw_derived_spec = saw_derived_spec ||
+                       (r.fault_spec.rfind("gpusim.kernel@batch=1:layer=", 0) ==
+                        0);
+  EXPECT_TRUE(saw_derived_spec);
   for (const HarnessRun& r : result.runs) {
     SCOPED_TRACE(r.backend + " workers=" + std::to_string(r.workers) +
                  " spec='" + r.fault_spec + "'");
