@@ -44,6 +44,21 @@
 //                              per-run latency/loss rows plus the
 //                              trace-derived critical-path / stage-share /
 //                              overlap analysis (see obs/report.hpp).
+//
+// Live telemetry (DESIGN.md §12); tail with tools/gt_top:
+//   --telemetry-out=DIR        (GT_TELEMETRY_OUT) arm the live stack:
+//                              rotating snapshot-<k>.json + latest.json
+//                              time-series snapshots, events.jsonl
+//                              structured event log (severity, monotonic
+//                              ts, thread id, correlation id — one cid per
+//                              batch ties fault.inject -> service.retry ->
+//                              service.degraded together), per-worker
+//                              stage profiler, crash-safe flush.
+//   --telemetry-interval=N     (GT_TELEMETRY_INTERVAL) batches between
+//                              snapshots (default 1).
+//   --watchdog-stall-ms=M      (GT_TELEMETRY_WATCHDOG_MS) declare a stall
+//                              after M ms without batch progress
+//                              (watchdog.stall/.recovered events; 0 = off).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -87,11 +102,14 @@ std::string out_path(const std::string& flag_value, const char* env_name) {
 int main(int argc, char** argv) {
   std::string trace_flag, metrics_flag, bench_flag;
   std::string fault_spec;  // empty = GT_FAULT_SPEC / no faults
+  std::string telemetry_flag;  // empty = GT_TELEMETRY_OUT / telemetry off
   std::vector<std::string> positional;
   int workers = 1;
   int compute_threads = 0;  // 0 = GT_COMPUTE_THREADS / hardware default
   int batches_flag = -1;
   int max_retries = -1;  // -1 = ServiceOptions default
+  int telemetry_interval = -1;   // -1 = GT_TELEMETRY_INTERVAL / default 1
+  long watchdog_stall_ms = -1;   // -1 = GT_TELEMETRY_WATCHDOG_MS / off
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -120,6 +138,18 @@ int main(int argc, char** argv) {
       max_retries = std::atoi(arg.c_str() + 14);
     } else if (arg == "--max-retries" && i + 1 < argc) {
       max_retries = std::atoi(argv[++i]);
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      telemetry_flag = arg.substr(16);
+    } else if (arg == "--telemetry-out" && i + 1 < argc) {
+      telemetry_flag = argv[++i];
+    } else if (arg.rfind("--telemetry-interval=", 0) == 0) {
+      telemetry_interval = std::atoi(arg.c_str() + 21);
+    } else if (arg == "--telemetry-interval" && i + 1 < argc) {
+      telemetry_interval = std::atoi(argv[++i]);
+    } else if (arg.rfind("--watchdog-stall-ms=", 0) == 0) {
+      watchdog_stall_ms = std::atol(arg.c_str() + 20);
+    } else if (arg == "--watchdog-stall-ms" && i + 1 < argc) {
+      watchdog_stall_ms = std::atol(argv[++i]);
     } else {
       positional.push_back(arg);
     }
@@ -155,6 +185,16 @@ int main(int argc, char** argv) {
   options.fault_spec = fault_spec;  // empty falls back to GT_FAULT_SPEC
   if (max_retries >= 0)
     options.max_retries = static_cast<std::uint32_t>(max_retries);
+  // Flags override the GT_TELEMETRY_* environment (same precedence as the
+  // other observability outputs).
+  options.telemetry = gt::obs::live::TelemetryOptions::from_env();
+  if (!telemetry_flag.empty()) options.telemetry.out_dir = telemetry_flag;
+  if (telemetry_interval > 0)
+    options.telemetry.interval =
+        static_cast<std::uint64_t>(telemetry_interval);
+  if (watchdog_stall_ms >= 0)
+    options.telemetry.watchdog_stall_ms =
+        static_cast<std::uint64_t>(watchdog_stall_ms);
   std::unique_ptr<gt::GnnService> service_ptr;
   try {
     service_ptr = std::make_unique<gt::GnnService>(std::move(data), model,
@@ -207,6 +247,11 @@ int main(int argc, char** argv) {
   const double accuracy = service.evaluate(2);
   std::printf("\nheld-out accuracy: %.1f%% (chance %.1f%%)\n",
               100.0 * accuracy, 100.0 / model.output_dim);
+
+  if (service.telemetry() != nullptr)
+    std::printf("telemetry in %s (snapshots + events.jsonl; tail with "
+                "tools/gt_top)\n",
+                service.telemetry()->options().out_dir.c_str());
 
   if (!trace_out.empty()) {
     if (gt::obs::Tracer::global().write_chrome_trace_file(trace_out))

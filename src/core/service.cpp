@@ -7,6 +7,8 @@
 #include <future>
 
 #include "kernels/reference.hpp"
+#include "obs/live/event_log.hpp"
+#include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/executor.hpp"
@@ -21,6 +23,14 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - since)
       .count();
+}
+
+// Correlation id of a batch: batch_index + 1, so cid 0 stays "none" and a
+// grep for one cid returns the batch's whole causal chain (fault.inject,
+// every retry, the degradation) across prepare threads and the execute
+// thread.
+std::uint64_t batch_cid(const frameworks::BatchSpec& spec) noexcept {
+  return spec.batch_index + 1;
 }
 }  // namespace
 
@@ -44,6 +54,23 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
     log_info("service: fault plan armed (", fault_plan_->entry_count(),
              " entr", fault_plan_->entry_count() == 1 ? "y" : "ies", ", ",
              options_.max_retries, " retries max): ", spec_text);
+  }
+  if (!options_.telemetry.enabled()) {
+    const obs::live::TelemetryOptions env_opt =
+        obs::live::TelemetryOptions::from_env();
+    if (env_opt.enabled()) options_.telemetry = env_opt;
+  }
+  if (options_.telemetry.enabled()) {
+    telemetry_ = std::make_unique<obs::live::LiveTelemetry>(
+        options_.telemetry);
+    telemetry_->start();
+    obs::live::arm_crash_flush();
+    log_info("service: live telemetry -> ", options_.telemetry.out_dir,
+             " (interval ", options_.telemetry.interval, " batch",
+             options_.telemetry.interval == 1 ? "" : "es",
+             options_.telemetry.watchdog_stall_ms > 0 ? ", watchdog on"
+                                                      : "",
+             ")");
   }
   log_info("service: ", options_.framework, " on ", dataset_.spec.name,
            " (batch ", options_.batch_size, ", ", model_.num_layers,
@@ -91,14 +118,51 @@ frameworks::RunReport GnnService::degraded_report(
   r.retries = retries;
   r.backoff_ticks = backoff;
   obs::metrics().counter("service.degraded_batches").add(1);
+  if (obs::live::EventLog::global().armed()) {
+    obs::live::Event ev(obs::live::Severity::kError, "service.degraded");
+    ev.msg(reason)
+        .field("batch", spec.batch_index)
+        .field("retries", static_cast<std::uint64_t>(retries))
+        .field("backoff_ticks", backoff);
+    obs::live::EventLog::global().emit(ev);
+  }
   log_warn("service: batch ", spec.batch_index, " degraded after ", retries,
            " retr", retries == 1 ? "y" : "ies", ": ", reason);
   return r;
 }
 
+void GnnService::after_batch(const frameworks::BatchSpec& spec,
+                             const frameworks::RunReport& report,
+                             std::size_t queue_depth) {
+  obs::live::CorrelationScope cscope(batch_cid(spec));
+  obs::MetricsRegistry& m = obs::metrics();
+  m.gauge("service.queue_depth").set(static_cast<double>(queue_depth));
+  if (report.oom) {
+    m.counter("service.oom_batches").add(1);
+    if (obs::live::EventLog::global().armed()) {
+      obs::live::Event ev(obs::live::Severity::kWarn, "service.oom");
+      ev.msg(report.oom_what).field("batch", spec.batch_index);
+      obs::live::EventLog::global().emit(ev);
+    }
+    log_warn("service: batch ", spec.batch_index,
+             " aborted with OOM: ", report.oom_what);
+  } else if (!report.failed) {
+    obs::Histogram& e2e = m.histogram("service.batch_e2e_us");
+    e2e.observe(report.end_to_end_us);
+    m.gauge("service.p99_latency_us").set(e2e.p99());
+    if (!spec.inference)
+      m.histogram("service.batch_loss", {0.5, 1, 2, 3, 4, 5, 7, 10, 20})
+          .observe(report.loss);
+  }
+  if (telemetry_) telemetry_->on_batch();
+}
+
 frameworks::RunReport GnnService::run_with_recovery(
     const frameworks::BatchSpec& spec, pipeline::BatchContext& ctx,
     std::uint32_t failed_attempts, std::string last_reason) {
+  // Every attempt of this batch — and everything it causes (fault
+  // injection, retries, the eventual degradation) — shares one cid.
+  obs::live::CorrelationScope cscope(batch_cid(spec));
   std::uint64_t backoff = 0;
   while (true) {
     if (failed_attempts > options_.max_retries)
@@ -116,6 +180,16 @@ frameworks::RunReport GnnService::run_with_recovery(
       span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
       span.arg("attempt", static_cast<std::int64_t>(failed_attempts));
       span.arg("backoff_ticks", static_cast<std::int64_t>(ticks));
+      if (obs::live::EventLog::global().armed()) {
+        obs::live::Event ev(obs::live::Severity::kWarn, "service.retry");
+        ev.msg(last_reason)
+            .field("batch", spec.batch_index)
+            .field("attempt", static_cast<std::uint64_t>(failed_attempts))
+            .field("max_retries",
+                   static_cast<std::uint64_t>(options_.max_retries))
+            .field("backoff_ticks", ticks);
+        obs::live::EventLog::global().emit(ev);
+      }
       log_warn("service: batch ", spec.batch_index, " retry ",
                failed_attempts, "/", options_.max_retries, " after ", ticks,
                " backoff tick", ticks == 1 ? "" : "s", ": ", last_reason);
@@ -143,12 +217,18 @@ frameworks::RunReport GnnService::run_with_recovery(
 
 frameworks::RunReport GnnService::train_batch() {
   ensure_contexts(1);
-  return run_with_recovery(next_spec(false), *contexts_[0], 0, {});
+  const frameworks::BatchSpec spec = next_spec(false);
+  frameworks::RunReport r = run_with_recovery(spec, *contexts_[0], 0, {});
+  after_batch(spec, r, 0);
+  return r;
 }
 
 frameworks::RunReport GnnService::infer_batch() {
   ensure_contexts(1);
-  return run_with_recovery(next_spec(true), *contexts_[0], 0, {});
+  const frameworks::BatchSpec spec = next_spec(true);
+  frameworks::RunReport r = run_with_recovery(spec, *contexts_[0], 0, {});
+  after_batch(spec, r, 0);
+  return r;
 }
 
 std::vector<frameworks::RunReport> GnnService::run_batches(
@@ -169,6 +249,7 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
     for (std::size_t i = 0; i < batches; ++i) {
       GT_OBS_SCOPE("service.train_batch", "service");
       reports.push_back(run_with_recovery(specs[i], *contexts_[0], 0, {}));
+      after_batch(specs[i], reports.back(), 0);
     }
     return reports;
   }
@@ -208,6 +289,11 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
   auto unwind_cleanup = [&]() noexcept {
     drain_inflight();
     quarantine_contexts();
+    // The run is unwinding past the serving loop (kind=abort fault or a
+    // non-injected failure). Flush what telemetry has before the stack
+    // above decides whether the process survives — if it does, the next
+    // run keeps appending; if not, the post-mortem files are on disk.
+    if (telemetry_) telemetry_->crash_flush("service.run_batches unwind");
   };
   struct UnwindGuard {
     decltype(unwind_cleanup)& cleanup;
@@ -225,6 +311,8 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
     inflight[i % workers] = pool_->submit([this, ctx, spec, slot_us, plan] {
       GT_OBS_SCOPE_N(span, "service.prepare_batch", "service");
       span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
+      obs::live::CorrelationScope cscope(batch_cid(spec));
+      GT_LIVE_STAGE(kPrepare);
       const auto t0 = std::chrono::steady_clock::now();
       fault::PlanScope scope(plan, spec.batch_index);
       ctx->begin_batch();
@@ -249,9 +337,11 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
     if (prepared) {
       GT_OBS_SCOPE_N(span, "service.train_batch", "service");
       span.arg("batch", static_cast<std::int64_t>(specs[i].batch_index));
+      obs::live::CorrelationScope cscope(batch_cid(specs[i]));
       const double batch_prepare_us = prepare_us[i % workers];
       const auto t0 = std::chrono::steady_clock::now();
       try {
+        GT_LIVE_STAGE(kExecute);
         fault::PlanScope scope(fault_plan_.get(), specs[i].batch_index);
         reports.push_back(backend_->execute_prepared(dataset_, model_,
                                                      params_, specs[i], ctx));
@@ -263,6 +353,10 @@ std::vector<frameworks::RunReport> GnnService::run_batches(
       }
     }
     if (i + workers < batches) launch_prepare(i + workers);
+    // In-flight preparations still queued behind this batch = the live
+    // queue depth the paper's scheduling section cares about.
+    after_batch(specs[i], reports.back(),
+                std::min(workers, batches - i - 1));
   }
   return reports;
 }
@@ -294,9 +388,8 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
       continue;  // degraded_report already logged + counted
     }
     if (report.oom) {
+      // after_batch already counted, logged and emitted the OOM event.
       ++stats.oom_batches;
-      m.counter("service.oom_batches").add(1);
-      log_warn("service: batch ", i, " aborted with OOM: ", report.oom_what);
       continue;
     }
     log_debug("service: batch ", i, " loss ", report.loss, " e2e ",
@@ -313,9 +406,6 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
         std::max(stats.arena_peak_bytes, report.arena_peak_bytes);
     stats.arena_allocations += report.arena_allocations;
     stats.arena_growths += report.arena_growths;
-    m.histogram("service.batch_loss", {0.5, 1, 2, 3, 4, 5, 7, 10, 20})
-        .observe(report.loss);
-    m.histogram("service.batch_e2e_us").observe(report.end_to_end_us);
   }
   const double n = static_cast<double>(stats.batches - stats.oom_batches -
                                        stats.degraded_batches);
@@ -327,6 +417,15 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
   m.counter("service.epochs").add(1);
   m.gauge("service.epoch_mean_loss").set(stats.mean_loss);
   m.gauge("service.epoch_mean_e2e_us").set(stats.mean_end_to_end_us);
+  if (obs::live::EventLog::global().armed()) {
+    obs::live::Event ev(obs::live::Severity::kInfo, "service.epoch");
+    ev.field("batches", static_cast<std::uint64_t>(stats.batches))
+        .field("degraded", static_cast<std::uint64_t>(stats.degraded_batches))
+        .field("oom", static_cast<std::uint64_t>(stats.oom_batches))
+        .field("retries", stats.retries)
+        .field("mean_loss", stats.mean_loss);
+    obs::live::EventLog::global().emit(ev);
+  }
   return stats;
 }
 

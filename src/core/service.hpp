@@ -29,6 +29,7 @@
 #include "frameworks/framework.hpp"
 #include "models/config.hpp"
 #include "models/params.hpp"
+#include "obs/live/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gt {
@@ -65,6 +66,14 @@ struct ServiceOptions {
   /// stay bit-identical and tests stay fast.
   std::uint64_t backoff_base_ticks = 1;
   std::uint64_t backoff_max_ticks = 64;
+  /// Live telemetry (DESIGN.md §12). When telemetry.out_dir is non-empty
+  /// the service arms the full live stack for its lifetime: snapshot
+  /// files + structured event log under that directory, per-worker stage
+  /// profiler, optional stall watchdog, crash-safe flush. When the field
+  /// is left empty the GT_TELEMETRY_* environment variables may supply
+  /// the configuration instead (TelemetryOptions::from_env). Telemetry
+  /// never changes trained parameters or priced kernel stats.
+  obs::live::TelemetryOptions telemetry;
 };
 
 struct EpochStats {
@@ -108,6 +117,9 @@ class GnnService {
   std::uint64_t virtual_backoff_ticks() const noexcept {
     return backoff_ticks_total_;
   }
+
+  /// Live telemetry stack, or null when telemetry is off.
+  obs::live::LiveTelemetry* telemetry() noexcept { return telemetry_.get(); }
 
   /// Held-out evaluation stream: evaluation batch b draws from batch
   /// index (kEvalStreamTag | b). The tag occupies the top bit of the
@@ -157,6 +169,11 @@ class GnnService {
                                         const std::string& reason,
                                         std::uint32_t retries,
                                         std::uint64_t backoff);
+  /// Post-batch observability: latency/loss histograms, p99 + queue-depth
+  /// gauges, service.oom events, watchdog heartbeat, snapshot tick.
+  void after_batch(const frameworks::BatchSpec& spec,
+                   const frameworks::RunReport& report,
+                   std::size_t queue_depth);
   std::uint64_t backoff_for(std::uint32_t attempt) const noexcept;
   void ensure_contexts(std::size_t n);
 
@@ -166,6 +183,7 @@ class GnnService {
   models::ModelParams params_;
   std::unique_ptr<frameworks::Framework> backend_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;  // null = faults off
+  std::unique_ptr<obs::live::LiveTelemetry> telemetry_;  // null = off
   std::uint64_t next_batch_ = 0;
   std::uint64_t backoff_ticks_total_ = 0;
   std::vector<std::unique_ptr<pipeline::BatchContext>> contexts_;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/live/event_log.hpp"
+
 namespace gt::fault {
 
 namespace {
@@ -191,6 +193,21 @@ void FaultPlan::on_check(Site site, std::uint64_t batch, std::uint32_t coord) {
     if (e.times != kForever && e.fired >= e.times) continue;
     ++e.fired;
     ++injected_;
+    // The injection event is the root of the batch's causal chain in the
+    // structured event log: it carries the ambient correlation id the
+    // service installed for this attempt, so retry/degraded events for
+    // the same batch resolve back to it by cid.
+    if (obs::live::EventLog::global().armed()) {
+      obs::live::Event ev(obs::live::Severity::kWarn, "fault.inject");
+      ev.msg(to_string(site))
+          .field("site", to_string(site))
+          .field("kind", e.kind == Kind::kTransient ? "transient"
+                         : e.kind == Kind::kOom     ? "oom"
+                                                    : "abort")
+          .field("batch", batch)
+          .field("coord", static_cast<std::uint64_t>(coord));
+      obs::live::EventLog::global().emit(ev);
+    }
     throw InjectedFault(site, e.kind, batch, coord);
   }
 }

@@ -1,6 +1,7 @@
 #include "frameworks/baselines.hpp"
 
 #include "frameworks/common.hpp"
+#include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "kernels/dl_approach.hpp"
@@ -286,20 +287,23 @@ RunReport BaselineFramework::execute_prepared(
 
     std::vector<LayerCache> caches;
     BufferId x = session->input;
-    for (std::uint32_t l = 0; l < L; ++l) {
-      const bool relu = model.relu_at(l);
-      LayerCache cache =
-          graph_compute
-              ? forward_graph(io, session->coo[l], x, session->w[l],
-                              session->b[l], relu, comb_first)
-              : forward_dl(io, session->csr[l], x, session->w[l],
-                           session->b[l], relu, comb_first,
-                           options_.compute ==
-                               BaselineOptions::Compute::kAdvisor);
-      if (comb_first)
-        report.layer_comb_first_fwd[l] = report.layer_comb_first_bwd[l] = 1;
-      x = cache.out;
-      caches.push_back(cache);
+    {
+      GT_LIVE_STAGE(kForward);
+      for (std::uint32_t l = 0; l < L; ++l) {
+        const bool relu = model.relu_at(l);
+        LayerCache cache =
+            graph_compute
+                ? forward_graph(io, session->coo[l], x, session->w[l],
+                                session->b[l], relu, comb_first)
+                : forward_dl(io, session->csr[l], x, session->w[l],
+                             session->b[l], relu, comb_first,
+                             options_.compute ==
+                                 BaselineOptions::Compute::kAdvisor);
+        if (comb_first)
+          report.layer_comb_first_fwd[l] = report.layer_comb_first_bwd[l] = 1;
+        x = cache.out;
+        caches.push_back(cache);
+      }
     }
 
     report.fwp_us = dev.profile_latency_us();
@@ -314,22 +318,25 @@ RunReport BaselineFramework::execute_prepared(
     report.loss = detail::loss_head(dev, x, pre, model.output_dim, spec.seed,
                                     &dy, &ctx);
 
-    for (std::uint32_t li = L; li-- > 0;) {
-      const BufferId x_in = li == 0 ? session->input : caches[li - 1].out;
-      const bool relu = model.relu_at(li);
-      const bool want_dx = li > 0;
-      napa::DenseGrads grads =
-          graph_compute
-              ? backward_graph(io, session->coo[li], x_in, session->w[li],
-                               caches[li], dy, relu, want_dx)
-              : backward_dl(io, session->csr[li], x_in, session->w[li],
-                            caches[li], dy, relu, want_dx);
-      sgd.stage(dev, li, grads.dw, grads.db, ctx);
-      dev.free(grads.dw);
-      dev.free(grads.db);
-      dev.free(dy);
-      dy = grads.dx;
-      release_cache(dev, caches[li]);
+    {
+      GT_LIVE_STAGE(kBackward);
+      for (std::uint32_t li = L; li-- > 0;) {
+        const BufferId x_in = li == 0 ? session->input : caches[li - 1].out;
+        const bool relu = model.relu_at(li);
+        const bool want_dx = li > 0;
+        napa::DenseGrads grads =
+            graph_compute
+                ? backward_graph(io, session->coo[li], x_in, session->w[li],
+                                 caches[li], dy, relu, want_dx)
+                : backward_dl(io, session->csr[li], x_in, session->w[li],
+                              caches[li], dy, relu, want_dx);
+        sgd.stage(dev, li, grads.dw, grads.db, ctx);
+        dev.free(grads.dw);
+        dev.free(grads.db);
+        dev.free(dy);
+        dy = grads.dx;
+        release_cache(dev, caches[li]);
+      }
     }
 
     report.bwp_us = dev.profile_latency_us() - report.fwp_us;

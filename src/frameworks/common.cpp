@@ -4,6 +4,7 @@
 
 #include "datasets/embedding.hpp"
 #include "fault/fault.hpp"
+#include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -149,6 +150,7 @@ std::unique_ptr<DeviceSession> open_session(
     const pipeline::PreprocResult& pre, const models::ModelParams& params,
     const sampling::ReindexFormats& formats, bool upload_input) {
   fault::check(fault::Site::kTransfer);
+  GT_LIVE_STAGE(kTransfer);
   auto session = std::make_unique<DeviceSession>(eval_device_config());
   gpusim::Device& dev = session->dev;
 

@@ -5,6 +5,7 @@
 
 #include "frameworks/baselines.hpp"
 #include "frameworks/graphtensor.hpp"
+#include "obs/live/worker_profiler.hpp"
 
 namespace gt::frameworks {
 
@@ -23,9 +24,13 @@ RunReport Framework::run_batch(const Dataset& data,
                                pipeline::BatchContext& ctx) {
   ctx.begin_batch();
   const auto t0 = std::chrono::steady_clock::now();
-  prepare_batch(data, model, spec, ctx);
+  {
+    GT_LIVE_STAGE(kPrepare);
+    prepare_batch(data, model, spec, ctx);
+  }
   const double prepare_us = elapsed_us(t0);
   const auto t1 = std::chrono::steady_clock::now();
+  GT_LIVE_STAGE(kExecute);
   RunReport report = execute_prepared(data, model, params, spec, ctx);
   report.host_execute_us = elapsed_us(t1);
   report.host_prepare_us = prepare_us;

@@ -3,6 +3,7 @@
 #include "dfg/executor.hpp"
 #include "dfg/graph.hpp"
 #include "frameworks/common.hpp"
+#include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sampling/embedding_cache.hpp"
@@ -108,6 +109,10 @@ RunReport GraphTensorFramework::execute_prepared(
       const auto part = cache.partition(pre.batch.vid_order);
       last_hit_rate_ = part.hit_rate();
       obs::metrics().gauge("embedding_cache.hit_rate").set(last_hit_rate_);
+      obs::metrics().counter("embedding_cache.hits").add(part.hit_rows.size());
+      obs::metrics()
+          .counter("embedding_cache.misses")
+          .add(part.miss_vids.size());
       ctx.workload().cached_rows = part.hit_rows.size();
       ctx.schedule() = pipeline::plan_preprocessing(ctx.workload(), plan);
 
@@ -174,19 +179,22 @@ RunReport GraphTensorFramework::execute_prepared(
     // ---- FWP ----------------------------------------------------------------
     std::vector<dfg::LayerForward> fwds;
     gpusim::BufferId x = session->input;
-    for (std::uint32_t l = 0; l < L; ++l) {
-      const double before = dev.profile_latency_us();
-      fwds.push_back(exec.forward(
-          lg[l], x, dfg::LayerParams{session->w[l], session->b[l]},
-          model.relu_at(l), orders[l]));
-      if (dkp_active)
-        pending.push_back(
-            {dims_of(l),
-             dfg::PlacementCase{orders[l], /*backward=*/false,
-                                /*first_layer=*/l == 0,
-                                model.edge_weighted()},
-             dev.profile_latency_us() - before});
-      x = fwds.back().out;
+    {
+      GT_LIVE_STAGE(kForward);
+      for (std::uint32_t l = 0; l < L; ++l) {
+        const double before = dev.profile_latency_us();
+        fwds.push_back(exec.forward(
+            lg[l], x, dfg::LayerParams{session->w[l], session->b[l]},
+            model.relu_at(l), orders[l]));
+        if (dkp_active)
+          pending.push_back(
+              {dims_of(l),
+               dfg::PlacementCase{orders[l], /*backward=*/false,
+                                  /*first_layer=*/l == 0,
+                                  model.edge_weighted()},
+               dev.profile_latency_us() - before});
+        x = fwds.back().out;
+      }
     }
 
     report.fwp_us = dev.profile_latency_us();
@@ -204,26 +212,29 @@ RunReport GraphTensorFramework::execute_prepared(
                                     &dy, &ctx);
 
     // ---- BWP ----------------------------------------------------------------
-    for (std::uint32_t li = L; li-- > 0;) {
-      const gpusim::BufferId x_in =
-          li == 0 ? session->input : fwds[li - 1].out;
-      const double before = dev.profile_latency_us();
-      dfg::LayerBackward grads = exec.backward(
-          lg[li], x_in, dfg::LayerParams{session->w[li], session->b[li]},
-          model.relu_at(li), fwds[li], dy, /*want_dx=*/li > 0);
-      if (dkp_active)
-        pending.push_back(
-            {dims_of(li),
-             dfg::PlacementCase{orders[li], /*backward=*/true,
-                                /*first_layer=*/li == 0,
-                                model.edge_weighted()},
-             dev.profile_latency_us() - before});
-      sgd.stage(dev, li, grads.dw, grads.db, ctx);
-      dev.free(grads.dw);
-      dev.free(grads.db);
-      dev.free(dy);
-      dy = grads.dx;  // invalid at li == 0 (skipped), loop ends anyway
-      exec.release_cache(fwds[li]);
+    {
+      GT_LIVE_STAGE(kBackward);
+      for (std::uint32_t li = L; li-- > 0;) {
+        const gpusim::BufferId x_in =
+            li == 0 ? session->input : fwds[li - 1].out;
+        const double before = dev.profile_latency_us();
+        dfg::LayerBackward grads = exec.backward(
+            lg[li], x_in, dfg::LayerParams{session->w[li], session->b[li]},
+            model.relu_at(li), fwds[li], dy, /*want_dx=*/li > 0);
+        if (dkp_active)
+          pending.push_back(
+              {dims_of(li),
+               dfg::PlacementCase{orders[li], /*backward=*/true,
+                                  /*first_layer=*/li == 0,
+                                  model.edge_weighted()},
+               dev.profile_latency_us() - before});
+        sgd.stage(dev, li, grads.dw, grads.db, ctx);
+        dev.free(grads.dw);
+        dev.free(grads.db);
+        dev.free(dy);
+        dy = grads.dx;  // invalid at li == 0 (skipped), loop ends anyway
+        exec.release_cache(fwds[li]);
+      }
     }
 
     report.bwp_us = dev.profile_latency_us() - report.fwp_us;

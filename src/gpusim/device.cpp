@@ -7,6 +7,7 @@
 #include <string>
 
 #include "fault/fault.hpp"
+#include "obs/live/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -49,6 +50,15 @@ void record_kernel_metrics(const KernelStats& ks) {
 /// gpusim.alloc injection hook. A kind=oom entry surfaces as GpuOomError —
 /// the frameworks' existing report-and-continue OOM path — instead of the
 /// retryable InjectedFault every other kind raises.
+void emit_oom_event(std::size_t requested, std::size_t available) {
+  if (!obs::live::EventLog::global().armed()) return;
+  obs::live::Event ev(obs::live::Severity::kWarn, "gpusim.oom");
+  ev.msg("device allocation failed")
+      .field("requested_bytes", static_cast<std::uint64_t>(requested))
+      .field("available_bytes", static_cast<std::uint64_t>(available));
+  obs::live::EventLog::global().emit(ev);
+}
+
 void maybe_inject_alloc_fault(std::size_t requested, std::size_t capacity,
                               std::size_t used) {
   try {
@@ -56,6 +66,7 @@ void maybe_inject_alloc_fault(std::size_t requested, std::size_t capacity,
   } catch (const fault::InjectedFault& f) {
     if (f.kind() == fault::Kind::kOom) {
       obs::metrics().counter("gpusim.oom_aborts").add(1);
+      emit_oom_event(requested, capacity - used);
       throw GpuOomError(requested, capacity - used);
     }
     throw;
@@ -154,6 +165,7 @@ Device::Device(DeviceConfig config) : config_(config) {
 void Device::track_alloc(std::size_t bytes) {
   if (used_bytes_ + bytes > config_.memory_capacity_bytes) {
     obs::metrics().counter("gpusim.oom_aborts").add(1);
+    emit_oom_event(bytes, config_.memory_capacity_bytes - used_bytes_);
     throw GpuOomError(bytes, config_.memory_capacity_bytes - used_bytes_);
   }
   used_bytes_ += bytes;

@@ -1,0 +1,83 @@
+#include "obs/live/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/live/event_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace gt::obs::live {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StallWatchdog::StallWatchdog(WatchdogOptions opt) : opt_(opt) {
+  if (opt_.stall_ms == 0) opt_.stall_ms = 1;
+  if (opt_.poll_ms == 0)
+    opt_.poll_ms = std::max<std::uint64_t>(opt_.stall_ms / 4, 1);
+}
+
+StallWatchdog::~StallWatchdog() { stop(); }
+
+void StallWatchdog::start() {
+  std::lock_guard lock(mu_);
+  if (monitor_.joinable()) return;
+  stop_requested_ = false;
+  last_beat_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  monitor_ = std::thread([this] { run(); });
+}
+
+void StallWatchdog::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!monitor_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+void StallWatchdog::heartbeat() noexcept {
+  last_beat_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  beats_.fetch_add(1, std::memory_order_relaxed);
+  if (stalled_.exchange(false, std::memory_order_relaxed)) {
+    if (EventLog::global().armed()) {
+      Event ev(Severity::kInfo, "watchdog.recovered");
+      ev.msg("progress resumed after stall");
+      EventLog::global().emit(ev);
+    }
+  }
+}
+
+void StallWatchdog::run() {
+  std::unique_lock lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(opt_.poll_ms));
+    if (stop_requested_) break;
+    const std::int64_t last = last_beat_ns_.load(std::memory_order_relaxed);
+    const std::int64_t silence_ns = steady_now_ns() - last;
+    const std::int64_t limit_ns =
+        static_cast<std::int64_t>(opt_.stall_ms) * 1'000'000;
+    if (silence_ns <= limit_ns) continue;
+    // Report each stall episode once; heartbeat() clears the latch.
+    if (stalled_.exchange(true, std::memory_order_relaxed)) continue;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    metrics().counter("watchdog.stalls").add();
+    if (EventLog::global().armed()) {
+      Event ev(Severity::kWarn, "watchdog.stall");
+      ev.msg("no progress within stall threshold");
+      ev.field("silence_ms", static_cast<double>(silence_ns) / 1e6)
+          .field("stall_ms", opt_.stall_ms);
+      EventLog::global().emit(ev);
+    }
+  }
+}
+
+}  // namespace gt::obs::live

@@ -1,0 +1,73 @@
+// StallWatchdog: detects a serving loop that stopped making progress.
+//
+// The steady-state loop heartbeats once per completed batch. A small
+// monitor thread (the only background thread in the telemetry stack — it
+// observes, never mutates, so determinism of the run is untouched) checks
+// the wall time since the last heartbeat; past `stall_ms` it flips the
+// health state to "stalled", bumps the `watchdog.stalls` counter and
+// emits a `watchdog.stall` event into the structured event log. The next
+// heartbeat flips it back and emits `watchdog.recovered`, so a hung
+// worker, a livelocked retry loop, or a deadlocked queue shows up in
+// `gt_top` and in the event log with the stall duration attached.
+//
+// heartbeat() is wait-free (two relaxed stores) and safe from any thread;
+// start()/stop() bracket the monitor thread and are idempotent.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace gt::obs::live {
+
+struct WatchdogOptions {
+  std::uint64_t stall_ms = 5000;  // silence threshold before declaring a stall
+  std::uint64_t poll_ms = 0;      // monitor wakeup period; 0 = stall_ms / 4
+};
+
+class StallWatchdog {
+ public:
+  explicit StallWatchdog(WatchdogOptions opt);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Launch the monitor thread (no-op when already running).
+  void start();
+
+  /// Stop and join the monitor thread (no-op when not running).
+  void stop();
+
+  /// Record forward progress. Wait-free; callable from any thread.
+  void heartbeat() noexcept;
+
+  bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t heartbeats() const noexcept {
+    return beats_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stalls_detected() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  const WatchdogOptions& options() const noexcept { return opt_; }
+
+ private:
+  void run();
+
+  WatchdogOptions opt_;
+  std::atomic<std::int64_t> last_beat_ns_{0};  // steady_clock ns
+  std::atomic<std::uint64_t> beats_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<bool> stalled_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace gt::obs::live

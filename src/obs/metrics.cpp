@@ -149,6 +149,45 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *it->second;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSummary>
+MetricsRegistry::histogram_summaries() const {
+  std::lock_guard lock(mu_);
+  std::vector<HistogramSummary> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.name = name;
+    const OnlineStats st = h->stats();
+    s.count = st.count();
+    s.mean = st.mean();
+    s.min = st.min();
+    s.max = st.max();
+    s.p50 = h->quantile(0.50);
+    s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mu_);
   for (auto& [name, c] : counters_) c->reset();

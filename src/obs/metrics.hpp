@@ -112,6 +112,21 @@ class MetricsRegistry {
   /// Zero every registered metric in place (registrations survive).
   void reset();
 
+  // -- Enumeration (live telemetry) ------------------------------------------
+  // Sorted name/value copies of the current state. These are the sampling
+  // primitives behind the TelemetrySnapshotter's windowed time series;
+  // names come back in map (sorted) order so consecutive samples align.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+
+  struct HistogramSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    double mean = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+  std::vector<HistogramSummary> histogram_summaries() const;
+
   /// {"counters":{...},"gauges":{...},"histograms":{...}}. Keys are
   /// emitted in sorted order (the registry maps are ordered) and numbers
   /// formatted deterministically, so two dumps of the same state are

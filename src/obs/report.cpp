@@ -404,6 +404,23 @@ int run_bench_diff(const std::string& baseline_path,
   }
   os << "\n" << diff.deltas.size() << " rows compared: " << regressed
      << " regressed, " << missing << " missing\n";
+  // A baseline row absent from the candidate is not a measured regression
+  // — it means the comparison never happened (renamed metric, bench that
+  // stopped emitting, truncated report). Surface each missing key and exit
+  // like the unreadable-input case so CI fails loudly instead of
+  // reporting a misleading pass/fail verdict over a partial comparison.
+  if (missing > 0) {
+    for (const RowDelta& d : diff.deltas) {
+      if (d.status != RowDelta::Status::kMissing) continue;
+      os << "bench_diff: baseline row '" << row_label(d.baseline)
+         << "' (key " << d.baseline.key() << ") is missing from "
+         << current_path << "\n";
+    }
+    os << "bench_diff: FAIL (comparison incomplete: " << missing
+       << " baseline row" << (missing == 1 ? "" : "s")
+       << " missing from candidate)\n";
+    return 2;
+  }
   if (diff.regressed) {
     os << "bench_diff: FAIL (regression beyond threshold)\n";
     return 1;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -60,17 +61,20 @@ void PreprocExecutor::run_serial_into(std::span<const Vid> batch_vids,
   out.layers.resize(num_layers_);
   {
     GT_OBS_SCOPE("S.sample", "sampling");
+    GT_LIVE_STAGE(kSample);
     sampler_.sample_into(batch_vids, num_layers_, table, out.batch);
   }
   for (std::uint32_t l = 0; l < num_layers_; ++l) {
     fault::check(fault::Site::kPreprocReindex, l);
     GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
     r_span.arg("layer", static_cast<std::int64_t>(l));
+    GT_LIVE_STAGE(kReindex);
     sampling::reindex_layer_into(out.batch, table, l, formats_, out.layers[l],
                                  scratch.layer_coo[l]);
   }
   {
     GT_OBS_SCOPE("K.lookup", "lookup");
+    GT_LIVE_STAGE(kLookup);
     out.embeddings.resize(out.batch.vid_order.size(), lookup_.table().dim());
     lookup_.gather_chunk(out.batch.vid_order, 0, out.batch.vid_order.size(),
                          out.embeddings);
@@ -136,6 +140,7 @@ void PreprocExecutor::run_parallel_into(std::span<const Vid> batch_vids,
           GT_OBS_SCOPE_N(a_span, "S.A", "sampling");
           a_span.arg("hop", static_cast<std::int64_t>(h));
           a_span.arg("vertices", static_cast<std::int64_t>(hi - lo));
+          GT_LIVE_STAGE(kSample);
           sampler_.choose_neighbors_into(
               std::span(frontier).subspan(lo, hi - lo), h,
               scratch.chunk_edges[c]);
@@ -148,6 +153,7 @@ void PreprocExecutor::run_parallel_into(std::span<const Vid> batch_vids,
       if (chunk.src.empty()) continue;
       GT_OBS_SCOPE_N(h_span, "S.H", "sampling");
       h_span.arg("hop", static_cast<std::int64_t>(h));
+      GT_LIVE_STAGE(kSample);
       sampling::NeighborSampler::insert_vertices(table, chunk);
       edges.src.insert(edges.src.end(), chunk.src.begin(), chunk.src.end());
       edges.dst.insert(edges.dst.end(), chunk.dst.begin(), chunk.dst.end());
@@ -173,6 +179,7 @@ void PreprocExecutor::run_parallel_into(std::span<const Vid> batch_vids,
                       for (std::size_t l = lo; l < hi; ++l) {
                         GT_OBS_SCOPE_N(r_span, "R.layer", "reindex");
                         r_span.arg("layer", static_cast<std::int64_t>(l));
+                        GT_LIVE_STAGE(kReindex);
                         sampling::reindex_layer_into(
                             sb, table, static_cast<std::uint32_t>(l),
                             formats_, out.layers[l], scratch.layer_coo[l]);
@@ -186,6 +193,7 @@ void PreprocExecutor::run_parallel_into(std::span<const Vid> batch_vids,
                                       std::size_t hi) {
                       GT_OBS_SCOPE_N(k_span, "K.chunk", "lookup");
                       k_span.arg("rows", static_cast<std::int64_t>(hi - lo));
+                      GT_LIVE_STAGE(kLookup);
                       lookup_.gather_chunk(sb.vid_order, lo, hi,
                                            out.embeddings);
                     });

@@ -23,37 +23,48 @@ LogLevel log_threshold() {
   return level;
 }
 
-namespace detail {
-
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Monotonic milliseconds since the first log call.
-double uptime_ms() {
+std::atomic<LogSink> g_sink{nullptr};
+
+}  // namespace
+
+double log_uptime_ms() {
   static const Clock::time_point start = Clock::now();
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
 
-/// Small sequential thread id (00, 01, ...) — readable, unlike the
-/// platform's opaque std::thread::id.
-unsigned thread_index() {
+unsigned log_thread_index() {
   static std::atomic<unsigned> next{0};
   thread_local const unsigned id = next.fetch_add(1);
   return id;
 }
 
-}  // namespace
+void set_log_sink(LogSink sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+LogSink log_sink() noexcept {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+namespace detail {
 
 void log_emit(LogLevel level, std::string_view msg) {
+  if (const LogSink sink = log_sink()) {
+    sink(level, msg);
+    return;
+  }
   static std::mutex mu;
   const char* tag = level == LogLevel::kDebug  ? "DEBUG"
                     : level == LogLevel::kInfo ? "INFO "
                                                : "WARN ";
   char prefix[64];
   std::snprintf(prefix, sizeof prefix, "[gt:%s +%.3fms t%02u] ", tag,
-                uptime_ms(), thread_index());
+                log_uptime_ms(), log_thread_index());
   std::lock_guard lock(mu);
   std::clog << prefix << msg << '\n';
 }

@@ -1,5 +1,10 @@
 // Minimal leveled logging. Off by default so bench output stays clean;
 // set GT_LOG=debug|info|warn in the environment to enable.
+//
+// When a structured sink is installed (set_log_sink — the live event log
+// arms one), formatted lines are routed there instead of stderr, so
+// free-text logs and JSONL events share one timeline instead of
+// interleaving on two.
 #pragma once
 
 #include <iostream>
@@ -12,6 +17,23 @@ namespace gt {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
 
 LogLevel log_threshold();
+
+/// Monotonic milliseconds on the logging clock (shared with the structured
+/// event log so both sinks stamp events identically).
+double log_uptime_ms();
+
+/// Small sequential id of the calling thread (00, 01, ...) — readable,
+/// unlike the platform's opaque std::thread::id.
+unsigned log_thread_index();
+
+/// Structured log sink: receives every emitted line instead of stderr.
+/// Install with set_log_sink; null restores the stderr path. The sink is
+/// called without the "[gt:LEVEL +ms tNN]" prefix — it is expected to
+/// record its own timestamp/thread fields (via log_uptime_ms /
+/// log_thread_index, so the clocks agree).
+using LogSink = void (*)(LogLevel level, std::string_view msg);
+void set_log_sink(LogSink sink) noexcept;
+LogSink log_sink() noexcept;
 
 namespace detail {
 void log_emit(LogLevel level, std::string_view msg);

@@ -129,5 +129,42 @@ TEST_F(BenchDiffCli, ExitCodesForCleanRegressedAndUnreadable) {
   EXPECT_EQ(run_bench_diff(base, "/nonexistent/nope.json", 0.05, out), 2);
 }
 
+TEST_F(BenchDiffCli, MissingBaselineRowIsIncompleteNotRegressed) {
+  BenchReporter& r = BenchReporter::global();
+  r.clear();
+  r.set_context("Fig T", "cli test");
+  r.add_row(make_row("a", 2.0, 1.9));
+  r.add_row(make_row("b", 3.0, 2.9));
+  const std::string base = write_report("missing_base", r);
+  cleanup_.push_back(base);
+
+  r.clear();
+  r.set_context("Fig T", "cli test");
+  r.add_row(make_row("a", 2.0, 1.9));  // row "b" vanished from the candidate
+  const std::string cur = write_report("missing_cur", r);
+  cleanup_.push_back(cur);
+  r.clear();
+
+  // A comparison that never happened must not masquerade as a measured
+  // regression (1) or a clean pass (0): it exits 2 with a per-row
+  // diagnostic naming the vanished baseline row.
+  std::ostringstream out;
+  EXPECT_EQ(run_bench_diff(base, cur, 0.05, out), 2);
+  EXPECT_NE(out.str().find("is missing from"), std::string::npos);
+  EXPECT_NE(out.str().find(cur), std::string::npos);
+  EXPECT_NE(out.str().find("comparison incomplete"), std::string::npos);
+
+  // The missing check outranks any regression verdict: a candidate that
+  // both regresses and lost a row still reports incomplete.
+  r.clear();
+  r.set_context("Fig T", "cli test");
+  r.add_row(make_row("a", 2.0, 1.0));  // regressed AND "b" missing
+  const std::string worse = write_report("missing_worse", r);
+  cleanup_.push_back(worse);
+  r.clear();
+  out.str("");
+  EXPECT_EQ(run_bench_diff(base, worse, 0.05, out), 2);
+}
+
 }  // namespace
 }  // namespace gt::obs

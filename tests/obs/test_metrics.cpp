@@ -90,6 +90,48 @@ TEST(Histogram, QuantileEdgeCases) {
   EXPECT_LE(top.quantile(0.99), 150.0);
 }
 
+TEST(Histogram, AllEqualObservationsCollapseQuantiles) {
+  Histogram h({1.0, 2.0, 5.0});
+  for (int i = 0; i < 10; ++i) h.observe(3.0);
+  // Every quantile of a constant sample is that constant: the estimate
+  // must clamp to the exact [min, max] instead of smearing across the
+  // (2, 5] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.stdev(), 0.0);
+}
+
+TEST(Histogram, NegativeValuesLandInFirstBucket) {
+  Histogram h({0.0, 10.0});
+  h.observe(-5.0);
+  h.observe(-1.0);
+  h.observe(4.0);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  const std::vector<std::uint64_t> expected = {2, 1, 0};
+  EXPECT_EQ(h.bucket_counts(), expected);
+  // Quantiles stay within the exact observed range even though the first
+  // bucket's lower edge is open-ended.
+  EXPECT_GE(h.quantile(0.01), -5.0);
+  EXPECT_LE(h.quantile(0.99), 4.0);
+}
+
+TEST(Histogram, QuantilesMonotoneAcrossSparseBuckets) {
+  // A bucket gap (nothing in (1, 100]) must not produce a non-monotone
+  // estimate sequence.
+  Histogram h({1.0, 100.0, 1000.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);
+  for (int i = 0; i < 50; ++i) h.observe(500.0);
+  double prev = h.quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);
+}
+
 TEST(MetricsRegistry, SameNameReturnsSameObject) {
   MetricsRegistry r;
   Counter& a = r.counter("x");

@@ -4,9 +4,12 @@
 //   $ bench_diff [--threshold=0.05] baseline.json current.json
 //
 // Exit codes: 0 = no regression, 1 = some row regressed past the
-// threshold (or disappeared), 2 = bad usage / unreadable input. The
-// comparison itself lives in gt::obs (obs/report.hpp) so tests exercise
-// the exact CLI semantics; this file only parses arguments.
+// threshold, 2 = bad usage / unreadable input / comparison incomplete (a
+// baseline row is missing from the candidate — that is not a measured
+// regression but a comparison that never happened, and it fails loudly
+// with a per-row diagnostic instead of a partial verdict). The comparison
+// itself lives in gt::obs (obs/report.hpp) so tests exercise the exact
+// CLI semantics; this file only parses arguments.
 //
 // A row with a paper target regresses when its measured value moves away
 // from the paper value by more than the threshold (relative to |paper|);

@@ -1,0 +1,308 @@
+// gt_top: live dashboard over a service's telemetry directory.
+//
+//   $ ./tools/gt_top <telemetry-dir>            # live refresh (ANSI, 1s)
+//   $ ./tools/gt_top --once <telemetry-dir>     # render once, no escapes
+//   $ ./tools/gt_top --check <telemetry-dir>    # validate, no rendering
+//
+// The service (service_cli --telemetry-out=DIR, or any GnnService with
+// telemetry armed) keeps DIR/latest.json atomically up to date and
+// appends DIR/events.jsonl; gt_top only ever reads those files, so it can
+// run on a live directory without any coordination. Rendered panels: the
+// S/R/K/T/FWP/BWP stage shares (the paper's Fig 12 decomposition), the
+// per-worker busy/utilization table with load skew, queue depth and p99
+// batch latency, retry/degradation/OOM rates, and watchdog health.
+//
+// Flags:
+//   --once             render one frame and exit (no screen clearing) —
+//                      the headless/CI mode.
+//   --check            validate the directory instead of rendering:
+//                      schema-check latest.json + every snapshot-*.json +
+//                      every events.jsonl line, and verify the causal
+//                      chain — every service.retry / service.degraded
+//                      event's cid must resolve to a fault.inject event
+//                      with the same cid. Exit 0 = clean, 1 = violations,
+//                      2 = unreadable directory.
+//   --refresh-ms=N     live refresh period (default 1000).
+//   --frames=N         stop after N live frames (0 = until interrupted).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using gt::obs::JsonValue;
+
+constexpr int kSnapshotSchemaVersion = 1;
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void bar(char* out, std::size_t width, double frac) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const std::size_t fill =
+      static_cast<std::size_t>(frac * static_cast<double>(width) + 0.5);
+  for (std::size_t i = 0; i < width; ++i) out[i] = i < fill ? '#' : '.';
+  out[width] = '\0';
+}
+
+// ---- render -----------------------------------------------------------------
+
+int render(const std::string& dir, bool clear_screen) {
+  JsonValue snap;
+  std::string err;
+  if (!gt::obs::json_parse_file(dir + "/latest.json", &snap, &err)) {
+    std::fprintf(stderr, "gt_top: cannot read %s/latest.json: %s\n",
+                 dir.c_str(), err.empty() ? "missing" : err.c_str());
+    return 2;
+  }
+  if (clear_screen) std::printf("\x1b[2J\x1b[H");
+
+  const JsonValue& health = snap.at("health");
+  std::printf("gt_top — %s   seq %.0f · %.0f batches · t=%.1f ms · health %s\n",
+              dir.c_str(), snap.number_at("seq"), snap.number_at("batches"),
+              snap.number_at("ts_ms"), health.string_at("state").c_str());
+
+  // Stage shares: the six fine-grained pipeline stages.
+  static const char* kStages[] = {"sample",   "reindex", "lookup",
+                                  "transfer", "fwp",     "bwp"};
+  const JsonValue& stages = snap.at("stages");
+  const JsonValue& shares = stages.at("shares");
+  std::printf("\nstage shares (S/R/K/T/FWP/BWP)\n");
+  char b[41];
+  for (const char* name : kStages) {
+    const double share = shares.number_at(name);
+    const double ms = stages.number_at(std::string(name) + "_ms");
+    bar(b, 28, share);
+    std::printf("  %-9s %5.1f%%  %s  %8.2f ms\n", name, 100.0 * share, b,
+                ms);
+  }
+
+  // Per-worker utilization + skew.
+  const auto& workers = snap.at("workers").as_array();
+  std::printf("\nworkers (%zu slot%s, skew %.2f)\n", workers.size(),
+              workers.size() == 1 ? "" : "s", snap.number_at("worker_skew"));
+  for (const JsonValue& w : workers) {
+    const double util = w.number_at("util");
+    bar(b, 28, util);
+    std::printf("  w%-3.0f %6.1f%%  %s  busy %8.2f ms (prep %.1f / exec "
+                "%.1f)\n",
+                w.number_at("slot"), 100.0 * util, b, w.number_at("busy_ms"),
+                w.number_at("prepare_ms"), w.number_at("execute_ms"));
+  }
+
+  // Service panel: gauges + counters + windowed rates.
+  const JsonValue& gauges = snap.at("gauges");
+  const JsonValue& counters = snap.at("counters");
+  const JsonValue& rates = snap.at("rates");
+  auto rate_of = [&](const char* name) {
+    return rates.at(name).number_at("per_batch");
+  };
+  std::printf("\nservice\n");
+  std::printf("  queue depth   %6.0f      p99 batch e2e %10.1f us\n",
+              gauges.number_at("service.queue_depth"),
+              gauges.number_at("service.p99_latency_us"));
+  std::printf("  retries       %6.0f      (%.2f/batch in window)\n",
+              counters.number_at("service.retries"),
+              rate_of("service.retries"));
+  std::printf("  degraded      %6.0f      (%.2f/batch in window)\n",
+              counters.number_at("service.degraded_batches"),
+              rate_of("service.degraded_batches"));
+  std::printf("  oom batches   %6.0f      backoff ticks %10.0f\n",
+              counters.number_at("service.oom_batches"),
+              counters.number_at("service.backoff_ticks"));
+  const double hits = counters.number_at("embedding_cache.hits");
+  const double misses = counters.number_at("embedding_cache.misses");
+  if (hits + misses > 0.0)
+    std::printf("  cache hits    %6.0f      hit rate %16.1f%%\n", hits,
+                100.0 * hits / (hits + misses));
+  std::printf("  watchdog      %s (%.0f heartbeats, %.0f stall%s)\n",
+              health.string_at("state").c_str(),
+              health.number_at("heartbeats"), health.number_at("stalls"),
+              health.number_at("stalls") == 1.0 ? "" : "s");
+  return 0;
+}
+
+// ---- check ------------------------------------------------------------------
+
+struct Checker {
+  int violations = 0;
+
+  void fail(const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "gt_top --check: %s\n", what.c_str());
+  }
+
+  void require(bool ok, const std::string& what) {
+    if (!ok) fail(what);
+  }
+
+  void check_snapshot(const std::string& path) {
+    JsonValue v;
+    std::string err;
+    if (!gt::obs::json_parse_file(path, &v, &err)) {
+      fail(path + ": unparsable: " + err);
+      return;
+    }
+    require(v.number_at("schema_version") == kSnapshotSchemaVersion,
+            path + ": schema_version != " +
+                std::to_string(kSnapshotSchemaVersion));
+    for (const char* key : {"counters", "gauges", "rates", "histograms",
+                            "stages", "health"})
+      require(v.at(key).is_object(),
+              path + ": missing object member '" + std::string(key) + "'");
+    require(v.at("workers").is_array(), path + ": 'workers' not an array");
+    require(v.at("seq").is_number() && v.at("batches").is_number() &&
+                v.at("ts_ms").is_number(),
+            path + ": seq/batches/ts_ms must be numbers");
+    require(v.at("stages").at("shares").is_object(),
+            path + ": stages.shares missing");
+    const std::string& state = v.at("health").string_at("state");
+    require(state == "ok" || state == "stalled",
+            path + ": health.state '" + state + "' invalid");
+  }
+};
+
+int check(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "gt_top --check: %s is not a directory\n",
+                 dir.c_str());
+    return 2;
+  }
+  Checker c;
+
+  // Snapshot schema over latest.json + the whole rotating set.
+  std::vector<std::string> snapshots;
+  if (fs::exists(dir + "/latest.json")) snapshots.push_back(dir +
+                                                            "/latest.json");
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json")
+      snapshots.push_back(entry.path().string());
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+  if (snapshots.empty()) {
+    std::fprintf(stderr, "gt_top --check: no snapshots in %s\n", dir.c_str());
+    return 2;
+  }
+  for (const std::string& path : snapshots) c.check_snapshot(path);
+
+  // Event log: per-line schema + the causal-chain invariant.
+  const std::string events_path = dir + "/events.jsonl";
+  const std::string text = slurp(events_path);
+  if (text.empty()) {
+    std::fprintf(stderr, "gt_top --check: %s missing or empty\n",
+                 events_path.c_str());
+    return 2;
+  }
+  static const std::set<std::string> kSevs = {"debug", "info", "warn",
+                                              "error"};
+  std::set<std::uint64_t> fault_cids;
+  std::vector<std::pair<std::string, std::uint64_t>> needs_fault;  // type,cid
+  std::size_t line_no = 0, events = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    ++events;
+    JsonValue ev;
+    std::string err;
+    if (!gt::obs::json_parse(line, &ev, &err)) {
+      c.fail(events_path + ":" + std::to_string(line_no) +
+             ": unparsable event: " + err);
+      continue;
+    }
+    const std::string where =
+        events_path + ":" + std::to_string(line_no);
+    c.require(ev.at("ts_ms").is_number() && ev.number_at("ts_ms") >= 0.0,
+              where + ": ts_ms missing or negative");
+    c.require(ev.at("tid").is_number(), where + ": tid missing");
+    c.require(ev.at("cid").is_number(), where + ": cid missing");
+    c.require(kSevs.count(ev.string_at("sev")) != 0,
+              where + ": sev '" + ev.string_at("sev") + "' invalid");
+    const std::string& type = ev.string_at("type");
+    c.require(!type.empty(), where + ": type missing");
+    const std::uint64_t cid =
+        static_cast<std::uint64_t>(ev.number_at("cid"));
+    if (type == "fault.inject") fault_cids.insert(cid);
+    if (type == "service.retry" || type == "service.degraded")
+      needs_fault.emplace_back(type, cid);
+  }
+
+  // Every retry/degradation must trace back to the fault injection that
+  // caused it, through the shared correlation id.
+  for (const auto& [type, cid] : needs_fault)
+    c.require(fault_cids.count(cid) != 0,
+              events_path + ": " + type + " event with cid " +
+                  std::to_string(cid) +
+                  " has no fault.inject event with the same cid");
+
+  std::printf("gt_top --check: %zu snapshot%s, %zu event%s, %zu causal "
+              "link%s, %d violation%s\n",
+              snapshots.size(), snapshots.size() == 1 ? "" : "s", events,
+              events == 1 ? "" : "s", needs_fault.size(),
+              needs_fault.size() == 1 ? "" : "s", c.violations,
+              c.violations == 1 ? "" : "s");
+  return c.violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false, run_check = false;
+  int refresh_ms = 1000;
+  long frames = 0;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--check") {
+      run_check = true;
+    } else if (arg.rfind("--refresh-ms=", 0) == 0) {
+      refresh_ms = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--frames=", 0) == 0) {
+      frames = std::atol(arg.c_str() + 9);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      dir = arg;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: gt_top [--once|--check] [--refresh-ms=N] "
+                 "[--frames=N] <telemetry-dir>\n");
+    return 2;
+  }
+  if (run_check) return check(dir);
+  if (once) return render(dir, /*clear_screen=*/false);
+  if (refresh_ms < 50) refresh_ms = 50;
+  long shown = 0;
+  while (true) {
+    const int rc = render(dir, /*clear_screen=*/true);
+    if (rc != 0) return rc;
+    if (frames > 0 && ++shown >= frames) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+  }
+}
