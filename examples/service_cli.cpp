@@ -44,6 +44,13 @@
 //                              per-run latency/loss rows plus the
 //                              trace-derived critical-path / stage-share /
 //                              overlap analysis (see obs/report.hpp).
+//   --kernel-ledger-out=kernels.json (GT_KERNEL_LEDGER_OUT) Kernel-level
+//                              attribution ledger (DESIGN.md §13):
+//                              per-kernel-class latency sums, exact
+//                              stage-identity totals, and the DKP
+//                              cost-model prediction join. Feed two of
+//                              these to tools/gt_explain to attribute an
+//                              end-to-end latency delta.
 //
 // Live telemetry (DESIGN.md §12); tail with tools/gt_top:
 //   --telemetry-out=DIR        (GT_TELEMETRY_OUT) arm the live stack:
@@ -100,7 +107,7 @@ std::string out_path(const std::string& flag_value, const char* env_name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_flag, metrics_flag, bench_flag;
+  std::string trace_flag, metrics_flag, bench_flag, ledger_flag;
   std::string fault_spec;  // empty = GT_FAULT_SPEC / no faults
   std::string telemetry_flag;  // empty = GT_TELEMETRY_OUT / telemetry off
   std::vector<std::string> positional;
@@ -118,6 +125,10 @@ int main(int argc, char** argv) {
       metrics_flag = arg.substr(14);
     } else if (arg.rfind("--bench-out=", 0) == 0) {
       bench_flag = arg.substr(12);
+    } else if (arg.rfind("--kernel-ledger-out=", 0) == 0) {
+      ledger_flag = arg.substr(20);
+    } else if (arg == "--kernel-ledger-out" && i + 1 < argc) {
+      ledger_flag = argv[++i];
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = std::atoi(arg.c_str() + 10);
     } else if (arg == "--workers" && i + 1 < argc) {
@@ -195,6 +206,9 @@ int main(int argc, char** argv) {
   if (watchdog_stall_ms >= 0)
     options.telemetry.watchdog_stall_ms =
         static_cast<std::uint64_t>(watchdog_stall_ms);
+  // The service arms the ledger itself and writes kernels.json when it is
+  // destroyed (flag wins over GT_KERNEL_LEDGER_OUT, like the other outs).
+  options.kernel_ledger_out = out_path(ledger_flag, "GT_KERNEL_LEDGER_OUT");
   std::unique_ptr<gt::GnnService> service_ptr;
   try {
     service_ptr = std::make_unique<gt::GnnService>(std::move(data), model,

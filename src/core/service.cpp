@@ -7,6 +7,7 @@
 #include <future>
 
 #include "kernels/reference.hpp"
+#include "obs/attrib/kernel_ledger.hpp"
 #include "obs/live/event_log.hpp"
 #include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
@@ -72,11 +73,44 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
                                                       : "",
              ")");
   }
+#ifndef GT_OBS_DISABLE
+  std::string ledger_path = options_.kernel_ledger_out;
+  if (ledger_path.empty()) {
+    if (const char* env = std::getenv("GT_KERNEL_LEDGER_OUT"))
+      ledger_path = env;
+  }
+  if (!ledger_path.empty()) {
+    obs::attrib::KernelLedger::global().arm(ledger_path);
+    ledger_armed_ = true;
+    log_info("service: kernel ledger armed -> ", ledger_path);
+  }
+#endif
   log_info("service: ", options_.framework, " on ", dataset_.spec.name,
            " (batch ", options_.batch_size, ", ", model_.num_layers,
            " layers, ", options_.workers, " worker context",
            options_.workers == 1 ? "" : "s", ", ", compute_threads(),
            " compute thread", compute_threads() == 1 ? "" : "s", ")");
+}
+
+GnnService::~GnnService() {
+#ifndef GT_OBS_DISABLE
+  // Mirror image of the ctor arming: the service that armed the
+  // process-wide ledger writes the artifact at the end of its lifetime.
+  // (Services that did not arm it leave a bench harness's ObsHook or
+  // another service's accumulation alone.)
+  if (ledger_armed_) {
+    obs::attrib::KernelLedger& ledger = obs::attrib::KernelLedger::global();
+    if (ledger.write_json_file()) {
+      log_info("service: kernel ledger -> ", ledger.out_path(), " (",
+               ledger.batch_count(), " batches, ",
+               ledger.kernel_class_count(), " kernel classes)");
+    } else if (!ledger.out_path().empty()) {
+      log_warn("service: failed to write kernel ledger to ",
+               ledger.out_path());
+    }
+    ledger.disarm();
+  }
+#endif
 }
 
 frameworks::BatchSpec GnnService::next_spec(bool inference) {

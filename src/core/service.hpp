@@ -74,6 +74,13 @@ struct ServiceOptions {
   /// the configuration instead (TelemetryOptions::from_env). Telemetry
   /// never changes trained parameters or priced kernel stats.
   obs::live::TelemetryOptions telemetry;
+  /// Kernel-level attribution ledger (DESIGN.md §13). Non-empty = arm the
+  /// process-wide KernelLedger and write the schema-versioned kernels.json
+  /// to this path when the service is destroyed. Empty = the
+  /// GT_KERNEL_LEDGER_OUT environment variable may arm it instead. Like
+  /// telemetry, the ledger is read-only on training state: armed and
+  /// disarmed runs produce bit-identical parameters and reports.
+  std::string kernel_ledger_out;
 };
 
 struct EpochStats {
@@ -100,6 +107,9 @@ class GnnService {
  public:
   GnnService(Dataset dataset, models::GnnModelConfig model,
              ServiceOptions options = {});
+  /// Writes the armed kernel ledger (if this service armed it) before the
+  /// members unwind. Defaulted otherwise-observable behavior.
+  ~GnnService();
 
   const Dataset& dataset() const noexcept { return dataset_; }
   const models::GnnModelConfig& model() const noexcept { return model_; }
@@ -184,6 +194,7 @@ class GnnService {
   std::unique_ptr<frameworks::Framework> backend_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;  // null = faults off
   std::unique_ptr<obs::live::LiveTelemetry> telemetry_;  // null = off
+  bool ledger_armed_ = false;  // this service armed the process ledger
   std::uint64_t next_batch_ = 0;
   std::uint64_t backoff_ticks_total_ = 0;
   std::vector<std::unique_ptr<pipeline::BatchContext>> contexts_;

@@ -1,5 +1,6 @@
 #include "dfg/cost_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "dfg/least_squares.hpp"
@@ -69,6 +70,7 @@ void DkpCostModel::record(const LayerDims& dims, const PlacementCase& c,
   // (the paper's 12.5%-error claim, continuously monitored in production).
   if (fitted_ && latency_us > 0.0) {
     const double pred = predict(dims, c);
+    residuals_.push_back({pred, latency_us});
     obs::metrics()
         .histogram("dkp.predict_rel_error_pct",
                    {1, 2, 5, 10, 20, 30, 50, 75, 100, 200})
@@ -150,6 +152,36 @@ KernelOrder DkpCostModel::decide_training(const LayerDims& dims,
                  kMargin * total(KernelOrder::kAggregationFirst)
              ? KernelOrder::kCombinationFirst
              : KernelOrder::kAggregationFirst;
+}
+
+double ResidualSample::rel_error_pct() const noexcept {
+  if (measured_us <= 0.0) return 0.0;
+  return 100.0 * std::abs(predicted_us - measured_us) / measured_us;
+}
+
+ResidualSummary DkpCostModel::residual_summary() const {
+  ResidualSummary s;
+  if (residuals_.empty()) return s;
+  std::vector<double> errs;
+  errs.reserve(residuals_.size());
+  double total = 0.0;
+  for (const ResidualSample& r : residuals_) {
+    errs.push_back(r.rel_error_pct());
+    total += errs.back();
+  }
+  std::sort(errs.begin(), errs.end());
+  // Nearest-rank quantiles: exact order statistics, defined for any n >= 1.
+  auto rank = [&](double q) {
+    const std::size_t n = errs.size();
+    std::size_t k = static_cast<std::size_t>(std::ceil(q * n));
+    if (k > 0) --k;
+    return errs[std::min(k, n - 1)];
+  };
+  s.samples = errs.size();
+  s.p50_pct = rank(0.50);
+  s.p95_pct = rank(0.95);
+  s.mean_pct = total / static_cast<double>(errs.size());
+  return s;
 }
 
 double DkpCostModel::mean_relative_error() const {

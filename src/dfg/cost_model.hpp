@@ -56,6 +56,24 @@ struct PlacementCase {
   bool edge_weighted = false;
 };
 
+/// One post-fit predicted-vs-measured probe (record() computes these once
+/// the model is fitted — every later sample doubles as a residual).
+struct ResidualSample {
+  double predicted_us = 0.0;
+  double measured_us = 0.0;
+  /// 100 * |predicted - measured| / measured.
+  double rel_error_pct() const noexcept;
+};
+
+/// Distribution summary of the residual stream — the "model health" view
+/// the ledger joins against and the live costmodel.* gauges publish.
+struct ResidualSummary {
+  std::size_t samples = 0;
+  double p50_pct = 0.0;
+  double p95_pct = 0.0;
+  double mean_pct = 0.0;
+};
+
 class DkpCostModel {
  public:
   static constexpr std::size_t kFeatures = 3;
@@ -99,9 +117,20 @@ class DkpCostModel {
   /// Mean absolute relative prediction error over the recorded samples.
   double mean_relative_error() const;
 
+  /// Prediction-query API: every sample recorded *after* fit() is kept as
+  /// a (predicted, measured) pair, in record order. Empty before the fit.
+  const std::vector<ResidualSample>& residuals() const noexcept {
+    return residuals_;
+  }
+
+  /// Nearest-rank p50/p95 + mean of the residual relative errors; all
+  /// zeros while residuals() is empty (never NaN).
+  ResidualSummary residual_summary() const;
+
  private:
   std::vector<std::array<double, kFeatures>> xs_;
   std::vector<double> ys_;
+  std::vector<ResidualSample> residuals_;  // post-fit probes only
   std::array<double, kFeatures> coeff_{};
   bool fitted_ = false;
 };

@@ -287,6 +287,7 @@ RunReport BaselineFramework::execute_prepared(
 
     std::vector<LayerCache> caches;
     BufferId x = session->input;
+    dev.set_phase(gpusim::KernelPhase::kForward);
     {
       GT_LIVE_STAGE(kForward);
       for (std::uint32_t l = 0; l < L; ++l) {
@@ -314,6 +315,9 @@ RunReport BaselineFramework::execute_prepared(
       return report;
     }
 
+    // Loss + backward land past the fwp_us boundary and carry the
+    // backward phase tag, matching bwp_us = total - fwp_us below.
+    dev.set_phase(gpusim::KernelPhase::kBackward);
     gpusim::BufferId dy = kInvalidBuffer;
     report.loss = detail::loss_head(dev, x, pre, model.output_dim, spec.seed,
                                     &dy, &ctx);

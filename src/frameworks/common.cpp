@@ -4,6 +4,7 @@
 
 #include "datasets/embedding.hpp"
 #include "fault/fault.hpp"
+#include "obs/attrib/kernel_ledger.hpp"
 #include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -265,6 +266,35 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
     m.gauge("gpusim.sm_cache_hit_rate")
         .set(static_cast<double>(cache_hit_bytes) /
              static_cast<double>(cache_total));
+#ifndef GT_OBS_DISABLE
+  // Kernel-level attribution ledger: one record per reported batch, built
+  // from the same profile and schedule the report itself is priced from —
+  // the ledger's totals identity is exact because it shares every source
+  // number with end_to_end_us above. Armed-off runs skip at the atomic.
+  if (obs::attrib::KernelLedger::global().armed()) {
+    obs::attrib::BatchTotals totals;
+    totals.end_to_end_us = report.end_to_end_us;
+    totals.makespan_us = schedule.makespan_us;
+    for (int t = 0; t < 4; ++t)
+      totals.stage_busy_us[t] = schedule.type_busy_us[t];
+    totals.fwp_us = report.fwp_us;
+    totals.bwp_us = report.bwp_us;
+    std::vector<obs::attrib::KernelRecord> records;
+    records.reserve(dev.profile().size());
+    for (const auto& k : dev.profile()) {
+      obs::attrib::KernelRecord r;
+      r.name = k.name;
+      r.category = gpusim::to_string(k.category);
+      r.phase = gpusim::to_string(k.phase);
+      r.blocks = k.blocks;
+      r.latency_us = k.latency_us;
+      r.flops = k.flops;
+      r.global_bytes = k.global_bytes;
+      records.push_back(std::move(r));
+    }
+    obs::attrib::KernelLedger::global().record_batch(totals, records);
+  }
+#endif
   if (ctx) {
     const Arena::Stats& a = ctx->arena().stats();
     report.arena_peak_bytes = a.used_bytes;  // monotone within a batch

@@ -3,6 +3,7 @@
 #include "dfg/executor.hpp"
 #include "dfg/graph.hpp"
 #include "frameworks/common.hpp"
+#include "obs/attrib/kernel_ledger.hpp"
 #include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -86,13 +87,42 @@ RunReport GraphTensorFramework::execute_prepared(
     LayerDims dims;
     dfg::PlacementCase pc;
     double us;
+    std::uint32_t layer;
   };
   std::vector<PendingSample> pending;
   auto commit_samples = [&] {
-    for (const PendingSample& s : pending)
+#ifndef GT_OBS_DISABLE
+    // Ledger join: pair each committed sample with the model's prediction
+    // *for the coefficients that were live when the batch ran* (captured
+    // before record() extends the sample set; fit() only runs afterwards).
+    // predict() is const — arming the ledger cannot perturb training.
+    const bool ledger_on = obs::attrib::KernelLedger::global().armed();
+    const bool was_fitted = cost_model_.fitted();
+#endif
+    for (const PendingSample& s : pending) {
+#ifndef GT_OBS_DISABLE
+      if (ledger_on) {
+        std::string key = s.pc.backward ? "bwd/" : "fwd/";
+        key += dfg::to_string(s.pc.order);
+        key += "/L";
+        key += std::to_string(s.layer);
+        obs::attrib::KernelLedger::global().record_prediction(
+            key, cost_model_.predict(s.dims, s.pc), s.us, was_fitted);
+      }
+#endif
       cost_model_.record(s.dims, s.pc, s.us);
+    }
     pending.clear();
     ++batches_seen_;
+#ifndef GT_OBS_DISABLE
+    // Live model-health surface (gauges + drift event); independent of
+    // the ledger so chaos/serving runs see drift without any artifact.
+    if (cost_model_.fitted()) {
+      const dfg::ResidualSummary rs = cost_model_.residual_summary();
+      obs::attrib::observe_costmodel_residuals(rs.samples, rs.p50_pct,
+                                               rs.p95_pct);
+    }
+#endif
   };
 
   try {
@@ -179,6 +209,7 @@ RunReport GraphTensorFramework::execute_prepared(
     // ---- FWP ----------------------------------------------------------------
     std::vector<dfg::LayerForward> fwds;
     gpusim::BufferId x = session->input;
+    dev.set_phase(gpusim::KernelPhase::kForward);
     {
       GT_LIVE_STAGE(kForward);
       for (std::uint32_t l = 0; l < L; ++l) {
@@ -192,7 +223,7 @@ RunReport GraphTensorFramework::execute_prepared(
                dfg::PlacementCase{orders[l], /*backward=*/false,
                                   /*first_layer=*/l == 0,
                                   model.edge_weighted()},
-               dev.profile_latency_us() - before});
+               dev.profile_latency_us() - before, l});
         x = fwds.back().out;
       }
     }
@@ -205,6 +236,10 @@ RunReport GraphTensorFramework::execute_prepared(
       commit_samples();
       return report;
     }
+
+    // Loss + backward both land past the fwp_us boundary, so they carry
+    // the backward phase tag — matching bwp_us = total - fwp_us below.
+    dev.set_phase(gpusim::KernelPhase::kBackward);
 
     // ---- Loss ----------------------------------------------------------------
     gpusim::BufferId dy = gpusim::kInvalidBuffer;
@@ -227,7 +262,7 @@ RunReport GraphTensorFramework::execute_prepared(
                dfg::PlacementCase{orders[li], /*backward=*/true,
                                   /*first_layer=*/li == 0,
                                   model.edge_weighted()},
-               dev.profile_latency_us() - before});
+               dev.profile_latency_us() - before, li});
         sgd.stage(dev, li, grads.dw, grads.db, ctx);
         dev.free(grads.dw);
         dev.free(grads.db);

@@ -88,6 +88,15 @@ const char* to_string(KernelCategory c) {
   return "?";
 }
 
+const char* to_string(KernelPhase p) {
+  switch (p) {
+    case KernelPhase::kOther:    return "other";
+    case KernelPhase::kForward:  return "fwd";
+    case KernelPhase::kBackward: return "bwd";
+  }
+  return "?";
+}
+
 KernelStats accumulate(const std::vector<KernelStats>& profile) {
   KernelStats total;
   total.name = "total";
@@ -311,6 +320,7 @@ KernelStats Device::run_kernel(const std::string& name,
   KernelStats ks;
   ks.name = name;
   ks.category = category;
+  ks.phase = phase_;
   ks.blocks = num_blocks;
   const double flop_rate = category == KernelCategory::kCombination
                                ? cp.dense_flops_per_us
@@ -349,6 +359,7 @@ KernelStats Device::charge_kernel(const std::string& name,
   KernelStats ks;
   ks.name = name;
   ks.category = category;
+  ks.phase = phase_;
   ks.flops = flops;
   ks.global_bytes = global_bytes;
   // Synthetic kernels (sorts, memsets) are bandwidth-dominated and spread
@@ -370,6 +381,7 @@ void Device::charge_alloc_overhead(const std::string& name,
   KernelStats ks;
   ks.name = name;
   ks.category = KernelCategory::kOther;
+  ks.phase = phase_;
   ks.latency_us = config_.cost.alloc_overhead_us * static_cast<double>(count);
   profile_.push_back(ks);
 }

@@ -164,6 +164,14 @@ class Device {
   const std::vector<KernelStats>& profile() const noexcept { return profile_; }
   void clear_profile() { profile_.clear(); }
 
+  /// Training phase stamped onto every profile entry appended from now on
+  /// (run_kernel and the synthetic charges alike). Frameworks flip this at
+  /// their FWP/BWP boundaries so per-phase profile sums match the
+  /// fwp_us/bwp_us they derive from the same boundaries. Pure labeling:
+  /// pricing, numerics, and launch counting are untouched.
+  void set_phase(KernelPhase phase) noexcept { phase_ = phase; }
+  KernelPhase phase() const noexcept { return phase_; }
+
   /// run_kernel calls over the device's lifetime — exactly the
   /// gt::fault `gpusim.kernel` occurrence domain for the batch attempt
   /// that owns this device (charge_kernel / charge_alloc_overhead price
@@ -214,6 +222,7 @@ class Device {
   bool atomic_exec_ = false;
   std::vector<KernelStats> profile_;
   std::uint64_t launches_ = 0;  // run_kernel calls (fault-check 1:1)
+  KernelPhase phase_ = KernelPhase::kOther;  // stamped onto profile entries
 };
 
 }  // namespace gt::gpusim

@@ -24,9 +24,24 @@ enum class KernelCategory {
 
 const char* to_string(KernelCategory c);
 
+/// Which training phase a kernel ran in. Frameworks stamp the device with
+/// set_phase() at their FWP/BWP boundaries, so the per-phase latency sums
+/// of a profile equal the fwp_us/bwp_us the report derives from the same
+/// boundaries — the exactness the kernel ledger's attribution relies on.
+/// kOther covers work outside both phases (session uploads, cache
+/// assembly), which frameworks clear from the profile before FWP anyway.
+enum class KernelPhase {
+  kOther,
+  kForward,
+  kBackward,
+};
+
+const char* to_string(KernelPhase p);
+
 struct KernelStats {
   std::string name;
   KernelCategory category = KernelCategory::kOther;
+  KernelPhase phase = KernelPhase::kOther;
   double latency_us = 0.0;
   std::uint64_t flops = 0;
   std::size_t global_bytes = 0;       // DRAM traffic (misses + writes + raw)

@@ -1,0 +1,318 @@
+#include "obs/attrib/kernel_ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/live/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gt::obs::attrib {
+
+namespace {
+
+// %.10g: wide enough that re-parsed sums reproduce the invariant checks to
+// ~1e-6 relative, still a canonical shortest-ish form so identical
+// accumulations serialize byte-identically (house style elsewhere is %.6g;
+// the ledger is the one artifact whose numbers get *summed* downstream).
+void write_num(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  os << buf;
+}
+
+void write_str(std::ostream& os, std::string_view s) {
+  std::string out;
+  json_escape(s, out);
+  os << '"' << out << '"';
+}
+
+constexpr const char* kStageNames[4] = {"sampling", "reindex", "lookup",
+                                        "transfer"};
+
+}  // namespace
+
+std::string shape_signature(std::size_t blocks) {
+  if (blocks == 0) return "b0";
+  unsigned k = 0;
+  std::size_t edge = 1;  // bucket upper bound 2^k (inclusive-exclusive of 2x)
+  while (edge < blocks) {
+    edge <<= 1;
+    ++k;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "b2^%u", k);
+  return buf;
+}
+
+KernelLedger& KernelLedger::global() {
+  static KernelLedger* ledger = new KernelLedger();  // leaked on purpose
+  return *ledger;
+}
+
+void KernelLedger::arm(std::string out_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_path_ = std::move(out_path);
+  batches_ = 0;
+  sums_ = BatchTotals{};
+  preproc_parallel_us_ = 0.0;
+  overlap_hidden_us_ = 0.0;
+  kernels_.clear();
+  costmodel_.clear();
+  residual_pcts_.clear();
+  armed_.store(true, std::memory_order_release);
+}
+
+void KernelLedger::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  out_path_.clear();
+  batches_ = 0;
+  sums_ = BatchTotals{};
+  preproc_parallel_us_ = 0.0;
+  overlap_hidden_us_ = 0.0;
+  kernels_.clear();
+  costmodel_.clear();
+  residual_pcts_.clear();
+}
+
+std::string KernelLedger::out_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return out_path_;
+}
+
+void KernelLedger::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  batches_ = 0;
+  sums_ = BatchTotals{};
+  preproc_parallel_us_ = 0.0;
+  overlap_hidden_us_ = 0.0;
+  kernels_.clear();
+  costmodel_.clear();
+  residual_pcts_.clear();
+}
+
+void KernelLedger::record_batch(const BatchTotals& totals,
+                                const std::vector<KernelRecord>& kernels) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  sums_.end_to_end_us += totals.end_to_end_us;
+  sums_.makespan_us += totals.makespan_us;
+  double busy = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    sums_.stage_busy_us[i] += totals.stage_busy_us[i];
+    busy += totals.stage_busy_us[i];
+  }
+  sums_.fwp_us += totals.fwp_us;
+  sums_.bwp_us += totals.bwp_us;
+  // The identity's two correction terms (see header): per-batch, then
+  // summed — linearity keeps the invariant exact on the totals.
+  preproc_parallel_us_ += busy - totals.makespan_us;
+  overlap_hidden_us_ += totals.makespan_us + totals.fwp_us + totals.bwp_us -
+                        totals.end_to_end_us;
+
+  for (const KernelRecord& k : kernels) {
+    const std::string shape = shape_signature(k.blocks);
+    std::string key = k.name;
+    key += '|';
+    key += k.phase;
+    key += '|';
+    key += shape;
+    auto [it, inserted] = kernels_.try_emplace(std::move(key));
+    KernelClass& cls = it->second;
+    if (inserted) {
+      cls.name = k.name;
+      cls.category = k.category;
+      cls.phase = k.phase;
+      cls.shape = shape;
+      cls.blocks_min = cls.blocks_max = k.blocks;
+    } else {
+      cls.blocks_min = std::min(cls.blocks_min, k.blocks);
+      cls.blocks_max = std::max(cls.blocks_max, k.blocks);
+    }
+    ++cls.launches;
+    cls.total_us += k.latency_us;
+    cls.flops += static_cast<double>(k.flops);
+    cls.global_bytes += static_cast<double>(k.global_bytes);
+  }
+}
+
+void KernelLedger::record_prediction(const std::string& class_key,
+                                     double predicted_us, double measured_us,
+                                     bool fitted) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  CostClass& cls = costmodel_[class_key];
+  ++cls.samples;
+  cls.predicted_us += predicted_us;
+  cls.measured_us += measured_us;
+  if (fitted) {
+    ++cls.fitted_samples;
+    if (measured_us > 0.0)
+      residual_pcts_.push_back(100.0 *
+                               std::abs(predicted_us - measured_us) /
+                               measured_us);
+  }
+}
+
+std::size_t KernelLedger::batch_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+std::size_t KernelLedger::kernel_class_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kernels_.size();
+}
+
+void KernelLedger::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"schema_version\": " << kKernelLedgerSchemaVersion << ",\n";
+  os << "  \"meta\": {\"drift_threshold_pct\": ";
+  write_num(os, costmodel_drift_threshold_pct());
+  os << "},\n";
+
+  os << "  \"totals\": {\n";
+  os << "    \"batches\": " << batches_ << ",\n";
+  os << "    \"end_to_end_us\": ";
+  write_num(os, sums_.end_to_end_us);
+  os << ",\n    \"makespan_us\": ";
+  write_num(os, sums_.makespan_us);
+  os << ",\n";
+  for (int i = 0; i < 4; ++i) {
+    os << "    \"" << kStageNames[i] << "_us\": ";
+    write_num(os, sums_.stage_busy_us[i]);
+    os << ",\n";
+  }
+  os << "    \"preproc_parallel_us\": ";
+  write_num(os, preproc_parallel_us_);
+  os << ",\n    \"fwp_us\": ";
+  write_num(os, sums_.fwp_us);
+  os << ",\n    \"bwp_us\": ";
+  write_num(os, sums_.bwp_us);
+  os << ",\n    \"overlap_hidden_us\": ";
+  write_num(os, overlap_hidden_us_);
+  os << "\n  },\n";
+
+  os << "  \"kernels\": {";
+  bool first = true;
+  for (const auto& [key, cls] : kernels_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    write_str(os, key);
+    os << ": {\"name\": ";
+    write_str(os, cls.name);
+    os << ", \"category\": ";
+    write_str(os, cls.category);
+    os << ", \"phase\": ";
+    write_str(os, cls.phase);
+    os << ", \"shape\": ";
+    write_str(os, cls.shape);
+    os << ", \"blocks_min\": " << cls.blocks_min
+       << ", \"blocks_max\": " << cls.blocks_max
+       << ", \"launches\": " << cls.launches << ", \"total_us\": ";
+    write_num(os, cls.total_us);
+    os << ", \"flops\": ";
+    write_num(os, cls.flops);
+    os << ", \"global_bytes\": ";
+    write_num(os, cls.global_bytes);
+    os << "}";
+  }
+  os << (first ? "}" : "\n  }") << ",\n";
+
+  // Residual distribution over the per-sample pcts recorded here (matches
+  // DkpCostModel::residual_summary on the same stream).
+  double p50 = 0.0, p95 = 0.0, mean = 0.0;
+  if (!residual_pcts_.empty()) {
+    std::vector<double> errs = residual_pcts_;
+    std::sort(errs.begin(), errs.end());
+    auto rank = [&](double q) {
+      std::size_t k = static_cast<std::size_t>(std::ceil(q * errs.size()));
+      if (k > 0) --k;
+      return errs[std::min(k, errs.size() - 1)];
+    };
+    p50 = rank(0.50);
+    p95 = rank(0.95);
+    for (double e : errs) mean += e;
+    mean /= static_cast<double>(errs.size());
+  }
+  os << "  \"costmodel\": {\n    \"classes\": {";
+  first = true;
+  for (const auto& [key, cls] : costmodel_) {
+    os << (first ? "\n" : ",\n") << "      ";
+    first = false;
+    write_str(os, key);
+    os << ": {\"samples\": " << cls.samples
+       << ", \"fitted_samples\": " << cls.fitted_samples
+       << ", \"predicted_us\": ";
+    write_num(os, cls.predicted_us);
+    os << ", \"measured_us\": ";
+    write_num(os, cls.measured_us);
+    os << "}";
+  }
+  os << (first ? "}" : "\n    }") << ",\n";
+  os << "    \"residual\": {\"samples\": " << residual_pcts_.size()
+     << ", \"p50_pct\": ";
+  write_num(os, p50);
+  os << ", \"p95_pct\": ";
+  write_num(os, p95);
+  os << ", \"mean_pct\": ";
+  write_num(os, mean);
+  os << "}\n  }\n}\n";
+}
+
+bool KernelLedger::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+bool KernelLedger::write_json_file() const {
+  const std::string path = out_path();
+  if (path.empty()) return false;
+  return write_json_file(path);
+}
+
+double costmodel_drift_threshold_pct() {
+  static const double threshold = [] {
+    if (const char* env = std::getenv("GT_COSTMODEL_DRIFT_PCT")) {
+      const double v = std::atof(env);
+      if (v > 0.0) return v;
+    }
+    return 25.0;
+  }();
+  return threshold;
+}
+
+void observe_costmodel_residuals(std::size_t samples, double p50_pct,
+                                 double p95_pct) {
+  if (samples == 0) return;
+  metrics().gauge("costmodel.residual.p50").set(p50_pct);
+  metrics().gauge("costmodel.residual.p95").set(p95_pct);
+  // Rising-edge latch: one drift event per excursion above the threshold,
+  // not one per batch while the model stays drifted.
+  static std::atomic<bool> drifted{false};
+  const bool over = p95_pct > costmodel_drift_threshold_pct();
+  if (over && !drifted.exchange(true, std::memory_order_relaxed)) {
+    metrics().counter("costmodel.drift").add(1);
+    if (live::EventLog::global().armed()) {
+      live::EventLog::global().emit(
+          live::Event(live::Severity::kWarn, "costmodel.drift")
+              .msg("DKP cost-model residual p95 above drift threshold")
+              .field("p50_pct", p50_pct)
+              .field("p95_pct", p95_pct)
+              .field("threshold_pct", costmodel_drift_threshold_pct())
+              .field("samples", static_cast<std::uint64_t>(samples)));
+    }
+  } else if (!over) {
+    drifted.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gt::obs::attrib

@@ -1,0 +1,162 @@
+// KernelLedger: per-run kernel-level perf attribution artifact.
+//
+// bench_diff can say *that* a run got slower and gt_top shows it live, but
+// neither explains *why* below the S/R/K/T/FWP/BWP stage shares. The
+// ledger closes that gap: while armed it aggregates every priced
+// gpusim::KernelStats a framework reports, keyed by (kernel name,
+// launch-shape signature, phase), records per-batch stage totals in a form
+// whose terms sum *exactly* to the end-to-end latency, and joins the DKP
+// cost model's predictions against measured layer latencies. One
+// schema-versioned `kernels.json` per run sits next to the existing
+// bench/trace/metrics artifacts; tools/gt_explain diffs two of them.
+//
+// The per-batch identity the attribution relies on (pipeline/plan.hpp's
+// end_to_end_us, rearranged; g = fwp + bwp, m = preproc makespan):
+//
+//   overlap:     e2e = max(m, g) = sum(stage busy) - parallel + g - hidden
+//   serial:      e2e = m + g     = sum(stage busy) - parallel + g - 0
+//
+// where parallel = sum(stage busy) - m  (preprocessing-parallelism savings)
+// and   hidden   = m + g - e2e          (compute hidden under preprocessing).
+// Both corrections are recorded per batch, so summed totals keep the
+// identity exactly and gt_explain's stage deltas sum to the measured e2e
+// delta by construction.
+//
+// Arming: GT_KERNEL_LEDGER_OUT / ServiceOptions::kernel_ledger_out /
+// --kernel-ledger-out. Off (the default), record sites skip all work
+// behind one relaxed atomic load, so armed-off runs stay bit-identical —
+// and the call sites compile away entirely under GT_OBS_DISABLE.
+// Process-wide singleton like Tracer/MetricsRegistry: one ledger per
+// process, re-arming resets the accumulation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gt::obs::attrib {
+
+inline constexpr int kKernelLedgerSchemaVersion = 1;
+
+/// One profile entry, pre-stringified by the recording site (frameworks
+/// own the gpusim types; obs deliberately does not link against them).
+struct KernelRecord {
+  std::string name;
+  std::string category;  // gpusim::to_string(KernelCategory)
+  std::string phase;     // gpusim::to_string(KernelPhase): fwd/bwd/other
+  std::size_t blocks = 0;
+  double latency_us = 0.0;
+  std::uint64_t flops = 0;
+  std::size_t global_bytes = 0;
+};
+
+/// Stage totals of one *reported ok* batch, straight off the RunReport and
+/// its PreprocSchedule. stage_busy_us is indexed by pipeline::TaskType
+/// order (sampling, reindex, lookup, transfer).
+struct BatchTotals {
+  double end_to_end_us = 0.0;
+  double makespan_us = 0.0;
+  double stage_busy_us[4] = {0.0, 0.0, 0.0, 0.0};
+  double fwp_us = 0.0;
+  double bwp_us = 0.0;
+};
+
+/// Launch-shape signature: power-of-two bucket of the block count
+/// ("b2^10" = blocks in [512, 1024), "b0" for synthetic charges with no
+/// grid). Coarse on purpose — batch-to-batch sampling jitter must not
+/// split one logical kernel class into hundreds of singleton keys.
+std::string shape_signature(std::size_t blocks);
+
+class KernelLedger {
+ public:
+  KernelLedger() = default;
+  KernelLedger(const KernelLedger&) = delete;
+  KernelLedger& operator=(const KernelLedger&) = delete;
+
+  /// The process-wide ledger (leaked singleton, like Tracer/Metrics).
+  static KernelLedger& global();
+
+  /// Arm the ledger and remember where write_json_file() should dump.
+  /// Resets any previous accumulation.
+  void arm(std::string out_path);
+  /// Disarm and drop the accumulation (the artifact should be written
+  /// first; see GnnService's destructor / bench_util's ObsHook).
+  void disarm();
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  std::string out_path() const;
+
+  /// Drop all recorded data (armed state and out path survive).
+  void clear();
+
+  /// Record one ok batch: stage totals + the device's kernel profile.
+  /// No-op while disarmed.
+  void record_batch(const BatchTotals& totals,
+                    const std::vector<KernelRecord>& kernels);
+
+  /// Join one DKP sample against the model's prediction. `class_key`
+  /// identifies the placement case (e.g. "fwd/aggregation-first/L0");
+  /// `fitted` marks samples predicted by fitted coefficients — only those
+  /// enter the residual distribution. No-op while disarmed.
+  void record_prediction(const std::string& class_key, double predicted_us,
+                         double measured_us, bool fitted);
+
+  std::size_t batch_count() const;
+  std::size_t kernel_class_count() const;
+
+  /// Dump the schema-versioned kernels.json. Keys sorted, fixed float
+  /// format — byte-identical for identical accumulations.
+  void write_json(std::ostream& os) const;
+  bool write_json_file(const std::string& path) const;
+  /// Write to the path given at arm() time; false when disarmed/IO error.
+  bool write_json_file() const;
+
+ private:
+  struct KernelClass {
+    std::string name, category, phase, shape;
+    std::size_t blocks_min = 0, blocks_max = 0;
+    std::uint64_t launches = 0;
+    double total_us = 0.0;
+    double flops = 0.0;         // doubles: JSON numbers, huge counts
+    double global_bytes = 0.0;
+  };
+  struct CostClass {
+    std::uint64_t samples = 0;
+    std::uint64_t fitted_samples = 0;
+    double predicted_us = 0.0;
+    double measured_us = 0.0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::string out_path_;
+  std::size_t batches_ = 0;
+  BatchTotals sums_;                   // across batches
+  double preproc_parallel_us_ = 0.0;   // sum of per-batch parallel terms
+  double overlap_hidden_us_ = 0.0;     // sum of per-batch hidden terms
+  std::map<std::string, KernelClass, std::less<>> kernels_;
+  std::map<std::string, CostClass, std::less<>> costmodel_;
+  std::vector<double> residual_pcts_;  // fitted samples only
+};
+
+/// Drift threshold for the live costmodel.* surface: GT_COSTMODEL_DRIFT_PCT
+/// (read once), default 25 — roughly double the paper's reported 12.5%
+/// prediction error.
+double costmodel_drift_threshold_pct();
+
+/// Publish the cost model's residual distribution to live telemetry:
+/// costmodel.residual.p50 / costmodel.residual.p95 gauges every call, and
+/// — when p95 crosses the drift threshold — a one-shot costmodel.drift
+/// event + counter (latched until the residuals recover, so a drifting
+/// model logs one event, not one per batch). Works with or without the
+/// ledger armed; never touches trained or priced values.
+void observe_costmodel_residuals(std::size_t samples, double p50_pct,
+                                 double p95_pct);
+
+}  // namespace gt::obs::attrib

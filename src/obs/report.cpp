@@ -8,6 +8,7 @@
 #include <map>
 #include <thread>
 
+#include "obs/attrib/explain.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
 
@@ -358,11 +359,67 @@ void diff_trace_analysis(const BenchReport& baseline,
   }
 }
 
+/// "dir/report.json" -> "dir/kernels.json": the default artifact layout
+/// when a run arms GT_KERNEL_LEDGER_OUT next to GT_BENCH_OUT.
+std::string sibling_kernels_path(const std::string& report_path) {
+  const std::size_t slash = report_path.find_last_of('/');
+  if (slash == std::string::npos) return "kernels.json";
+  return report_path.substr(0, slash + 1) + "kernels.json";
+}
+
+/// Try to load both runs' kernel ledgers for root-cause attribution.
+/// False (with a human-readable reason) when either artifact is absent.
+bool load_attribution(const BenchDiffOptions& opt,
+                      const std::string& baseline_path,
+                      const std::string& current_path,
+                      attrib::Attribution* out, std::string* base_kernels,
+                      std::string* cur_kernels, std::string* why_not) {
+  *base_kernels = opt.baseline_kernels.empty()
+                      ? sibling_kernels_path(baseline_path)
+                      : opt.baseline_kernels;
+  *cur_kernels = opt.current_kernels.empty()
+                     ? sibling_kernels_path(current_path)
+                     : opt.current_kernels;
+  attrib::LedgerData base, cur;
+  if (!attrib::LedgerData::load(*base_kernels, &base, why_not)) return false;
+  if (!attrib::LedgerData::load(*cur_kernels, &cur, why_not)) return false;
+  *out = attrib::attribute(base, cur);
+  return true;
+}
+
+void write_json_row(std::ostream& os, const RowDelta& d) {
+  const BenchRow& named =
+      d.status == RowDelta::Status::kNew ? d.current : d.baseline;
+  os << "    {\"status\": ";
+  write_str(os, status_name(d.status));
+  os << ", \"figure\": ";
+  write_str(os, named.figure);
+  os << ", \"metric\": ";
+  write_str(os, named.metric);
+  os << ", \"dataset\": ";
+  write_str(os, named.dataset);
+  os << ", \"framework\": ";
+  write_str(os, named.framework);
+  os << ", \"unit\": ";
+  write_str(os, named.unit);
+  os << ", \"paper\": ";
+  write_num(os, named.paper);
+  os << ", \"measured_baseline\": ";
+  write_num(os, d.baseline.measured);
+  os << ", \"measured_current\": ";
+  write_num(os, d.current.measured);
+  os << ", \"err_baseline\": ";
+  write_num(os, d.err_baseline);
+  os << ", \"err_current\": ";
+  write_num(os, d.err_current);
+  os << "}";
+}
+
 }  // namespace
 
 int run_bench_diff(const std::string& baseline_path,
-                   const std::string& current_path, double threshold,
-                   std::ostream& os) {
+                   const std::string& current_path,
+                   const BenchDiffOptions& opt, std::ostream& os) {
   std::string error;
   BenchReport baseline, current;
   if (!BenchReport::load(baseline_path, &baseline, &error)) {
@@ -374,10 +431,79 @@ int run_bench_diff(const std::string& baseline_path,
     return 2;
   }
 
-  const DiffResult diff = diff_reports(baseline, current, threshold);
+  const DiffResult diff = diff_reports(baseline, current, opt.threshold);
+  std::size_t regressed = 0, missing = 0, improved = 0, fresh = 0;
+  for (const RowDelta& d : diff.deltas) {
+    regressed += d.status == RowDelta::Status::kRegressed;
+    missing += d.status == RowDelta::Status::kMissing;
+    improved += d.status == RowDelta::Status::kImproved;
+    fresh += d.status == RowDelta::Status::kNew;
+  }
+  // A baseline row absent from the candidate is not a measured regression
+  // — it means the comparison never happened (renamed metric, bench that
+  // stopped emitting, truncated report), so the verdict is "incomplete"
+  // and the exit code matches the unreadable-input case: CI fails loudly
+  // instead of reporting a pass/fail over a partial comparison.
+  const int exit_code = missing > 0 ? 2 : (diff.regressed ? 1 : 0);
+  const char* verdict =
+      missing > 0 ? "incomplete" : (diff.regressed ? "regressed" : "ok");
+
+  // Root-cause attribution for a real regression verdict: diff the two
+  // runs' kernel ledgers when both exist.
+  attrib::Attribution attribution;
+  std::string base_kernels, cur_kernels, attr_why_not;
+  const bool have_attribution =
+      exit_code == 1 && opt.top_kernels > 0 &&
+      load_attribution(opt, baseline_path, current_path, &attribution,
+                       &base_kernels, &cur_kernels, &attr_why_not);
+
+  if (opt.json) {
+    os << "{\n  \"schema_version\": 1,\n  \"threshold\": ";
+    write_num(os, opt.threshold);
+    os << ",\n  \"verdict\": ";
+    write_str(os, verdict);
+    os << ",\n  \"baseline\": {\"path\": ";
+    write_str(os, baseline_path);
+    os << ", \"git_sha\": ";
+    write_str(os, baseline.meta.git_sha);
+    os << "},\n  \"current\": {\"path\": ";
+    write_str(os, current_path);
+    os << ", \"git_sha\": ";
+    write_str(os, current.meta.git_sha);
+    os << "},\n  \"counts\": {\"compared\": " << diff.deltas.size()
+       << ", \"regressed\": " << regressed << ", \"missing\": " << missing
+       << ", \"improved\": " << improved << ", \"new\": " << fresh
+       << "},\n  \"rows\": [";
+    bool first = true;
+    for (const RowDelta& d : diff.deltas) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      write_json_row(os, d);
+    }
+    os << (first ? "]" : "\n  ]") << ",\n  \"kernel_attribution\": [";
+    first = true;
+    if (have_attribution) {
+      std::size_t shown = 0;
+      for (const attrib::KernelDelta& k : attribution.kernels) {
+        if (shown >= opt.top_kernels || k.delta_us == 0.0) break;
+        ++shown;
+        os << (first ? "\n" : ",\n") << "    {\"key\": ";
+        first = false;
+        write_str(os, k.key);
+        os << ", \"phase\": ";
+        write_str(os, k.phase);
+        os << ", \"delta_us_per_batch\": ";
+        write_num(os, k.delta_us);
+        os << "}";
+      }
+    }
+    os << (first ? "]" : "\n  ]") << "\n}\n";
+    return exit_code;
+  }
+
   os << "bench_diff: " << baseline_path << " (" << baseline.meta.git_sha
      << ") vs " << current_path << " (" << current.meta.git_sha
-     << "), threshold " << threshold << "\n\n";
+     << "), threshold " << opt.threshold << "\n\n";
 
   Table table({"status", "row", "unit", "paper", "measured old", "measured new",
                "err old", "err new"});
@@ -397,18 +523,8 @@ int run_bench_diff(const std::string& baseline_path,
   os << table.to_string();
   diff_trace_analysis(baseline, current, os);
 
-  std::size_t regressed = 0, missing = 0;
-  for (const RowDelta& d : diff.deltas) {
-    regressed += d.status == RowDelta::Status::kRegressed;
-    missing += d.status == RowDelta::Status::kMissing;
-  }
   os << "\n" << diff.deltas.size() << " rows compared: " << regressed
      << " regressed, " << missing << " missing\n";
-  // A baseline row absent from the candidate is not a measured regression
-  // — it means the comparison never happened (renamed metric, bench that
-  // stopped emitting, truncated report). Surface each missing key and exit
-  // like the unreadable-input case so CI fails loudly instead of
-  // reporting a misleading pass/fail verdict over a partial comparison.
   if (missing > 0) {
     for (const RowDelta& d : diff.deltas) {
       if (d.status != RowDelta::Status::kMissing) continue;
@@ -423,10 +539,29 @@ int run_bench_diff(const std::string& baseline_path,
   }
   if (diff.regressed) {
     os << "bench_diff: FAIL (regression beyond threshold)\n";
+    if (have_attribution) {
+      os << "\nkernel-level attribution (per-batch, " << base_kernels
+         << " vs " << cur_kernels << "):\n";
+      attrib::write_top_kernels(attribution, os, opt.top_kernels);
+      os << "  (full breakdown: tools/gt_explain " << base_kernels << " "
+         << cur_kernels << ")\n";
+    } else if (opt.top_kernels > 0) {
+      os << "bench_diff: no kernel attribution available (" << attr_why_not
+         << "); arm GT_KERNEL_LEDGER_OUT on both runs to root-cause "
+            "regressions with tools/gt_explain\n";
+    }
     return 1;
   }
   os << "bench_diff: OK\n";
   return 0;
+}
+
+int run_bench_diff(const std::string& baseline_path,
+                   const std::string& current_path, double threshold,
+                   std::ostream& os) {
+  BenchDiffOptions opt;
+  opt.threshold = threshold;
+  return run_bench_diff(baseline_path, current_path, opt, os);
 }
 
 }  // namespace gt::obs

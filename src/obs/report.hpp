@@ -144,9 +144,32 @@ struct DiffResult {
 DiffResult diff_reports(const BenchReport& baseline,
                         const BenchReport& current, double threshold);
 
+/// Knobs behind tools/bench_diff beyond the two report paths.
+struct BenchDiffOptions {
+  double threshold = 0.05;
+  /// Emit one machine-readable JSON document instead of the text table
+  /// (schema_version, threshold, verdict, counts, rows; the exit code is
+  /// unchanged).
+  bool json = false;
+  /// On a regression verdict, attribute it: diff the two runs' kernel
+  /// ledgers (see obs/attrib) and print the top-N kernel classes by
+  /// movement under the FAIL line. 0 disables.
+  std::size_t top_kernels = 3;
+  /// Explicit kernels.json paths for the attribution; when empty, a
+  /// sibling "kernels.json" next to each bench report is tried.
+  std::string baseline_kernels;
+  std::string current_kernels;
+};
+
 /// Full CLI behavior behind tools/bench_diff: load both files, print the
-/// delta table to `os`, return the process exit code (0 = no regression,
-/// 1 = regression past threshold, 2 = unreadable input).
+/// delta table (or JSON) to `os`, return the process exit code (0 = no
+/// regression, 1 = regression past threshold, 2 = unreadable input or
+/// incomplete comparison).
+int run_bench_diff(const std::string& baseline_path,
+                   const std::string& current_path,
+                   const BenchDiffOptions& options, std::ostream& os);
+
+/// Back-compat shim: default options with `threshold`.
 int run_bench_diff(const std::string& baseline_path,
                    const std::string& current_path, double threshold,
                    std::ostream& os);

@@ -112,6 +112,55 @@ TEST(CostModel, SampleCountTracksRecords) {
   EXPECT_EQ(model.sample_count(), 2u);
 }
 
+TEST(CostModel, ResidualsEmptyBeforeFitAndNeverNan) {
+  DkpCostModel model;
+  model.record(dims(100, 40, 300, 32, 8), kAggFwd, 10.0);
+  EXPECT_TRUE(model.residuals().empty());  // pre-fit samples train, not probe
+  const ResidualSummary s = model.residual_summary();
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_EQ(s.p50_pct, 0.0);
+  EXPECT_EQ(s.p95_pct, 0.0);
+  EXPECT_EQ(s.mean_pct, 0.0);
+}
+
+TEST(CostModel, PostFitRecordsBecomeResidualProbes) {
+  DkpCostModel model;
+  Xoshiro256 rng(5);
+  const double c0 = 7.0, c_mem = 5e-4, c_mac = 6e-6;
+  auto latency = [&](const LayerDims& d, const PlacementCase& c) {
+    auto x = DkpCostModel::features(d, c);
+    return c0 + c_mem * x[1] + c_mac * x[2];
+  };
+  for (int i = 0; i < 100; ++i) {
+    LayerDims d = dims(100 + static_cast<Vid>(rng.uniform(5000)),
+                       50 + static_cast<Vid>(rng.uniform(500)),
+                       200 + rng.uniform(20000), 4 + rng.uniform(600),
+                       2 + rng.uniform(64));
+    model.record(d, kAggFwd, latency(d, kAggFwd));
+  }
+  model.fit();
+  ASSERT_TRUE(model.fitted());
+  EXPECT_TRUE(model.residuals().empty());
+
+  // Post-fit: each record is a probe; the synthetic generator matches the
+  // fitted model, so residuals sit near zero...
+  LayerDims probe = dims(2000, 400, 8000, 128, 16);
+  model.record(probe, kAggFwd, latency(probe, kAggFwd));
+  ASSERT_EQ(model.residuals().size(), 1u);
+  EXPECT_NEAR(model.residuals()[0].rel_error_pct(), 0.0, 1.0);
+
+  // ...and a sample measured 2x the prediction lands near 50% rel error,
+  // dragging p95 (nearest-rank: the worst of two samples) with it.
+  model.record(probe, kAggFwd, 2.0 * latency(probe, kAggFwd));
+  ASSERT_EQ(model.residuals().size(), 2u);
+  const ResidualSummary s = model.residual_summary();
+  EXPECT_EQ(s.samples, 2u);
+  EXPECT_NEAR(model.residuals()[1].rel_error_pct(), 50.0, 1.5);
+  EXPECT_NEAR(s.p95_pct, model.residuals()[1].rel_error_pct(), 1e-9);
+  EXPECT_LE(s.p50_pct, s.p95_pct);
+  EXPECT_GT(s.mean_pct, 0.0);
+}
+
 TEST(CostModel, ToString) {
   EXPECT_STREQ(to_string(KernelOrder::kAggregationFirst),
                "aggregation-first");

@@ -157,6 +157,35 @@ TEST(Device, ProfileAccumulates) {
   EXPECT_TRUE(dev.profile().empty());
 }
 
+TEST(Device, PhaseStampsProfileEntries) {
+  Device dev(small_config());
+  EXPECT_EQ(dev.phase(), KernelPhase::kOther);  // default outside FWP/BWP
+  dev.run_kernel("warm", KernelCategory::kOther, 1, [](BlockCtx&) {});
+
+  dev.set_phase(KernelPhase::kForward);
+  dev.run_kernel("fwd_a", KernelCategory::kAggregation, 1,
+                 [](BlockCtx& ctx) { ctx.flops(10); });
+  dev.charge_kernel("fwd_b", KernelCategory::kFormatTranslate, 0, 100);
+
+  dev.set_phase(KernelPhase::kBackward);
+  dev.run_kernel("bwd_a", KernelCategory::kCombination, 1,
+                 [](BlockCtx& ctx) { ctx.flops(20); });
+
+  ASSERT_EQ(dev.profile().size(), 4u);
+  EXPECT_EQ(dev.profile()[0].phase, KernelPhase::kOther);
+  // Synthetic charges are stamped exactly like real launches.
+  EXPECT_EQ(dev.profile()[1].phase, KernelPhase::kForward);
+  EXPECT_EQ(dev.profile()[2].phase, KernelPhase::kForward);
+  EXPECT_EQ(dev.profile()[3].phase, KernelPhase::kBackward);
+
+  // Stamping is bookkeeping only: pricing and launch counting unchanged.
+  EXPECT_EQ(dev.kernel_launch_count(), 3u);
+
+  EXPECT_STREQ(to_string(KernelPhase::kOther), "other");
+  EXPECT_STREQ(to_string(KernelPhase::kForward), "fwd");
+  EXPECT_STREQ(to_string(KernelPhase::kBackward), "bwd");
+}
+
 TEST(Device, ChargeAllocOverheadAddsLatencyOnly) {
   Device dev(small_config());
   dev.charge_alloc_overhead("mallocs", 3);

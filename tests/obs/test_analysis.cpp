@@ -100,6 +100,69 @@ TEST(TraceAnalysis, SyntheticTimelineNumbers) {
   EXPECT_DOUBLE_EQ(a.pcie_idle_fraction, 1.0 - 10.0 / 50.0);
 }
 
+// Degenerate timelines must stay finite and defined — every derived
+// fraction divides by a span/busy/min that can legitimately be zero.
+TEST(TraceAnalysis, SingleSpanTimeline) {
+  const TraceAnalysis a =
+      TraceAnalysis::from_events({event("S", "sampling", 5.0, 10.0,
+                                        kSimPid, 10)});
+  EXPECT_EQ(a.sim_event_count, 1u);
+  EXPECT_DOUBLE_EQ(a.span_us, 10.0);
+  EXPECT_DOUBLE_EQ(a.critical_path_us, 10.0);
+  EXPECT_DOUBLE_EQ(a.stage_us[0], 10.0);
+  EXPECT_DOUBLE_EQ(a.stage_share[0], 1.0);  // the only busy time there is
+  // No GPU side at all: overlap must be defined zero, not 0/0.
+  EXPECT_DOUBLE_EQ(a.gpu_busy_us, 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency, 0.0);
+  EXPECT_DOUBLE_EQ(a.pcie_idle_fraction, 1.0);  // link never used
+}
+
+TEST(TraceAnalysis, ZeroDurationSpansProduceNoNans) {
+  // All spans instantaneous at the same timestamp: span, busy, and every
+  // denominator collapse to zero.
+  const std::vector<TraceEvent> events = {
+      event("S", "sampling", 7.0, 0.0, kSimPid, 10),
+      event("T", "transfer", 7.0, 0.0, kSimPid, kSimTidPcie),
+      event("FWP", "FWP", 7.0, 0.0, kSimPid, kSimTidGpu),
+  };
+  const TraceAnalysis a = TraceAnalysis::from_events(events);
+  EXPECT_EQ(a.sim_event_count, 3u);
+  EXPECT_DOUBLE_EQ(a.span_us, 0.0);
+  EXPECT_DOUBLE_EQ(a.critical_path_us, 0.0);
+  for (int i = 0; i < kNumPreprocStages; ++i) {
+    EXPECT_DOUBLE_EQ(a.stage_us[i], 0.0);
+    EXPECT_DOUBLE_EQ(a.stage_share[i], 0.0);  // defined zero, not 0/0
+  }
+  EXPECT_DOUBLE_EQ(a.fwp_share, 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency, 0.0);
+  EXPECT_DOUBLE_EQ(a.pcie_idle_fraction, 0.0);
+
+  // The serialized form must carry real numbers, never "nan"/"inf".
+  std::ostringstream os;
+  a.write_json(os);
+  EXPECT_TRUE(testing::JsonChecker(os.str()).valid()) << os.str();
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+TEST(TraceAnalysis, ZeroDurationMixedWithRealSpans) {
+  // A zero-width marker inside a real busy window must not disturb the
+  // union measures or shares.
+  const std::vector<TraceEvent> events = {
+      event("S", "sampling", 0.0, 10.0, kSimPid, 10),
+      event("mark", "sampling", 4.0, 0.0, kSimPid, 10),
+      event("FWP", "FWP", 5.0, 5.0, kSimPid, kSimTidGpu),
+  };
+  const TraceAnalysis a = TraceAnalysis::from_events(events);
+  EXPECT_DOUBLE_EQ(a.span_us, 10.0);
+  EXPECT_DOUBLE_EQ(a.critical_path_us, 10.0);
+  EXPECT_DOUBLE_EQ(a.stage_us[0], 10.0);
+  EXPECT_DOUBLE_EQ(a.preproc_busy_us, 10.0);
+  EXPECT_DOUBLE_EQ(a.gpu_busy_us, 5.0);
+  EXPECT_DOUBLE_EQ(a.overlap_us, 5.0);
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency, 1.0);  // GPU side fully hidden
+}
+
 TEST(TraceAnalysis, WriteJsonIsValidAndCarriesTheNumbers) {
   const TraceAnalysis a = TraceAnalysis::from_events(synthetic_events());
   std::ostringstream os;

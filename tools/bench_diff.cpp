@@ -1,7 +1,7 @@
 // bench_diff: compare two bench reports (BENCH_*.json) row by row and
 // gate perf regressions.
 //
-//   $ bench_diff [--threshold=0.05] baseline.json current.json
+//   $ bench_diff [--threshold=0.05] [--json] baseline.json current.json
 //
 // Exit codes: 0 = no regression, 1 = some row regressed past the
 // threshold, 2 = bad usage / unreadable input / comparison incomplete (a
@@ -10,6 +10,14 @@
 // with a per-row diagnostic instead of a partial verdict). The comparison
 // itself lives in gt::obs (obs/report.hpp) so tests exercise the exact
 // CLI semantics; this file only parses arguments.
+//
+// On a regression verdict (exit 1), bench_diff attributes the failure: it
+// looks for each run's kernel-ledger artifact (a sibling kernels.json, or
+// --baseline-kernels=/--current-kernels=) and prints the top kernel
+// classes by per-batch latency movement (--top=N, default 3) — the quick
+// root cause, with tools/gt_explain for the full breakdown. --json emits
+// one machine-readable document (verdict, counts, rows, attribution)
+// instead of the text table; exit codes are identical.
 //
 // A row with a paper target regresses when its measured value moves away
 // from the paper value by more than the threshold (relative to |paper|);
@@ -29,11 +37,19 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threshold=FRACTION] baseline.json current.json\n"
+               "usage: %s [--threshold=FRACTION] [--json] [--top=N]\n"
+               "       [--baseline-kernels=F] [--current-kernels=F]\n"
+               "       baseline.json current.json\n"
                "  --threshold=F  max tolerated growth of a row's relative\n"
                "                 deviation (default 0.05, or the\n"
                "                 GT_BENCH_DIFF_THRESHOLD environment "
-               "variable)\n",
+               "variable)\n"
+               "  --json         machine-readable output (same exit codes)\n"
+               "  --top=N        kernel classes shown when attributing a\n"
+               "                 regression (default 3; 0 disables)\n"
+               "  --baseline-kernels=F / --current-kernels=F\n"
+               "                 kernel-ledger artifacts for attribution\n"
+               "                 (default: kernels.json next to each report)\n",
                argv0);
   return 2;
 }
@@ -41,18 +57,27 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  double threshold = 0.05;
+  gt::obs::BenchDiffOptions opt;
   if (const char* env = std::getenv("GT_BENCH_DIFF_THRESHOLD"))
-    threshold = std::atof(env);
+    opt.threshold = std::atof(env);
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threshold=", 0) == 0) {
-      threshold = std::atof(arg.c_str() + 12);
-      if (threshold < 0.0) {
+      opt.threshold = std::atof(arg.c_str() + 12);
+      if (opt.threshold < 0.0) {
         std::fprintf(stderr, "bench_diff: threshold must be >= 0\n");
         return 2;
       }
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg.rfind("--top=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + 6);
+      opt.top_kernels = n < 0 ? 0 : static_cast<std::size_t>(n);
+    } else if (arg.rfind("--baseline-kernels=", 0) == 0) {
+      opt.baseline_kernels = arg.substr(19);
+    } else if (arg.rfind("--current-kernels=", 0) == 0) {
+      opt.current_kernels = arg.substr(18);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -64,5 +89,5 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.size() != 2) return usage(argv[0]);
-  return gt::obs::run_bench_diff(paths[0], paths[1], threshold, std::cout);
+  return gt::obs::run_bench_diff(paths[0], paths[1], opt, std::cout);
 }

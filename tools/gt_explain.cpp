@@ -1,0 +1,23 @@
+// gt_explain: differential perf analysis over two kernel-ledger artifacts.
+//
+//   $ GT_KERNEL_LEDGER_OUT=base-kernels.json ./bench/bench_fig12_breakdown
+//   ...change something...
+//   $ GT_KERNEL_LEDGER_OUT=cur-kernels.json  ./bench/bench_fig12_breakdown
+//   $ ./tools/gt_explain base-kernels.json cur-kernels.json
+//
+// Attributes the per-batch end-to-end latency delta to the eight stage
+// terms of the ledger identity (their deltas sum to the e2e delta exactly)
+// and ranks kernel classes by movement. `--json` emits the machine form;
+// `--self-test <kernels.json>` runs the deterministic fixture check CI
+// gates on. All logic lives in obs/attrib/explain.cpp so tests and
+// bench_diff share it; this file is only the argv shim.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/attrib/explain.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return gt::obs::attrib::run_gt_explain(args, std::cout, std::cerr);
+}

@@ -24,9 +24,13 @@
 //                      2 = unreadable directory.
 //   --refresh-ms=N     live refresh period (default 1000).
 //   --frames=N         stop after N live frames (0 = until interrupted).
+//   --no-color         disable ANSI colors (also: NO_COLOR env, or stdout
+//                      not a terminal). Colors only ever decorate output;
+//                      the text underneath is identical either way.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -36,6 +40,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "obs/json.hpp"
 
 namespace {
@@ -43,6 +51,31 @@ namespace {
 using gt::obs::JsonValue;
 
 constexpr int kSnapshotSchemaVersion = 1;
+
+// ---- colors -----------------------------------------------------------------
+
+bool g_color = false;  // decided once in main()
+
+bool stdout_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(1) != 0;
+#else
+  return false;
+#endif
+}
+
+const char* c_reset() { return g_color ? "\x1b[0m" : ""; }
+const char* c_bold() { return g_color ? "\x1b[1m" : ""; }
+const char* c_green() { return g_color ? "\x1b[32m" : ""; }
+const char* c_yellow() { return g_color ? "\x1b[33m" : ""; }
+const char* c_red() { return g_color ? "\x1b[31m" : ""; }
+
+/// Health-state color: ok = green, stalled = red, anything else yellow.
+const char* state_color(const std::string& state) {
+  if (state == "ok") return c_green();
+  if (state == "stalled") return c_red();
+  return c_yellow();
+}
 
 std::string slurp(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
@@ -72,9 +105,13 @@ int render(const std::string& dir, bool clear_screen) {
   if (clear_screen) std::printf("\x1b[2J\x1b[H");
 
   const JsonValue& health = snap.at("health");
-  std::printf("gt_top — %s   seq %.0f · %.0f batches · t=%.1f ms · health %s\n",
-              dir.c_str(), snap.number_at("seq"), snap.number_at("batches"),
-              snap.number_at("ts_ms"), health.string_at("state").c_str());
+  const std::string& state = health.string_at("state");
+  std::printf(
+      "%sgt_top — %s%s   seq %.0f · %.0f batches · t=%.1f ms · health "
+      "%s%s%s\n",
+      c_bold(), dir.c_str(), c_reset(), snap.number_at("seq"),
+      snap.number_at("batches"), snap.number_at("ts_ms"), state_color(state),
+      state.c_str(), c_reset());
 
   // Stage shares: the six fine-grained pipeline stages.
   static const char* kStages[] = {"sample",   "reindex", "lookup",
@@ -129,8 +166,20 @@ int render(const std::string& dir, bool clear_screen) {
   if (hits + misses > 0.0)
     std::printf("  cache hits    %6.0f      hit rate %16.1f%%\n", hits,
                 100.0 * hits / (hits + misses));
-  std::printf("  watchdog      %s (%.0f heartbeats, %.0f stall%s)\n",
-              health.string_at("state").c_str(),
+  // Cost-model health (DESIGN.md §13): present once the DKP model has
+  // fitted and started streaming residuals. Drift events latch the
+  // counter, so a past excursion stays visible.
+  if (gauges.at("costmodel.residual.p95").is_number()) {
+    const double drift_events = counters.number_at("costmodel.drift");
+    std::printf("  cost model    p50 %.1f%% / p95 %s%.1f%%%s residual "
+                "(%.0f drift event%s)\n",
+                gauges.number_at("costmodel.residual.p50"),
+                drift_events > 0.0 ? c_red() : c_green(),
+                gauges.number_at("costmodel.residual.p95"), c_reset(),
+                drift_events, drift_events == 1.0 ? "" : "s");
+  }
+  std::printf("  watchdog      %s%s%s (%.0f heartbeats, %.0f stall%s)\n",
+              state_color(state), state.c_str(), c_reset(),
               health.number_at("heartbeats"), health.number_at("stalls"),
               health.number_at("stalls") == 1.0 ? "" : "s");
   return 0;
@@ -202,13 +251,18 @@ int check(const std::string& dir) {
   }
   for (const std::string& path : snapshots) c.check_snapshot(path);
 
-  // Event log: per-line schema + the causal-chain invariant.
+  // Event log: per-line schema + the causal-chain invariant. A service
+  // can legitimately produce no events yet (freshly started, or torn down
+  // before its first batch), so a missing or empty events.jsonl is a
+  // warning and an empty-but-valid check — not a hard failure; snapshots
+  // were already validated above.
   const std::string events_path = dir + "/events.jsonl";
   const std::string text = slurp(events_path);
   if (text.empty()) {
-    std::fprintf(stderr, "gt_top --check: %s missing or empty\n",
-                 events_path.c_str());
-    return 2;
+    std::fprintf(stderr,
+                 "gt_top --check: warning: %s %s (0 events checked)\n",
+                 events_path.c_str(),
+                 fs::exists(events_path) ? "is empty" : "is missing");
   }
   static const std::set<std::string> kSevs = {"debug", "info", "warn",
                                               "error"};
@@ -268,7 +322,7 @@ int check(const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool once = false, run_check = false;
+  bool once = false, run_check = false, no_color = false;
   int refresh_ms = 1000;
   long frames = 0;
   std::string dir;
@@ -278,6 +332,8 @@ int main(int argc, char** argv) {
       once = true;
     } else if (arg == "--check") {
       run_check = true;
+    } else if (arg == "--no-color") {
+      no_color = true;
     } else if (arg.rfind("--refresh-ms=", 0) == 0) {
       refresh_ms = std::atoi(arg.c_str() + 13);
     } else if (arg.rfind("--frames=", 0) == 0) {
@@ -291,16 +347,22 @@ int main(int argc, char** argv) {
   }
   if (dir.empty()) {
     std::fprintf(stderr,
-                 "usage: gt_top [--once|--check] [--refresh-ms=N] "
-                 "[--frames=N] <telemetry-dir>\n");
+                 "usage: gt_top [--once|--check] [--no-color] "
+                 "[--refresh-ms=N] [--frames=N] <telemetry-dir>\n");
     return 2;
   }
+  // Colors only when stdout is an interactive terminal and nobody opted
+  // out (--no-color flag, or the conventional NO_COLOR env variable).
+  g_color = !no_color && std::getenv("NO_COLOR") == nullptr &&
+            stdout_is_tty();
   if (run_check) return check(dir);
   if (once) return render(dir, /*clear_screen=*/false);
   if (refresh_ms < 50) refresh_ms = 50;
   long shown = 0;
   while (true) {
-    const int rc = render(dir, /*clear_screen=*/true);
+    // Clearing the screen needs escape support too; without a color-capable
+    // terminal, frames append instead of overwriting garbage escapes.
+    const int rc = render(dir, /*clear_screen=*/g_color);
     if (rc != 0) return rc;
     if (frames > 0 && ++shown >= frames) return 0;
     std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
