@@ -18,6 +18,18 @@
 //                host wall-clock changes.
 //   --batches=M  explicit batch count (wins over the positional form).
 //
+// Modeled multi-device execution (DESIGN.md §14):
+//   --devices=N  decompose each batch across N simulated devices behind a
+//                modeled ring interconnect. Trained parameters and losses
+//                stay bit-identical to --devices=1; the timeline becomes a
+//                per-device makespan merge and the report gains comm.*
+//                collective costs. Requires a GraphTensor backend.
+//   --shard=S    decomposition strategy: "range" (destination-vertex range
+//                sharding with halo all-gathers) or "tp" (NeutronTP-style
+//                tensor parallelism over the feature dimension, one
+//                all-reduce per layer boundary). Only valid together with
+//                --devices > 1; defaults to range.
+//
 // Fault injection / chaos serving (DESIGN.md §11):
 //   --fault-spec=SPEC (GT_FAULT_SPEC) arms a gt::fault schedule, e.g.
 //                --fault-spec="gpusim.alloc@batch=3;preproc.sample@batch=7"
@@ -70,6 +82,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -112,6 +125,8 @@ int main(int argc, char** argv) {
   std::string telemetry_flag;  // empty = GT_TELEMETRY_OUT / telemetry off
   std::vector<std::string> positional;
   int workers = 1;
+  int devices = 1;
+  std::string shard_flag;  // empty = flag absent; validated below
   int compute_threads = 0;  // 0 = GT_COMPUTE_THREADS / hardware default
   int batches_flag = -1;
   int max_retries = -1;  // -1 = ServiceOptions default
@@ -133,6 +148,14 @@ int main(int argc, char** argv) {
       workers = std::atoi(arg.c_str() + 10);
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if (arg.rfind("--devices=", 0) == 0) {
+      devices = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--devices" && i + 1 < argc) {
+      devices = std::atoi(argv[++i]);
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      shard_flag = arg.substr(8);
+    } else if (arg == "--shard" && i + 1 < argc) {
+      shard_flag = argv[++i];
     } else if (arg.rfind("--compute-threads=", 0) == 0) {
       compute_threads = std::atoi(arg.c_str() + 18);
     } else if (arg == "--compute-threads" && i + 1 < argc) {
@@ -166,6 +189,30 @@ int main(int argc, char** argv) {
     }
   }
   if (workers < 1) workers = 1;
+  // Contradictory-flag validation, before any expensive setup: a --shard
+  // with nothing to shard across is almost certainly a typo'd invocation,
+  // so fail loudly instead of silently training single-device.
+  if (devices < 1) {
+    std::fprintf(stderr, "--devices=%d: device count must be >= 1\n",
+                 devices);
+    return 2;
+  }
+  if (!shard_flag.empty() && devices <= 1) {
+    std::fprintf(stderr,
+                 "--shard=%s requires --devices > 1 (sharding a single "
+                 "device is a no-op; pass --devices=N to enable it)\n",
+                 shard_flag.c_str());
+    return 2;
+  }
+  gt::frameworks::ShardStrategy shard = gt::frameworks::ShardStrategy::kNone;
+  if (!shard_flag.empty()) {
+    try {
+      shard = gt::frameworks::parse_shard_strategy(shard_flag);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "--shard=%s: %s\n", shard_flag.c_str(), e.what());
+      return 2;
+    }
+  }
   const std::string trace_out = out_path(trace_flag, "GT_TRACE_OUT");
   const std::string metrics_out = out_path(metrics_flag, "GT_METRICS_OUT");
   const std::string bench_out = out_path(bench_flag, "GT_BENCH_OUT");
@@ -191,6 +238,8 @@ int main(int argc, char** argv) {
   options.framework = framework;
   options.learning_rate = 0.1f;
   options.workers = static_cast<std::size_t>(workers);
+  options.devices = static_cast<std::size_t>(devices);
+  options.shard = shard;  // kNone defaults to range inside the service
   if (compute_threads > 0)
     options.compute_threads = static_cast<std::size_t>(compute_threads);
   options.fault_spec = fault_spec;  // empty falls back to GT_FAULT_SPEC
@@ -219,14 +268,23 @@ int main(int argc, char** argv) {
   }
   gt::GnnService& service = *service_ptr;
 
-  std::printf("training %s on %s via %s (%d batches of %zu, %d worker%s)\n\n",
+  std::printf("training %s on %s via %s (%d batches of %zu, %d worker%s)\n",
               model_name.c_str(), dataset_name.c_str(), framework.c_str(),
               batches, options.batch_size, workers, workers == 1 ? "" : "s");
+  if (devices > 1)
+    std::printf("modeled multi-device: %d devices, %s sharding\n", devices,
+                gt::frameworks::to_string(
+                    shard == gt::frameworks::ShardStrategy::kNone
+                        ? gt::frameworks::ShardStrategy::kRange
+                        : shard));
+  std::printf("\n");
 
   gt::Table table({"batch", "loss", "kernel us", "preproc us", "e2e us",
                    "peak mem", "arena peak", "placement L0"});
   std::vector<double> e2e_us, losses, arena_peaks, arena_allocs;
   std::vector<double> host_prep_us, host_exec_us;
+  std::vector<double> group_makespans, comm_us;
+  double comm_bytes = 0.0, comm_steps = 0.0, collectives = 0.0;
   const std::vector<gt::frameworks::RunReport> reports =
       service.train_batches(static_cast<std::size_t>(batches));
   std::size_t degraded_batches = 0;
@@ -249,6 +307,13 @@ int main(int argc, char** argv) {
     arena_allocs.push_back(static_cast<double>(r.arena_allocations));
     host_prep_us.push_back(r.host_prepare_us);
     host_exec_us.push_back(r.host_execute_us);
+    if (r.devices > 1) {
+      group_makespans.push_back(r.group_makespan_us);
+      comm_us.push_back(r.comm_us);
+      comm_bytes += static_cast<double>(r.comm_bytes);
+      comm_steps += static_cast<double>(r.comm_steps);
+      collectives += static_cast<double>(r.collectives);
+    }
     table.add_row({std::to_string(b), gt::Table::fmt(r.loss, 4),
                    gt::Table::fmt(r.kernel_total_us, 1),
                    gt::Table::fmt(r.preproc_makespan_us, 1),
@@ -333,6 +398,34 @@ int main(int argc, char** argv) {
       row.unit = "count";
       row.measured = static_cast<double>(recovery_retries);
       rep.add_row(row);
+      if (!group_makespans.empty()) {
+        // Multi-device rows: the modeled group timeline and the collective
+        // traffic it absorbed (DESIGN.md §14).
+        row.metric = "devices";
+        row.unit = "count";
+        row.measured = static_cast<double>(devices);
+        rep.add_row(row);
+        row.metric = "mean group makespan";
+        row.unit = "us";
+        row.measured = gt::mean(group_makespans);
+        rep.add_row(row);
+        row.metric = "mean collective comm";
+        row.unit = "us";
+        row.measured = gt::mean(comm_us);
+        rep.add_row(row);
+        row.metric = "collective wire bytes";
+        row.unit = "bytes";
+        row.measured = comm_bytes;
+        rep.add_row(row);
+        row.metric = "collective steps";
+        row.unit = "count";
+        row.measured = comm_steps;
+        rep.add_row(row);
+        row.metric = "collectives priced";
+        row.unit = "count";
+        row.measured = collectives;
+        rep.add_row(row);
+      }
     }
     if (rep.write_json_file(bench_out))
       std::printf("bench report written to %s\n", bench_out.c_str());

@@ -43,6 +43,23 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
       params_(model_, dataset_.spec.feature_dim, options.seed),
       backend_(frameworks::make_framework(options.framework)) {
   if (options_.workers == 0) options_.workers = 1;
+  if (options_.devices == 0) options_.devices = 1;
+  if (options_.devices > 1) {
+    frameworks::ShardOptions shard;
+    shard.devices = options_.devices;
+    shard.strategy = options_.shard == frameworks::ShardStrategy::kNone
+                         ? frameworks::ShardStrategy::kRange
+                         : options_.shard;
+    if (!backend_->configure_sharding(shard))
+      throw std::invalid_argument(
+          "backend '" + options_.framework +
+          "' does not support multi-device execution (--devices > 1 "
+          "requires a GraphTensor variant)");
+    options_.shard = shard.strategy;
+    log_info("service: modeled multi-device execution (", options_.devices,
+             " devices, ", frameworks::to_string(options_.shard),
+             " sharding)");
+  }
   if (options_.compute_threads != 0)
     set_compute_threads(options_.compute_threads);
   std::string spec_text = options_.fault_spec;

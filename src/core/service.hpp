@@ -44,6 +44,16 @@ struct ServiceOptions {
   /// overlaps preprocessing of up to N batches; results stay bit-identical
   /// to workers == 1.
   std::size_t workers = 1;
+  /// Simulated devices for modeled multi-device execution (DESIGN.md §14).
+  /// 1 = the classic single-device run. N > 1 requires a shard-capable
+  /// backend (the GraphTensor variants): the constructor throws
+  /// std::invalid_argument when the backend refuses. Trained parameters
+  /// stay bit-identical to devices == 1; only the modeled timeline,
+  /// comm.* metrics, and per-device attribution change.
+  std::size_t devices = 1;
+  /// Decomposition strategy for devices > 1; kNone defaults to kRange.
+  /// Ignored (and rejected by the CLI) for single-device runs.
+  frameworks::ShardStrategy shard = frameworks::ShardStrategy::kNone;
   /// Host threads for the process-wide compute engine (simulated-device
   /// kernel execution and dense tensor ops). 0 leaves the current global
   /// setting (GT_COMPUTE_THREADS / hardware default) untouched; any other

@@ -223,15 +223,38 @@ void SgdStage::stage(gpusim::Device& dev, std::uint32_t layer,
 }
 
 void SgdStage::commit() {
-  for (const Pending& p : pending_)
-    params_->sgd_update(p.layer, p.dw, p.db, lr_);
+  for (const Pending& p : pending_) {
+    const std::vector<std::size_t>* b =
+        row_slices_ && p.layer < row_slices_->size()
+            ? &(*row_slices_)[p.layer]
+            : nullptr;
+    if (b && b->size() >= 2 && b->back() == p.dw.rows()) {
+      // Tensor-parallel commit: each device owns a disjoint row slice of
+      // dw, applied in device order. Elementwise-independent, hence
+      // bit-identical to the full-matrix branch below.
+      for (std::size_t d = 0; d + 1 < b->size(); ++d) {
+        const std::size_t lo = (*b)[d];
+        const std::size_t hi = (*b)[d + 1];
+        if (hi == lo) continue;
+        params_->sgd_update_rows(
+            p.layer, lo,
+            ConstMatrixView(p.dw.data().data() + lo * p.dw.cols(), hi - lo,
+                            p.dw.cols()),
+            lr_);
+      }
+      params_->sgd_update_bias(p.layer, p.db, lr_);
+    } else {
+      params_->sgd_update(p.layer, p.dw, p.db, lr_);
+    }
+  }
   pending_.clear();
 }
 
 void finalize_report(RunReport& report, const gpusim::Device& dev,
                      const pipeline::PreprocSchedule& schedule,
                      bool overlap_compute,
-                     const pipeline::BatchContext* ctx) {
+                     const pipeline::BatchContext* ctx,
+                     const ShardedExecution* shard) {
   std::size_t cache_hit_bytes = 0;
   report.kernel_launches = dev.kernel_launch_count();
   for (const auto& k : dev.profile()) {
@@ -257,6 +280,35 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
       schedule, report.kernel_total_us, overlap_compute);
 
   obs::MetricsRegistry& m = obs::metrics();
+  if (shard && shard->options.devices > 1) {
+    report.devices = shard->options.devices;
+    report.shard = shard->options.strategy;
+    report.group_makespan_us = shard->group.makespan_us;
+    report.comm_us = shard->group.comm_us;
+    report.comm_bytes = shard->group.comm_bytes;
+    report.comm_steps = shard->group.comm_steps;
+    report.collectives = shard->group.collectives;
+    report.device_stats = shard->device_totals;
+    report.device_busy_us = shard->group.device_busy_us;
+    // The group timeline replaces the serial kernel time in the overlap:
+    // preprocessing hides under the *merged* device/interconnect makespan.
+    report.end_to_end_us = pipeline::end_to_end_us(
+        schedule, report.group_makespan_us, overlap_compute);
+    m.counter("comm.collectives").add(report.collectives);
+    m.counter("comm.bytes").add(report.comm_bytes);
+    m.counter("comm.steps").add(report.comm_steps);
+    m.gauge("comm.us").set(report.comm_us);
+    m.gauge("gpusim.devices").set(static_cast<double>(report.devices));
+    m.gauge("gpusim.group.makespan_us").set(report.group_makespan_us);
+    for (std::size_t d = 0; d < report.device_busy_us.size(); ++d) {
+      const std::string prefix = "gpusim.device." + std::to_string(d);
+      m.gauge(prefix + ".busy_us").set(report.device_busy_us[d]);
+      m.gauge(prefix + ".share")
+          .set(report.group_makespan_us > 0.0
+                   ? report.device_busy_us[d] / report.group_makespan_us
+                   : 0.0);
+    }
+  }
   m.counter("frameworks.batches").add(1);
   m.histogram("frameworks.e2e_us").observe(report.end_to_end_us);
   m.histogram("frameworks.preproc_us").observe(report.preproc_makespan_us);
@@ -280,8 +332,7 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
     totals.fwp_us = report.fwp_us;
     totals.bwp_us = report.bwp_us;
     std::vector<obs::attrib::KernelRecord> records;
-    records.reserve(dev.profile().size());
-    for (const auto& k : dev.profile()) {
+    auto to_record = [](const gpusim::KernelStats& k, int device) {
       obs::attrib::KernelRecord r;
       r.name = k.name;
       r.category = gpusim::to_string(k.category);
@@ -290,7 +341,20 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
       r.latency_us = k.latency_us;
       r.flops = k.flops;
       r.global_bytes = k.global_bytes;
-      records.push_back(std::move(r));
+      r.device = device;
+      return r;
+    };
+    if (shard && shard->options.devices > 1) {
+      // Sharded batches record the attributed per-device profile (device
+      // column set) instead of the canonical one, so the artifact shows
+      // where each lane's time went.
+      records.reserve(shard->kernels.size());
+      for (const auto& dk : shard->kernels)
+        records.push_back(to_record(dk.stats, static_cast<int>(dk.device)));
+    } else {
+      records.reserve(dev.profile().size());
+      for (const auto& k : dev.profile())
+        records.push_back(to_record(k, -1));
     }
     obs::attrib::KernelLedger::global().record_batch(totals, records);
   }

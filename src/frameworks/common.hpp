@@ -3,6 +3,7 @@
 #pragma once
 
 #include "frameworks/framework.hpp"
+#include "frameworks/sharding.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/common.hpp"
 #include "pipeline/executor.hpp"
@@ -76,6 +77,17 @@ class SgdStage {
   void stage(gpusim::Device& dev, std::uint32_t layer, gpusim::BufferId dw,
              gpusim::BufferId db, pipeline::BatchContext& ctx);
 
+  /// Tensor-parallel commit mode: each layer's dw is applied as the
+  /// per-device disjoint row slices `boundaries[layer]` describes
+  /// ([devices+1] ascending offsets over dw's rows), in device order,
+  /// inside the same transactional commit. Element updates are
+  /// independent, so the result is bit-identical to the full-matrix
+  /// update. `boundaries` must outlive commit(); nullptr resets.
+  void set_device_row_slices(
+      const std::vector<std::vector<std::size_t>>* boundaries) {
+    row_slices_ = boundaries;
+  }
+
   /// Apply every staged update in stage order and clear the stage.
   void commit();
 
@@ -87,6 +99,7 @@ class SgdStage {
   models::ModelParams* params_;
   float lr_;
   std::vector<Pending> pending_;
+  const std::vector<std::vector<std::size_t>>* row_slices_ = nullptr;
 };
 
 /// Shared tail of the frameworks' GpuOomError handling: mark the report
@@ -98,10 +111,16 @@ void record_oom(RunReport& report, const gpusim::GpuOomError& e,
 
 /// Fill the RunReport's GPU-side fields from the device profile and
 /// combine preprocessing + compute into the end-to-end latency. With
-/// `ctx`, the report's arena counters are filled from the context.
+/// `ctx`, the report's arena counters are filled from the context. With
+/// `shard` (a devices > 1 run's attributed execution), the multi-device
+/// report fields are filled, comm.* metrics and per-device gauges are
+/// emitted, the kernel ledger records per-device rows, and the end-to-end
+/// latency overlaps the *group* makespan instead of the serial kernel
+/// time — everything the single-device report derives stays untouched.
 void finalize_report(RunReport& report, const gpusim::Device& dev,
                      const pipeline::PreprocSchedule& schedule,
                      bool overlap_compute,
-                     const pipeline::BatchContext* ctx = nullptr);
+                     const pipeline::BatchContext* ctx = nullptr,
+                     const ShardedExecution* shard = nullptr);
 
 }  // namespace gt::frameworks::detail

@@ -17,6 +17,23 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
 }
 }  // namespace
 
+const char* to_string(ShardStrategy s) {
+  switch (s) {
+    case ShardStrategy::kNone:           return "none";
+    case ShardStrategy::kRange:          return "range";
+    case ShardStrategy::kTensorParallel: return "tp";
+  }
+  return "?";
+}
+
+ShardStrategy parse_shard_strategy(const std::string& name) {
+  if (name == "none") return ShardStrategy::kNone;
+  if (name == "range") return ShardStrategy::kRange;
+  if (name == "tp") return ShardStrategy::kTensorParallel;
+  throw std::invalid_argument("unknown shard strategy '" + name +
+                              "' (expected range or tp)");
+}
+
 RunReport Framework::run_batch(const Dataset& data,
                                const models::GnnModelConfig& model,
                                models::ModelParams& params,

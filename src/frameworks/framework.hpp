@@ -21,6 +21,25 @@
 
 namespace gt::frameworks {
 
+/// How a multi-device run decomposes a batch (DESIGN.md §14). Numerics
+/// always execute the canonical single-device path; a strategy controls
+/// the *modeled* decomposition — which device each kernel's work is
+/// attributed to and which collectives are priced at layer boundaries.
+enum class ShardStrategy {
+  kNone,            // single device
+  kRange,           // dst-vertex range partitioning + halo all-gather
+  kTensorParallel,  // NeutronTP-style feature-dim slices + all-reduce
+};
+
+const char* to_string(ShardStrategy s);
+/// Parse "range" / "tp"; throws std::invalid_argument otherwise.
+ShardStrategy parse_shard_strategy(const std::string& name);
+
+struct ShardOptions {
+  std::size_t devices = 1;
+  ShardStrategy strategy = ShardStrategy::kNone;
+};
+
 /// Kernel placement directive for a batch (Fig 15's error bars come from
 /// running baselines explicitly in both orders).
 enum class OrderPolicy {
@@ -102,6 +121,21 @@ struct RunReport {
   std::size_t arena_capacity_bytes = 0;    // context arena capacity
   std::uint64_t arena_growths = 0;         // block growths this batch
 
+  // -- Multi-device (modeled decomposition; defaults = single device) -------
+  // Filled only when the backend was configured with devices > 1, so
+  // single-device reports stay bit-identical to pre-refactor runs.
+  std::size_t devices = 1;
+  ShardStrategy shard = ShardStrategy::kNone;
+  double group_makespan_us = 0.0;  ///< merged group timeline end
+  double comm_us = 0.0;            ///< collective time on the interconnect
+  std::size_t comm_bytes = 0;      ///< bytes crossing links
+  std::size_t comm_steps = 0;      ///< link pipeline steps
+  std::size_t collectives = 0;     ///< collectives priced this batch
+  /// Attributed per-device kernel totals and lane busy time (empty for
+  /// devices == 1). Deterministic across compute-thread/worker counts.
+  std::vector<gpusim::KernelStats> device_stats;
+  std::vector<double> device_busy_us;
+
   // -- Training --------------------------------------------------------------
   float loss = 0.0f;
   std::array<std::uint32_t, 8> layer_comb_first_fwd{};  // DKP decisions
@@ -122,6 +156,13 @@ class Framework {
  public:
   virtual ~Framework() = default;
   virtual std::string name() const = 0;
+
+  /// Opt the backend into modeled multi-device execution. Returns false
+  /// when the backend cannot shard (the serial-only baselines); asking for
+  /// a single device resets to the default and always succeeds.
+  virtual bool configure_sharding(const ShardOptions& options) {
+    return options.devices <= 1;
+  }
 
   /// Phase 1 — parameter-independent preprocessing (sample, reindex,
   /// lookup, schedule pricing) into `ctx`'s reusable storage. Safe to run

@@ -3,6 +3,7 @@
 #include "dfg/executor.hpp"
 #include "dfg/graph.hpp"
 #include "frameworks/common.hpp"
+#include "frameworks/sharding.hpp"
 #include "obs/attrib/kernel_ledger.hpp"
 #include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
@@ -83,6 +84,23 @@ RunReport GraphTensorFramework::execute_prepared(
   // parameters untouched, or the retried batch would diverge from a
   // fault-free run.
   detail::SgdStage sgd(params, spec.learning_rate);
+
+  // Multi-device execution is a modeled decomposition of the canonical
+  // run (DESIGN.md §14): the plan is derived from the real preprocessed
+  // layer structures up front; layer slices of the profile are captured
+  // around each exec call; the post-pass attributes, prices collectives,
+  // and merges the group timeline. Numerics below are untouched — except
+  // the tensor-parallel SGD commit, which applies the same gradient as
+  // disjoint per-device row slices (bit-identical by independence).
+  const bool sharded = shard_.devices > 1;
+  detail::ShardPlan shard_plan;
+  std::vector<detail::LayerSlice> slices;
+  if (sharded) {
+    shard_plan = detail::build_shard_plan(pre, params, L, shard_);
+    if (shard_.strategy == ShardStrategy::kTensorParallel)
+      sgd.set_device_row_slices(&shard_plan.sgd_row_boundaries);
+  }
+
   struct PendingSample {
     LayerDims dims;
     dfg::PlacementCase pc;
@@ -214,9 +232,13 @@ RunReport GraphTensorFramework::execute_prepared(
       GT_LIVE_STAGE(kForward);
       for (std::uint32_t l = 0; l < L; ++l) {
         const double before = dev.profile_latency_us();
+        const std::size_t slice_lo = dev.profile().size();
         fwds.push_back(exec.forward(
             lg[l], x, dfg::LayerParams{session->w[l], session->b[l]},
             model.relu_at(l), orders[l]));
+        if (sharded)
+          slices.push_back({l, /*backward=*/false, slice_lo,
+                            dev.profile().size()});
         if (dkp_active)
           pending.push_back(
               {dims_of(l),
@@ -230,9 +252,26 @@ RunReport GraphTensorFramework::execute_prepared(
 
     report.fwp_us = dev.profile_latency_us();
 
-    if (spec.inference) {
+    // Shared report tail: when sharded, attribute the complete profile,
+    // price the strategy's collectives (also fed to the cost model's
+    // collective term — reporting only, never placement decisions), and
+    // merge the group timeline before the report is finalized.
+    auto finalize = [&] {
+      detail::ShardedExecution sx;
+      const detail::ShardedExecution* sp = nullptr;
+      if (sharded) {
+        sx = detail::shard_execution(dev.profile(), slices, shard_plan,
+                                     dev.config().cost.launch_overhead_us);
+        for (const gpusim::CollectiveCost& cc : sx.priced)
+          cost_model_.record_collective(cc.steps, cc.bytes_on_wire, cc.us);
+        sp = &sx;
+      }
       detail::finalize_report(report, dev, ctx.schedule(),
-                              /*overlap_compute=*/true, &ctx);
+                              /*overlap_compute=*/true, &ctx, sp);
+    };
+
+    if (spec.inference) {
+      finalize();
       commit_samples();
       return report;
     }
@@ -253,9 +292,13 @@ RunReport GraphTensorFramework::execute_prepared(
         const gpusim::BufferId x_in =
             li == 0 ? session->input : fwds[li - 1].out;
         const double before = dev.profile_latency_us();
+        const std::size_t slice_lo = dev.profile().size();
         dfg::LayerBackward grads = exec.backward(
             lg[li], x_in, dfg::LayerParams{session->w[li], session->b[li]},
             model.relu_at(li), fwds[li], dy, /*want_dx=*/li > 0);
+        if (sharded)
+          slices.push_back({li, /*backward=*/true, slice_lo,
+                            dev.profile().size()});
         if (dkp_active)
           pending.push_back(
               {dims_of(li),
@@ -273,8 +316,7 @@ RunReport GraphTensorFramework::execute_prepared(
     }
 
     report.bwp_us = dev.profile_latency_us() - report.fwp_us;
-    detail::finalize_report(report, dev, ctx.schedule(),
-                            /*overlap_compute=*/true, &ctx);
+    finalize();
   } catch (const gpusim::GpuOomError& e) {
     detail::record_oom(report, e, ctx);
   }
@@ -287,6 +329,10 @@ RunReport GraphTensorFramework::execute_prepared(
   if (dkp_active && !cost_model_.fitted() &&
       batches_seen_ >= kFitAfterBatches) {
     cost_model_.fit();
+  }
+  if (sharded && !cost_model_.collective_fitted() &&
+      batches_seen_ >= kFitAfterBatches) {
+    cost_model_.fit_collective();
   }
   return report;
 }

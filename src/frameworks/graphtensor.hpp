@@ -30,6 +30,22 @@ class GraphTensorFramework : public Framework {
 
   std::string name() const override;
 
+  /// Modeled multi-device execution (DESIGN.md §14): numerics stay on the
+  /// canonical single-device path; devices > 1 attributes the priced
+  /// profile across a DeviceGroup per the strategy and prices its
+  /// collectives. Requires a concrete strategy when devices > 1.
+  bool configure_sharding(const ShardOptions& options) override {
+    if (options.devices <= 1) {
+      shard_ = ShardOptions{};
+      return true;
+    }
+    if (options.strategy == ShardStrategy::kNone) return false;
+    shard_ = options;
+    return true;
+  }
+
+  const ShardOptions& shard_options() const noexcept { return shard_; }
+
   void prepare_batch(const Dataset& data, const models::GnnModelConfig& model,
                      const BatchSpec& spec,
                      pipeline::BatchContext& ctx) override;
@@ -58,6 +74,7 @@ class GraphTensorFramework : public Framework {
   double last_hit_rate_ = 0.0;
   dfg::DkpCostModel cost_model_;
   std::uint64_t batches_seen_ = 0;
+  ShardOptions shard_;
 };
 
 }  // namespace gt::frameworks

@@ -1,0 +1,103 @@
+#include "gpusim/collective.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "util/discrete_event.hpp"
+
+namespace gt::gpusim {
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+}  // namespace
+
+CollectiveCost CollectiveModel::all_reduce(std::size_t bytes) const {
+  const std::size_t n = ic_.devices();
+  if (n < 2 || bytes == 0) return {};
+  const std::size_t chunk = ceil_div(bytes, n);
+  const std::size_t steps = 2 * (n - 1);
+  CollectiveCost cost;
+  cost.steps = steps;
+  cost.us = static_cast<double>(steps) * ic_.transfer_us(chunk);
+  cost.bytes_on_wire = steps * n * chunk;  // every link busy every step
+  return cost;
+}
+
+CollectiveCost CollectiveModel::all_gather(
+    const std::vector<std::size_t>& shard_bytes) const {
+  const std::size_t n = ic_.devices();
+  assert(shard_bytes.size() == n && "all_gather: one shard per device");
+  if (n < 2) return {};
+  std::size_t max_shard = 0;
+  std::size_t total = 0;
+  for (std::size_t s : shard_bytes) {
+    max_shard = std::max(max_shard, s);
+    total += s;
+  }
+  if (max_shard == 0) return {};
+  CollectiveCost cost;
+  cost.steps = n - 1;
+  // Every step the slowest link carries the largest shard still in
+  // flight, and in a ring that is the global max at every step.
+  cost.us = static_cast<double>(n - 1) * ic_.transfer_us(max_shard);
+  cost.bytes_on_wire = (n - 1) * total;  // each shard crosses n-1 links
+  return cost;
+}
+
+double CollectiveModel::simulate_all_reduce_us(std::size_t bytes) const {
+  const std::size_t n = ic_.devices();
+  if (n < 2 || bytes == 0) return 0.0;
+  const std::size_t chunk = ceil_div(bytes, n);
+  const std::size_t steps = 2 * (n - 1);
+  EventSim sim;
+  std::vector<SimResourceId> links(n);
+  for (std::size_t l = 0; l < n; ++l)
+    links[l] = sim.add_resource("link" + std::to_string(l), 1);
+  std::vector<SimTaskId> prev(n), cur(n);
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t l = 0; l < n; ++l) {
+      std::vector<SimTaskId> deps;
+      if (s > 0) {
+        // The chunk a link forwards at step s was received over the
+        // upstream link at step s-1; the link itself is also serial.
+        deps = {prev[(l + n - 1) % n], prev[l]};
+      }
+      cur[l] = sim.add_task(
+          "ar.s" + std::to_string(s) + ".l" + std::to_string(l),
+          ic_.transfer_us(chunk), links[l], std::move(deps));
+    }
+    prev = cur;
+  }
+  return sim.run().makespan;
+}
+
+double CollectiveModel::simulate_all_gather_us(
+    const std::vector<std::size_t>& shard_bytes) const {
+  const std::size_t n = ic_.devices();
+  assert(shard_bytes.size() == n && "all_gather: one shard per device");
+  if (n < 2) return 0.0;
+  EventSim sim;
+  std::vector<SimResourceId> links(n);
+  for (std::size_t l = 0; l < n; ++l)
+    links[l] = sim.add_resource("link" + std::to_string(l), 1);
+  std::vector<SimTaskId> prev(n), cur(n);
+  for (std::size_t s = 0; s + 1 < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      // Step s: device d forwards shard (d - s) mod n to its neighbor.
+      const std::size_t shard = shard_bytes[(d + n - s) % n];  // s < n
+      std::vector<SimTaskId> deps;
+      if (s > 0) deps = {prev[(d + n - 1) % n], prev[d]};
+      cur[d] = sim.add_task(
+          "ag.s" + std::to_string(s) + ".d" + std::to_string(d),
+          ic_.transfer_us(shard), links[d], std::move(deps));
+    }
+    prev = cur;
+  }
+  return sim.run().makespan;
+}
+
+}  // namespace gt::gpusim

@@ -1,0 +1,68 @@
+// Collective communication pricing over the modeled interconnect.
+//
+// Multi-device execution (DESIGN.md S14) exchanges data at layer
+// boundaries: range sharding all-gathers halo embeddings, tensor
+// parallelism all-reduces partial layer outputs. Both are priced as
+// deterministic multi-step ring schedules over InterconnectModel links —
+// the classic bandwidth-optimal algorithms:
+//
+//   all-reduce (M bytes resident on each of N devices):
+//     2(N-1) steps; every step moves one ceil(M/N)-byte chunk on every
+//     link in parallel (reduce-scatter then all-gather halves).
+//     total = 2(N-1) * link(ceil(M/N))
+//
+//   all-gather (device d contributes shard_bytes[d]):
+//     N-1 steps; step s forwards shard (d - s) mod N on device d's link,
+//     so each step's duration is the slowest shard in flight.
+//     total = sum_s link(max_d shard[(d - s) mod N]) = (N-1) * link(max shard)
+//
+// Every cost has a closed form AND a discrete-event simulation
+// (simulate_* below, built on gt::EventSim with one resource per link and
+// upstream-neighbor dependencies); tests assert they agree for
+// N in {1, 2, 4, 8}, which pins the schedule shape the closed form claims.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/interconnect.hpp"
+
+namespace gt::gpusim {
+
+/// One priced collective. `us` is the schedule makespan (all devices
+/// blocked for it), `bytes_on_wire` the total bytes crossing all links,
+/// `steps` the number of pipeline steps (0 for a single device: nothing
+/// moves).
+struct CollectiveCost {
+  double us = 0.0;
+  std::size_t bytes_on_wire = 0;
+  std::size_t steps = 0;
+};
+
+class CollectiveModel {
+ public:
+  explicit CollectiveModel(InterconnectModel interconnect)
+      : ic_(interconnect) {}
+
+  const InterconnectModel& interconnect() const noexcept { return ic_; }
+
+  /// Ring all-reduce of `bytes` per device (closed form).
+  CollectiveCost all_reduce(std::size_t bytes) const;
+
+  /// Ring all-gather of per-device shards (closed form). `shard_bytes`
+  /// must have one entry per device.
+  CollectiveCost all_gather(const std::vector<std::size_t>& shard_bytes) const;
+
+  /// Discrete-event replicas of the closed forms: one EventSim resource
+  /// per link, step s on link l waiting on step s-1 on links l and l-1
+  /// (the forwarded chunk's producer). Used by tests to pin the closed
+  /// forms to an actual schedule.
+  double simulate_all_reduce_us(std::size_t bytes) const;
+  double simulate_all_gather_us(
+      const std::vector<std::size_t>& shard_bytes) const;
+
+ private:
+  InterconnectModel ic_;
+};
+
+}  // namespace gt::gpusim

@@ -1,0 +1,96 @@
+#include "gpusim/device_group.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/discrete_event.hpp"
+
+namespace gt::gpusim {
+
+DeviceGroup::DeviceGroup(DeviceGroupConfig config)
+    : ic_(config.devices, config.link, config.topology),
+      coll_(ic_),
+      totals_(ic_.devices()) {
+  stats_.device_busy_us.assign(ic_.devices(), 0.0);
+}
+
+void DeviceGroup::add_kernel(std::size_t d, const KernelStats& stats) {
+  assert(d < ic_.devices() && "add_kernel: device out of range");
+  events_.push_back({d, stats.latency_us, false, stats.name});
+  KernelStats& t = totals_[d];
+  t.latency_us += stats.latency_us;
+  t.flops += stats.flops;
+  t.global_bytes += stats.global_bytes;
+  t.cache_loaded_bytes += stats.cache_loaded_bytes;
+  t.cache_hit_bytes += stats.cache_hit_bytes;
+  t.atomic_ops += stats.atomic_ops;
+  t.blocks += stats.blocks;
+}
+
+void DeviceGroup::add_collective(std::string name,
+                                 const CollectiveCost& cost) {
+  if (cost.steps == 0) return;  // single device / empty: nothing crossed
+  events_.push_back({0, cost.us, true, std::move(name)});
+  stats_.comm_us += cost.us;
+  stats_.comm_bytes += cost.bytes_on_wire;
+  stats_.comm_steps += cost.steps;
+  stats_.collectives += 1;
+}
+
+CollectiveCost DeviceGroup::all_reduce(std::string name, std::size_t bytes) {
+  CollectiveCost cost = coll_.all_reduce(bytes);
+  add_collective(std::move(name), cost);
+  return cost;
+}
+
+CollectiveCost DeviceGroup::all_gather(
+    std::string name, const std::vector<std::size_t>& shard_bytes) {
+  CollectiveCost cost = coll_.all_gather(shard_bytes);
+  add_collective(std::move(name), cost);
+  return cost;
+}
+
+GroupStats DeviceGroup::finish() {
+  const std::size_t n = ic_.devices();
+  EventSim sim;
+  std::vector<SimResourceId> lanes(n);
+  for (std::size_t d = 0; d < n; ++d)
+    lanes[d] = sim.add_resource("dev" + std::to_string(d), 1);
+  const SimResourceId wire = sim.add_resource("interconnect", 1);
+
+  constexpr SimTaskId kNone = static_cast<SimTaskId>(-1);
+  std::vector<SimTaskId> lane_tail(n, kNone);
+  SimTaskId barrier_tail = kNone;
+  for (const Event& e : events_) {
+    std::vector<SimTaskId> deps;
+    if (e.collective) {
+      // Barrier: wait for every lane's tail (which already transitively
+      // orders after the previous barrier).
+      for (std::size_t d = 0; d < n; ++d) {
+        const SimTaskId t = lane_tail[d];
+        if (t != kNone &&
+            std::find(deps.begin(), deps.end(), t) == deps.end())
+          deps.push_back(t);
+      }
+      if (deps.empty() && barrier_tail != kNone)
+        deps.push_back(barrier_tail);
+      barrier_tail =
+          sim.add_task(e.name, e.duration_us, wire, std::move(deps));
+      for (std::size_t d = 0; d < n; ++d) lane_tail[d] = barrier_tail;
+    } else {
+      if (lane_tail[e.device] != kNone) deps.push_back(lane_tail[e.device]);
+      lane_tail[e.device] =
+          sim.add_task(e.name, e.duration_us, lanes[e.device],
+                       std::move(deps));
+    }
+  }
+
+  SimResult result = sim.run();
+  stats_.makespan_us = result.makespan;
+  for (std::size_t d = 0; d < n; ++d)
+    stats_.device_busy_us[d] = result.resource_busy[lanes[d]];
+  return stats_;
+}
+
+}  // namespace gt::gpusim

@@ -1,0 +1,87 @@
+// A group of N simulated devices behind a modeled interconnect.
+//
+// DeviceGroup is the multi-device generalization of the single Device's
+// kernel profile: execution strategies (frameworks/sharding.hpp) append
+// per-device kernel timelines plus priced collectives at layer
+// boundaries, and finish() merges everything into one group timeline with
+// a discrete-event simulation (gt::EventSim) — one capacity-1 resource
+// per device lane, one for the interconnect, kernels chained per lane,
+// each collective a barrier that waits for all kernels appended before it
+// and blocks all kernels appended after it.
+//
+// Numerics never run here (DESIGN.md S14 determinism rule #1: canonical
+// single-device numerics, modeled decomposition); this class only prices
+// and merges timelines, so the makespan is deterministic for a given
+// timeline regardless of compute threads or worker count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/collective.hpp"
+#include "gpusim/interconnect.hpp"
+#include "gpusim/stats.hpp"
+
+namespace gt::gpusim {
+
+struct DeviceGroupConfig {
+  std::size_t devices = 1;
+  LinkParams link = {};
+  Topology topology = Topology::kRing;
+};
+
+/// Group-timeline summary surfaced into RunReport / BENCH rows / gt_top.
+struct GroupStats {
+  double makespan_us = 0.0;            ///< group timeline end
+  std::vector<double> device_busy_us;  ///< kernel time per device lane
+  double comm_us = 0.0;                ///< total collective time
+  std::size_t comm_bytes = 0;          ///< bytes crossing links
+  std::size_t comm_steps = 0;          ///< link pipeline steps
+  std::size_t collectives = 0;         ///< collectives priced
+};
+
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(DeviceGroupConfig config = {});
+
+  std::size_t size() const noexcept { return ic_.devices(); }
+  const InterconnectModel& interconnect() const noexcept { return ic_; }
+  const CollectiveModel& collectives() const noexcept { return coll_; }
+
+  /// Append one attributed kernel to device `d`'s lane (FIFO per lane).
+  void add_kernel(std::size_t d, const KernelStats& stats);
+
+  /// Price a collective and insert it as a cross-device barrier after
+  /// everything appended so far. No-ops (zero cost, not counted) on a
+  /// single-device group.
+  CollectiveCost all_reduce(std::string name, std::size_t bytes);
+  CollectiveCost all_gather(std::string name,
+                            const std::vector<std::size_t>& shard_bytes);
+
+  /// Per-device accumulated kernel stats (name/category left blank).
+  const std::vector<KernelStats>& device_totals() const noexcept {
+    return totals_;
+  }
+
+  /// Run the merged discrete-event timeline. May be called once.
+  GroupStats finish();
+
+ private:
+  struct Event {
+    std::size_t device = 0;   // kernel lane; unused for collectives
+    double duration_us = 0.0;
+    bool collective = false;
+    std::string name;
+  };
+
+  void add_collective(std::string name, const CollectiveCost& cost);
+
+  InterconnectModel ic_;
+  CollectiveModel coll_;
+  std::vector<Event> events_;         // in append order
+  std::vector<KernelStats> totals_;   // per device
+  GroupStats stats_;                  // comm fields accumulate as priced
+};
+
+}  // namespace gt::gpusim

@@ -1,0 +1,28 @@
+#include "gpusim/interconnect.hpp"
+
+#include <cassert>
+
+namespace gt::gpusim {
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
+InterconnectModel::InterconnectModel(std::size_t devices, LinkParams params,
+                                     Topology topology)
+    : devices_(devices == 0 ? 1 : devices), link_(params),
+      topology_(topology) {}
+
+std::size_t InterconnectModel::link_id(std::size_t from, std::size_t to) const {
+  assert(from < devices_ && to < devices_ && "link_id: device out of range");
+  assert(devices_ >= 2 && "link_id: single device has no links");
+  assert(to == (from + 1) % devices_ && "ring link_id: not a ring neighbor");
+  (void)to;
+  return from;
+}
+
+}  // namespace gt::gpusim

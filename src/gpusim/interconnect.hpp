@@ -1,0 +1,84 @@
+// Device <-> device interconnect model.
+//
+// PR 8 generalizes the host-side PcieModel into a link/topology
+// abstraction: a Link prices one point-to-point transfer (per-link
+// bandwidth + per-transfer setup latency), and an InterconnectModel wires
+// N simulated devices together in a topology (currently a unidirectional
+// ring, the layout every ring collective in collective.hpp assumes).
+//
+// Like every other cost in gpusim, link pricing is analytic and
+// deterministic: the numbers are scaled by the same ~1/8 factor as the
+// rest of the simulator (DESIGN.md S2), so the default link models an
+// NVLink-class 200 GB/s peer link at 25e3 bytes/us with a 1.2 us
+// per-message setup cost.
+#pragma once
+
+#include <cstddef>
+
+namespace gt::gpusim {
+
+struct LinkParams {
+  double bw_bytes_per_us = 25.0e3;  // NVLink3-class peer bandwidth / 8
+  double latency_us = 1.2;          // per-message setup cost
+};
+
+/// One point-to-point link. Pricing-only (no metrics side effects), so
+/// collectives can evaluate candidate schedules without polluting the
+/// comm.* counters; DeviceGroup records metrics for the schedule it keeps.
+class Link {
+ public:
+  explicit Link(LinkParams params = {}) : params_(params) {}
+
+  const LinkParams& params() const noexcept { return params_; }
+
+  /// Time to move `bytes` across the link. A zero-byte transfer is a
+  /// no-op and costs nothing — it never reaches the wire.
+  double transfer_us(std::size_t bytes) const noexcept {
+    if (bytes == 0) return 0.0;
+    return params_.latency_us +
+           static_cast<double>(bytes) / params_.bw_bytes_per_us;
+  }
+
+ private:
+  LinkParams params_;
+};
+
+enum class Topology {
+  kRing,  // device d sends to (d + 1) % N; N links for N >= 2 devices
+};
+
+const char* to_string(Topology t);
+
+/// N devices behind identical links in a fixed topology. Owns the link
+/// pricing the CollectiveModel and DeviceGroup use.
+class InterconnectModel {
+ public:
+  explicit InterconnectModel(std::size_t devices, LinkParams params = {},
+                             Topology topology = Topology::kRing);
+
+  std::size_t devices() const noexcept { return devices_; }
+  Topology topology() const noexcept { return topology_; }
+  const Link& link() const noexcept { return link_; }
+
+  /// Ring: one outgoing link per device (0 when the group is a single
+  /// device — there is no wire to cross).
+  std::size_t num_links() const noexcept {
+    return devices_ >= 2 ? devices_ : 0;
+  }
+
+  /// Id of the link leaving device `from`. In a ring the only neighbor is
+  /// (from + 1) % devices; asserts in debug builds when `to` is not it.
+  std::size_t link_id(std::size_t from, std::size_t to) const;
+
+  /// Price one transfer on any (identical) link.
+  double transfer_us(std::size_t bytes) const noexcept {
+    return link_.transfer_us(bytes);
+  }
+
+ private:
+  std::size_t devices_;
+  Link link_;
+  Topology topology_;
+};
+
+}  // namespace gt::gpusim

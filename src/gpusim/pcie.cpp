@@ -1,18 +1,24 @@
 #include "gpusim/pcie.hpp"
 
+#include "gpusim/interconnect.hpp"
 #include "obs/metrics.hpp"
 
 namespace gt::gpusim {
 
 double PcieModel::transfer_us(std::size_t bytes, bool pinned) const {
+  // A zero-byte transfer never reaches the driver: no DMA setup, no
+  // latency, no metrics. Before PR 8 this edge paid the full setup
+  // latency and bumped pcie.transfers, so schedulers chunking an empty
+  // table would accumulate phantom microseconds.
+  if (bytes == 0) return 0.0;
   static obs::Counter& transfers = obs::metrics().counter("pcie.transfers");
   static obs::Counter& total_bytes = obs::metrics().counter("pcie.bytes");
   static obs::Counter& staged_bytes =
       obs::metrics().counter("pcie.pageable_staged_bytes");
   transfers.add(1);
   total_bytes.add(bytes);
-  double t = params_.latency_us +
-             static_cast<double>(bytes) / params_.bw_bytes_per_us;
+  double t = Link(LinkParams{params_.bw_bytes_per_us, params_.latency_us})
+                 .transfer_us(bytes);
   if (!pinned) {
     staged_bytes.add(bytes);
     t += static_cast<double>(bytes) / params_.staging_copy_bw_bytes_per_us;

@@ -27,6 +27,7 @@ class PcieModel {
   /// Time to move `bytes` host->device. Pinned memory skips the staging
   /// copy the driver otherwise performs. Each call records the priced
   /// transfer into the gt::obs metrics (pcie.transfers / pcie.bytes).
+  /// Zero-byte transfers are free no-ops and record nothing.
   double transfer_us(std::size_t bytes, bool pinned) const;
 
  private:

@@ -123,6 +123,10 @@ void KernelLedger::record_batch(const BatchTotals& totals,
     key += k.phase;
     key += '|';
     key += shape;
+    if (k.device >= 0) {  // one class per device lane in sharded runs
+      key += "|dev";
+      key += std::to_string(k.device);
+    }
     auto [it, inserted] = kernels_.try_emplace(std::move(key));
     KernelClass& cls = it->second;
     if (inserted) {
@@ -130,6 +134,7 @@ void KernelLedger::record_batch(const BatchTotals& totals,
       cls.category = k.category;
       cls.phase = k.phase;
       cls.shape = shape;
+      cls.device = k.device;
       cls.blocks_min = cls.blocks_max = k.blocks;
     } else {
       cls.blocks_min = std::min(cls.blocks_min, k.blocks);
@@ -213,6 +218,7 @@ void KernelLedger::write_json(std::ostream& os) const {
     write_str(os, cls.phase);
     os << ", \"shape\": ";
     write_str(os, cls.shape);
+    if (cls.device >= 0) os << ", \"device\": " << cls.device;
     os << ", \"blocks_min\": " << cls.blocks_min
        << ", \"blocks_max\": " << cls.blocks_max
        << ", \"launches\": " << cls.launches << ", \"total_us\": ";

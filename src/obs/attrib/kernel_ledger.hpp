@@ -53,6 +53,10 @@ struct KernelRecord {
   double latency_us = 0.0;
   std::uint64_t flops = 0;
   std::size_t global_bytes = 0;
+  /// Device lane of a multi-device (sharded) run; -1 = single device.
+  /// Keys a separate kernel class and emits a "device" JSON column, so
+  /// single-device artifacts stay byte-identical.
+  int device = -1;
 };
 
 /// Stage totals of one *reported ok* batch, straight off the RunReport and
@@ -120,6 +124,7 @@ class KernelLedger {
  private:
   struct KernelClass {
     std::string name, category, phase, shape;
+    int device = -1;
     std::size_t blocks_min = 0, blocks_max = 0;
     std::uint64_t launches = 0;
     double total_us = 0.0;

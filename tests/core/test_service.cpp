@@ -133,5 +133,53 @@ TEST(GnnService, EvaluateIsDeterministic) {
   EXPECT_DOUBLE_EQ(service.evaluate(2), service.evaluate(2));
 }
 
+TEST(GnnService, MultiDeviceNeedsAShardCapableBackend) {
+  // The serial baselines cannot decompose a batch; asking for devices > 1
+  // must fail at construction, not degrade to a silent single-device run.
+  ServiceOptions opt;
+  opt.framework = "SALIENT";
+  opt.batch_size = 32;
+  opt.devices = 4;
+  EXPECT_THROW(GnnService(generate("products", 3), models::gcn(8, 47), opt),
+               std::invalid_argument);
+}
+
+TEST(GnnService, MultiDeviceGraphTensorTrainsAndReportsTheGroup) {
+  ServiceOptions opt;
+  opt.framework = "Prepro-GT";
+  opt.batch_size = 48;
+  opt.devices = 4;  // shard left at kNone: the service defaults to range
+  GnnService service(generate("products", 3), models::gcn(8, 47), opt);
+  const auto reports = service.train_batches(2);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.devices, 4u);
+    EXPECT_EQ(r.shard, frameworks::ShardStrategy::kRange);
+    EXPECT_GT(r.group_makespan_us, 0.0);
+    EXPECT_GT(r.collectives, 0u);
+    EXPECT_EQ(r.device_stats.size(), 4u);
+  }
+}
+
+TEST(GnnService, MultiDeviceParametersMatchSingleDevice) {
+  // The service-level view of the §14 digest contract: same dataset, same
+  // seeds, devices=1 vs devices=4/tp — identical losses batch by batch.
+  ServiceOptions opt;
+  opt.framework = "Prepro-GT";
+  opt.batch_size = 48;
+  GnnService single(generate("products", 3), models::gcn(8, 47), opt);
+  opt.devices = 4;
+  opt.shard = frameworks::ShardStrategy::kTensorParallel;
+  GnnService sharded(generate("products", 3), models::gcn(8, 47), opt);
+  const auto a = single.train_batches(4);
+  const auto b = sharded.train_batches(4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].loss, b[i].loss) << "batch " << i;
+    EXPECT_EQ(a[i].kernel_total_us, b[i].kernel_total_us) << "batch " << i;
+  }
+  EXPECT_DOUBLE_EQ(single.evaluate(2), sharded.evaluate(2));
+}
+
 }  // namespace
 }  // namespace gt

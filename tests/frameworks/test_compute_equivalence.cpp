@@ -124,6 +124,58 @@ TEST(ComputeEquivalence, WeightedModelBitIdenticalAcrossThreadCounts) {
   expect_weights_identical(parallel.weights, serial.weights, "NGCF");
 }
 
+TEST(ComputeEquivalence, MultiDeviceShardedRunIsThreadCountInvariant) {
+  // A 4-device range-sharded GraphTensor run must stay bit-identical
+  // across compute-thread counts too: the attribution derives purely from
+  // the (already invariant) canonical profile, never from the host
+  // threading (DESIGN.md §14). This is the configuration the TSan CI job
+  // drives with 8 compute threads.
+  ThreadGuard guard;
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  const auto train_d4 = [&](std::size_t threads) {
+    set_compute_threads(threads);
+    models::ModelParams params(model, data.spec.feature_dim, 7);
+    auto fw = make_framework("Prepro-GT");
+    ShardOptions shard;
+    shard.devices = 4;
+    shard.strategy = ShardStrategy::kRange;
+    EXPECT_TRUE(fw->configure_sharding(shard));
+    TrainResult result;
+    for (std::size_t b = 0; b < 2; ++b) {
+      BatchSpec spec;
+      spec.batch_size = 64;
+      spec.batch_index = b;
+      spec.learning_rate = 0.1f;
+      result.reports.push_back(fw->run_batch(data, model, params, spec));
+    }
+    for (std::uint32_t l = 0; l < params.num_layers(); ++l) {
+      result.weights.push_back(params.w(l));
+      result.weights.push_back(params.b(l));
+    }
+    return result;
+  };
+  const TrainResult serial = train_d4(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const TrainResult parallel = train_d4(threads);
+    const std::string label = "range@4 x " + std::to_string(threads);
+    ASSERT_EQ(parallel.reports.size(), serial.reports.size());
+    for (std::size_t b = 0; b < serial.reports.size(); ++b) {
+      expect_reports_identical(parallel.reports[b], serial.reports[b],
+                               label + " batch " + std::to_string(b));
+      // The multi-device view itself must match to the bit as well.
+      EXPECT_EQ(parallel.reports[b].group_makespan_us,
+                serial.reports[b].group_makespan_us);
+      EXPECT_EQ(parallel.reports[b].comm_us, serial.reports[b].comm_us);
+      EXPECT_EQ(parallel.reports[b].comm_bytes,
+                serial.reports[b].comm_bytes);
+      EXPECT_EQ(parallel.reports[b].device_busy_us,
+                serial.reports[b].device_busy_us);
+    }
+    expect_weights_identical(parallel.weights, serial.weights, label);
+  }
+}
+
 TEST(ComputeEquivalence, HostWallClockFieldsArePopulated) {
   // The RunReport carries real prepare/execute wall time; it must be
   // non-negative and is excluded from every equivalence comparison above.

@@ -1,0 +1,295 @@
+// Multi-device sharded execution (DESIGN.md §14): the modeled
+// decomposition must never change the numbers. Trained parameters, losses,
+// and the canonical priced kernel profile are bit-identical for every
+// device count and both strategies; only the attribution view (per-device
+// stats, group makespan, comm.* costs) varies — and that view itself is
+// deterministic and sum-preserving.
+#include "frameworks/sharding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "frameworks/framework.hpp"
+#include "models/config.hpp"
+#include "util/parallel.hpp"
+
+namespace gt::frameworks {
+namespace {
+
+using detail::split_proportional;
+
+// ---- split_proportional ----------------------------------------------------
+
+std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
+
+TEST(SplitProportional, PreservesTheSumExactly) {
+  // Proportional rounding must never create or destroy a unit, whatever
+  // the ratio of x to the weights.
+  const std::vector<std::uint64_t> weights = {3, 1, 7, 2};
+  for (std::uint64_t x : {std::uint64_t{0}, std::uint64_t{1},
+                          std::uint64_t{13}, std::uint64_t{1000003},
+                          std::uint64_t{1} << 40}) {
+    const auto shares = split_proportional(x, weights);
+    ASSERT_EQ(shares.size(), weights.size());
+    EXPECT_EQ(sum(shares), x) << "x=" << x;
+  }
+}
+
+TEST(SplitProportional, ProportionalForExactMultiples) {
+  const auto shares = split_proportional(130, {3, 1, 7, 2});
+  EXPECT_EQ(shares, (std::vector<std::uint64_t>{30, 10, 70, 20}));
+}
+
+TEST(SplitProportional, ZeroWeightDevicesGetNothing) {
+  const auto shares = split_proportional(100, {0, 5, 0, 5});
+  EXPECT_EQ(shares[0], 0u);
+  EXPECT_EQ(shares[2], 0u);
+  EXPECT_EQ(sum(shares), 100u);
+}
+
+TEST(SplitProportional, AllZeroWeightsLandOnDeviceZero) {
+  const auto shares = split_proportional(42, {0, 0, 0});
+  EXPECT_EQ(shares, (std::vector<std::uint64_t>{42, 0, 0}));
+}
+
+TEST(SplitProportional, HugeValuesDoNotOverflow)  {
+  // x * cum would overflow 64 bits; the split uses 128-bit intermediates.
+  const std::uint64_t x = std::uint64_t{1} << 62;
+  const std::vector<std::uint64_t> weights(8, std::uint64_t{1} << 60);
+  const auto shares = split_proportional(x, weights);
+  EXPECT_EQ(sum(shares), x);
+  for (const std::uint64_t s : shares) EXPECT_EQ(s, x / 8);
+}
+
+// ---- end-to-end equivalence -------------------------------------------------
+
+/// Restore the environment/hardware thread default when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { set_compute_threads(0); }
+};
+
+struct TrainResult {
+  std::vector<RunReport> reports;
+  std::vector<Matrix> weights;  // w then b, per layer, post-training
+};
+
+TrainResult train_sharded(const std::string& framework, const Dataset& data,
+                          const models::GnnModelConfig& model,
+                          std::size_t devices, ShardStrategy strategy,
+                          std::size_t batches = 2) {
+  models::ModelParams params(model, data.spec.feature_dim, 7);
+  auto fw = make_framework(framework);
+  ShardOptions shard;
+  shard.devices = devices;
+  shard.strategy = strategy;
+  EXPECT_TRUE(fw->configure_sharding(shard));
+  TrainResult result;
+  for (std::size_t b = 0; b < batches; ++b) {
+    BatchSpec spec;
+    spec.batch_size = 64;
+    spec.batch_index = b;
+    spec.learning_rate = 0.1f;
+    result.reports.push_back(fw->run_batch(data, model, params, spec));
+  }
+  for (std::uint32_t l = 0; l < params.num_layers(); ++l) {
+    result.weights.push_back(params.w(l));
+    result.weights.push_back(params.b(l));
+  }
+  return result;
+}
+
+void expect_weights_identical(const std::vector<Matrix>& a,
+                              const std::vector<Matrix>& b,
+                              const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].data().size(), b[i].data().size());
+    EXPECT_EQ(0, std::memcmp(a[i].data().data(), b[i].data().data(),
+                             a[i].data().size() * sizeof(float)))
+        << "parameter matrix " << i;
+  }
+}
+
+/// The canonical (device-independent) slice of a report: numerics plus the
+/// single-device priced profile. Everything here must survive sharding.
+void expect_canonical_identical(const RunReport& a, const RunReport& b,
+                                const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.loss, b.loss);
+  EXPECT_EQ(a.kernel_total_us, b.kernel_total_us);
+  EXPECT_EQ(a.fwp_us, b.fwp_us);
+  EXPECT_EQ(a.bwp_us, b.bwp_us);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.global_bytes, b.global_bytes);
+  EXPECT_EQ(a.cache_loaded_bytes, b.cache_loaded_bytes);
+  EXPECT_EQ(a.atomic_ops, b.atomic_ops);
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.preproc_makespan_us, b.preproc_makespan_us);
+  EXPECT_EQ(a.layer_comb_first_fwd, b.layer_comb_first_fwd);
+  EXPECT_EQ(a.layer_comb_first_bwd, b.layer_comb_first_bwd);
+}
+
+TEST(Sharding, EveryDeviceCountTrainsTheSameParameters) {
+  // The acceptance gate: N-device range and TP runs produce parameters
+  // (and losses, and canonical kernel stats) bit-identical to the
+  // single-device run, for every GraphTensor variant's default backend.
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  const TrainResult single =
+      train_sharded("Prepro-GT", data, model, 1, ShardStrategy::kNone);
+  for (const std::size_t devices :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    for (const ShardStrategy strategy :
+         {ShardStrategy::kRange, ShardStrategy::kTensorParallel}) {
+      const TrainResult sharded =
+          train_sharded("Prepro-GT", data, model, devices, strategy);
+      const std::string label = std::string(to_string(strategy)) + " @ " +
+                                std::to_string(devices) + " devices";
+      expect_weights_identical(sharded.weights, single.weights, label);
+      ASSERT_EQ(sharded.reports.size(), single.reports.size());
+      for (std::size_t b = 0; b < single.reports.size(); ++b)
+        expect_canonical_identical(sharded.reports[b], single.reports[b],
+                                   label + " batch " + std::to_string(b));
+    }
+  }
+}
+
+TEST(Sharding, WeightedModelTensorParallelMatchesSingleDevice) {
+  // NGCF's edge-weight kernels produce extra profile entries outside the
+  // layer slices; they must attribute cleanly too.
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::ngcf(8, 47);
+  const TrainResult single =
+      train_sharded("Base-GT", data, model, 1, ShardStrategy::kNone);
+  const TrainResult tp = train_sharded("Base-GT", data, model, 4,
+                                       ShardStrategy::kTensorParallel);
+  expect_weights_identical(tp.weights, single.weights, "NGCF tp@4");
+  for (std::size_t b = 0; b < single.reports.size(); ++b)
+    expect_canonical_identical(tp.reports[b], single.reports[b],
+                               "NGCF tp@4 batch " + std::to_string(b));
+}
+
+TEST(Sharding, SingleDeviceReportCarriesNoMultiDeviceView) {
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  const TrainResult single =
+      train_sharded("Prepro-GT", data, model, 1, ShardStrategy::kNone);
+  for (const RunReport& r : single.reports) {
+    EXPECT_EQ(r.devices, 1u);
+    EXPECT_EQ(r.shard, ShardStrategy::kNone);
+    EXPECT_EQ(r.group_makespan_us, 0.0);
+    EXPECT_EQ(r.comm_bytes, 0u);
+    EXPECT_EQ(r.collectives, 0u);
+    EXPECT_TRUE(r.device_stats.empty());
+    EXPECT_TRUE(r.device_busy_us.empty());
+  }
+}
+
+TEST(Sharding, MultiDeviceReportIsSumPreservingAndPricesComm) {
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  for (const ShardStrategy strategy :
+       {ShardStrategy::kRange, ShardStrategy::kTensorParallel}) {
+    const TrainResult sharded =
+        train_sharded("Prepro-GT", data, model, 4, strategy);
+    SCOPED_TRACE(to_string(strategy));
+    for (const RunReport& r : sharded.reports) {
+      EXPECT_EQ(r.devices, 4u);
+      EXPECT_EQ(r.shard, strategy);
+      ASSERT_EQ(r.device_stats.size(), 4u);
+      ASSERT_EQ(r.device_busy_us.size(), 4u);
+      // Counter attribution preserves the canonical totals exactly.
+      std::uint64_t flops = 0, atomics = 0;
+      std::size_t bytes = 0;
+      for (const gpusim::KernelStats& d : r.device_stats) {
+        flops += d.flops;
+        bytes += d.global_bytes;
+        atomics += d.atomic_ops;
+      }
+      EXPECT_EQ(flops, r.flops);
+      EXPECT_EQ(bytes, r.global_bytes);
+      EXPECT_EQ(atomics, r.atomic_ops);
+      // Both strategies communicate at every layer boundary, so a real
+      // training batch must price at least one collective — and the
+      // merged timeline must cost something but beat the serial profile.
+      EXPECT_GT(r.collectives, 0u);
+      EXPECT_GT(r.comm_bytes, 0u);
+      EXPECT_GT(r.comm_steps, 0u);
+      EXPECT_GT(r.comm_us, 0.0);
+      EXPECT_GT(r.group_makespan_us, 0.0);
+      EXPECT_LT(r.group_makespan_us, r.kernel_total_us + r.comm_us);
+      for (const double busy : r.device_busy_us)
+        EXPECT_LE(busy, r.group_makespan_us + 1e-9);
+    }
+  }
+}
+
+TEST(Sharding, PerDeviceAttributionIsThreadCountInvariant) {
+  // The canonical profile is bit-identical across compute-thread counts
+  // (PR 4); the derived per-device view must inherit that exactly.
+  ThreadGuard guard;
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  set_compute_threads(1);
+  const TrainResult serial =
+      train_sharded("Prepro-GT", data, model, 4, ShardStrategy::kRange);
+  set_compute_threads(8);
+  const TrainResult parallel =
+      train_sharded("Prepro-GT", data, model, 4, ShardStrategy::kRange);
+  ASSERT_EQ(serial.reports.size(), parallel.reports.size());
+  for (std::size_t b = 0; b < serial.reports.size(); ++b) {
+    const RunReport& a = serial.reports[b];
+    const RunReport& c = parallel.reports[b];
+    SCOPED_TRACE("batch " + std::to_string(b));
+    EXPECT_EQ(a.group_makespan_us, c.group_makespan_us);
+    EXPECT_EQ(a.comm_us, c.comm_us);
+    EXPECT_EQ(a.comm_bytes, c.comm_bytes);
+    ASSERT_EQ(a.device_stats.size(), c.device_stats.size());
+    for (std::size_t d = 0; d < a.device_stats.size(); ++d) {
+      EXPECT_EQ(a.device_stats[d].latency_us, c.device_stats[d].latency_us);
+      EXPECT_EQ(a.device_stats[d].flops, c.device_stats[d].flops);
+      EXPECT_EQ(a.device_stats[d].global_bytes,
+                c.device_stats[d].global_bytes);
+      EXPECT_EQ(a.device_busy_us[d], c.device_busy_us[d]);
+    }
+  }
+  expect_weights_identical(serial.weights, parallel.weights, "range@4");
+}
+
+TEST(Sharding, SerialBaselinesRefuseToShard) {
+  auto fw = make_framework("SALIENT");
+  ShardOptions shard;
+  shard.devices = 4;
+  shard.strategy = ShardStrategy::kRange;
+  EXPECT_FALSE(fw->configure_sharding(shard));
+  // devices == 1 is always acceptable (it is the plain serial contract).
+  shard.devices = 1;
+  EXPECT_TRUE(fw->configure_sharding(shard));
+}
+
+TEST(Sharding, GraphTensorRejectsExplicitNoneWithManyDevices) {
+  auto fw = make_framework("Prepro-GT");
+  ShardOptions shard;
+  shard.devices = 4;
+  shard.strategy = ShardStrategy::kNone;
+  EXPECT_FALSE(fw->configure_sharding(shard));
+}
+
+TEST(Sharding, ParseStrategyRoundTripsAndRejectsJunk) {
+  EXPECT_EQ(parse_shard_strategy("range"), ShardStrategy::kRange);
+  EXPECT_EQ(parse_shard_strategy("tp"), ShardStrategy::kTensorParallel);
+  EXPECT_EQ(parse_shard_strategy("none"), ShardStrategy::kNone);
+  EXPECT_EQ(std::string(to_string(ShardStrategy::kRange)), "range");
+  EXPECT_EQ(std::string(to_string(ShardStrategy::kTensorParallel)), "tp");
+  EXPECT_THROW(parse_shard_strategy("ring"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::frameworks

@@ -1,0 +1,96 @@
+#include "gpusim/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace gt::gpusim {
+namespace {
+
+CollectiveModel model(std::size_t devices) {
+  return CollectiveModel(InterconnectModel(devices));
+}
+
+TEST(Collective, SingleDeviceAllReduceIsFree) {
+  CollectiveCost c = model(1).all_reduce(1 << 20);
+  EXPECT_EQ(c.us, 0.0);
+  EXPECT_EQ(c.bytes_on_wire, 0u);
+  EXPECT_EQ(c.steps, 0u);
+}
+
+TEST(Collective, ZeroByteAllReduceIsFree) {
+  CollectiveCost c = model(4).all_reduce(0);
+  EXPECT_EQ(c.us, 0.0);
+  EXPECT_EQ(c.steps, 0u);
+}
+
+TEST(Collective, RingAllReduceClosedForm) {
+  const std::size_t n = 4;
+  const std::size_t bytes = 1 << 20;
+  CollectiveModel m = model(n);
+  CollectiveCost c = m.all_reduce(bytes);
+  const std::size_t chunk = (bytes + n - 1) / n;
+  EXPECT_EQ(c.steps, 2 * (n - 1));
+  EXPECT_NEAR(c.us, 2.0 * (n - 1) * m.interconnect().transfer_us(chunk),
+              1e-9);
+  EXPECT_EQ(c.bytes_on_wire, 2 * (n - 1) * n * chunk);
+}
+
+// The satellite gate: the closed-form ring cost must equal the
+// discrete-event schedule it claims to summarize, for N in {1, 2, 4, 8}
+// and for byte counts that do and do not divide evenly.
+TEST(Collective, ClosedFormMatchesEventSimAllReduce) {
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    CollectiveModel m = model(n);
+    for (std::size_t bytes :
+         {std::size_t{0}, std::size_t{1}, std::size_t{4096},
+          std::size_t{1 << 20}, std::size_t{(1 << 20) + 7}}) {
+      EXPECT_NEAR(m.all_reduce(bytes).us, m.simulate_all_reduce_us(bytes),
+                  1e-9)
+          << "n=" << n << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(Collective, ClosedFormMatchesEventSimAllGather) {
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    CollectiveModel m = model(n);
+    // Uneven shards: device d contributes (d+1) * 10 KiB, device 0 also
+    // gets an empty-shard case via the second vector.
+    std::vector<std::size_t> shards(n), with_empty(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      shards[d] = (d + 1) * 10240;
+      with_empty[d] = d * 4096;
+    }
+    EXPECT_NEAR(m.all_gather(shards).us, m.simulate_all_gather_us(shards),
+                1e-9)
+        << "n=" << n;
+    EXPECT_NEAR(m.all_gather(with_empty).us,
+                m.simulate_all_gather_us(with_empty), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Collective, AllGatherCountsWireBytes) {
+  const std::size_t n = 4;
+  std::vector<std::size_t> shards = {100, 200, 300, 400};
+  CollectiveCost c = model(n).all_gather(shards);
+  EXPECT_EQ(c.steps, n - 1);
+  EXPECT_EQ(c.bytes_on_wire, (n - 1) * 1000u);  // each shard crosses n-1 links
+}
+
+TEST(Collective, AllReduceCostGrowsWithDevicesAtFixedBytes) {
+  // More ring hops -> more latency-bound steps for the same payload.
+  const std::size_t bytes = 64 << 10;
+  double prev = model(2).all_reduce(bytes).us;
+  for (std::size_t n : {4u, 8u}) {
+    const double cur = model(n).all_reduce(bytes).us;
+    EXPECT_GT(cur, 0.0);
+    EXPECT_GT(cur, prev * 0.5);  // monotone in steps once latency dominates
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace gt::gpusim

@@ -1,0 +1,85 @@
+#include "gpusim/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/pcie.hpp"
+#include "obs/metrics.hpp"
+
+namespace gt::gpusim {
+namespace {
+
+TEST(Link, ZeroBytesIsFree) {
+  Link link;
+  EXPECT_EQ(link.transfer_us(0), 0.0);
+}
+
+TEST(Link, TinyTransferPaysLatency) {
+  Link link;
+  EXPECT_NEAR(link.transfer_us(1), link.params().latency_us, 0.01);
+}
+
+TEST(Link, ThroughputScalesLinearly) {
+  Link link;
+  const double t1 = link.transfer_us(1 << 20) - link.params().latency_us;
+  const double t2 = link.transfer_us(2 << 20) - link.params().latency_us;
+  EXPECT_NEAR(t2, 2 * t1, 1e-9);
+}
+
+TEST(Link, HugeTransferIsBandwidthBound) {
+  Link link;
+  const std::size_t bytes = std::size_t{1} << 40;  // 1 TiB
+  const double expected =
+      static_cast<double>(bytes) / link.params().bw_bytes_per_us;
+  // Latency is invisible at this size but never lost.
+  EXPECT_GT(link.transfer_us(bytes), expected);
+  EXPECT_NEAR(link.transfer_us(bytes), expected + link.params().latency_us,
+              1e-6);
+}
+
+TEST(Interconnect, RingLinkIds) {
+  InterconnectModel ic(4);
+  EXPECT_EQ(ic.devices(), 4u);
+  EXPECT_EQ(ic.num_links(), 4u);
+  EXPECT_EQ(ic.topology(), Topology::kRing);
+  EXPECT_EQ(ic.link_id(0, 1), 0u);
+  EXPECT_EQ(ic.link_id(3, 0), 3u);
+}
+
+TEST(Interconnect, SingleDeviceHasNoLinks) {
+  InterconnectModel ic(1);
+  EXPECT_EQ(ic.num_links(), 0u);
+}
+
+// Satellite: PcieModel used to charge full setup latency (and bump the
+// pcie.transfers counter) for a transfer that moves nothing.
+TEST(Pcie, ZeroByteTransferIsFreeAndUnrecorded) {
+  PcieModel pcie;
+  const std::uint64_t transfers_before =
+      obs::metrics().counter("pcie.transfers").value();
+  const std::uint64_t bytes_before =
+      obs::metrics().counter("pcie.bytes").value();
+  EXPECT_EQ(pcie.transfer_us(0, /*pinned=*/true), 0.0);
+  EXPECT_EQ(pcie.transfer_us(0, /*pinned=*/false), 0.0);
+  EXPECT_EQ(obs::metrics().counter("pcie.transfers").value(),
+            transfers_before);
+  EXPECT_EQ(obs::metrics().counter("pcie.bytes").value(), bytes_before);
+}
+
+TEST(Pcie, OneByteStillPaysFullLatency) {
+  PcieModel pcie;
+  EXPECT_GE(pcie.transfer_us(1, /*pinned=*/true), pcie.params().latency_us);
+}
+
+TEST(Pcie, HugePageableTransferAddsStagingCopy) {
+  PcieModel pcie;
+  const std::size_t bytes = std::size_t{1} << 34;  // 16 GiB
+  const double pinned = pcie.transfer_us(bytes, /*pinned=*/true);
+  const double pageable = pcie.transfer_us(bytes, /*pinned=*/false);
+  EXPECT_NEAR(pageable - pinned,
+              static_cast<double>(bytes) /
+                  pcie.params().staging_copy_bw_bytes_per_us,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace gt::gpusim

@@ -145,6 +145,29 @@ int render(const std::string& dir, bool clear_screen) {
   const JsonValue& gauges = snap.at("gauges");
   const JsonValue& counters = snap.at("counters");
   const JsonValue& rates = snap.at("rates");
+
+  // Modeled device group (DESIGN.md §14): present only for --devices > 1
+  // runs — the per-device share of the group makespan mirrors the worker
+  // utilization table above, but over *simulated* device lanes.
+  const double devices = gauges.number_at("gpusim.devices");
+  if (devices > 1.0) {
+    std::printf("\ndevices (%.0f modeled, group makespan %.1f us)\n",
+                devices, gauges.number_at("gpusim.group.makespan_us"));
+    for (double d = 0.0; d < devices; d += 1.0) {
+      const std::string prefix =
+          "gpusim.device." + std::to_string(static_cast<int>(d)) + ".";
+      const double share = gauges.number_at(prefix + "share");
+      bar(b, 28, share);
+      std::printf("  d%-3.0f %6.1f%%  %s  busy %10.1f us\n", d,
+                  100.0 * share, b, gauges.number_at(prefix + "busy_us"));
+    }
+    std::printf("  comm  %.0f collectives · %.0f steps · %.1f KiB · %.1f "
+                "us\n",
+                counters.number_at("comm.collectives"),
+                counters.number_at("comm.steps"),
+                counters.number_at("comm.bytes") / 1024.0,
+                gauges.number_at("comm.us"));
+  }
   auto rate_of = [&](const char* name) {
     return rates.at(name).number_at("per_batch");
   };
