@@ -30,6 +30,20 @@
 //                all-reduce per layer boundary). Only valid together with
 //                --devices > 1; defaults to range.
 //
+// Embedding cache hierarchy (DESIGN.md §15):
+//   --cache-budget=B   device bytes for the embedding cache (suffixes
+//                K/M/G, e.g. --cache-budget=8M). 0 (default) = no cache.
+//                Re-prices the K/T preprocessing stages only: trained
+//                parameters and losses are bit-identical to a cache-off
+//                run for every policy. Requires a GraphTensor backend.
+//   --cache-policy=P   static (degree-pinned hub vertices, the default),
+//                lru / lfu (fully dynamic, batch-index virtual-time
+//                eviction), or tiered (budget split static + LRU).
+//   --prefetch   sampler-lookahead warm-up of the dynamic tier: the
+//                prepared next batch's vid_order is fetched under the
+//                current batch's compute window and priced as overlapped
+//                transfer. Needs a dynamic tier (lru/lfu/tiered).
+//
 // Fault injection / chaos serving (DESIGN.md §11):
 //   --fault-spec=SPEC (GT_FAULT_SPEC) arms a gt::fault schedule, e.g.
 //                --fault-spec="gpusim.alloc@batch=3;preproc.sample@batch=7"
@@ -88,6 +102,7 @@
 
 #include "core/graphtensor.hpp"
 #include "obs/metrics.hpp"
+#include "sampling/cache_hierarchy.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
@@ -117,6 +132,29 @@ std::string out_path(const std::string& flag_value, const char* env_name) {
   return {};
 }
 
+/// Parse a byte count with an optional K/M/G suffix ("8M", "512k", "1G").
+/// Returns false on anything else (including negatives).
+bool parse_byte_size(const std::string& text, std::size_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) return false;
+  double scale = 1.0;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = 1024.0; break;
+      case 'm': case 'M': scale = 1024.0 * 1024.0; break;
+      case 'g': case 'G': scale = 1024.0 * 1024.0 * 1024.0; break;
+      default: return false;
+    }
+    ++end;
+    if (*end == 'B' || *end == 'b') ++end;
+    if (*end != '\0') return false;
+  }
+  *out = static_cast<std::size_t>(value * scale);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,6 +165,9 @@ int main(int argc, char** argv) {
   int workers = 1;
   int devices = 1;
   std::string shard_flag;  // empty = flag absent; validated below
+  std::string cache_budget_flag;  // empty = cache off
+  std::string cache_policy_flag;  // empty = static (validated below)
+  bool cache_prefetch = false;
   int compute_threads = 0;  // 0 = GT_COMPUTE_THREADS / hardware default
   int batches_flag = -1;
   int max_retries = -1;  // -1 = ServiceOptions default
@@ -156,6 +197,16 @@ int main(int argc, char** argv) {
       shard_flag = arg.substr(8);
     } else if (arg == "--shard" && i + 1 < argc) {
       shard_flag = argv[++i];
+    } else if (arg.rfind("--cache-budget=", 0) == 0) {
+      cache_budget_flag = arg.substr(15);
+    } else if (arg == "--cache-budget" && i + 1 < argc) {
+      cache_budget_flag = argv[++i];
+    } else if (arg.rfind("--cache-policy=", 0) == 0) {
+      cache_policy_flag = arg.substr(15);
+    } else if (arg == "--cache-policy" && i + 1 < argc) {
+      cache_policy_flag = argv[++i];
+    } else if (arg == "--prefetch") {
+      cache_prefetch = true;
     } else if (arg.rfind("--compute-threads=", 0) == 0) {
       compute_threads = std::atoi(arg.c_str() + 18);
     } else if (arg == "--compute-threads" && i + 1 < argc) {
@@ -213,6 +264,34 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::size_t cache_budget = 0;
+  if (!cache_budget_flag.empty() &&
+      !parse_byte_size(cache_budget_flag, &cache_budget)) {
+    std::fprintf(stderr,
+                 "--cache-budget=%s: expected a byte count with an optional "
+                 "K/M/G suffix (e.g. --cache-budget=8M)\n",
+                 cache_budget_flag.c_str());
+    return 2;
+  }
+  // Same typo-protection as --shard: a policy or prefetch request with no
+  // byte budget would silently train uncached, so reject it up front.
+  if ((!cache_policy_flag.empty() || cache_prefetch) && cache_budget == 0) {
+    std::fprintf(stderr,
+                 "%s requires a positive --cache-budget (the embedding "
+                 "cache is off without a byte budget)\n",
+                 !cache_policy_flag.empty() ? "--cache-policy" : "--prefetch");
+    return 2;
+  }
+  gt::sampling::CachePolicy cache_policy = gt::sampling::CachePolicy::kStatic;
+  if (!cache_policy_flag.empty()) {
+    try {
+      cache_policy = gt::sampling::parse_cache_policy(cache_policy_flag);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "--cache-policy=%s: %s\n",
+                   cache_policy_flag.c_str(), e.what());
+      return 2;
+    }
+  }
   const std::string trace_out = out_path(trace_flag, "GT_TRACE_OUT");
   const std::string metrics_out = out_path(metrics_flag, "GT_METRICS_OUT");
   const std::string bench_out = out_path(bench_flag, "GT_BENCH_OUT");
@@ -240,6 +319,9 @@ int main(int argc, char** argv) {
   options.workers = static_cast<std::size_t>(workers);
   options.devices = static_cast<std::size_t>(devices);
   options.shard = shard;  // kNone defaults to range inside the service
+  options.cache_budget_bytes = cache_budget;
+  options.cache_policy = cache_policy;
+  options.cache_prefetch = cache_prefetch;
   if (compute_threads > 0)
     options.compute_threads = static_cast<std::size_t>(compute_threads);
   options.fault_spec = fault_spec;  // empty falls back to GT_FAULT_SPEC
@@ -277,6 +359,10 @@ int main(int argc, char** argv) {
                     shard == gt::frameworks::ShardStrategy::kNone
                         ? gt::frameworks::ShardStrategy::kRange
                         : shard));
+  if (cache_budget > 0)
+    std::printf("embedding cache: %zu bytes, %s policy%s\n", cache_budget,
+                gt::sampling::to_string(cache_policy),
+                cache_prefetch ? ", prefetch on" : "");
   std::printf("\n");
 
   gt::Table table({"batch", "loss", "kernel us", "preproc us", "e2e us",
@@ -424,6 +510,42 @@ int main(int argc, char** argv) {
         row.metric = "collectives priced";
         row.unit = "count";
         row.measured = collectives;
+        rep.add_row(row);
+      }
+      if (cache_budget > 0) {
+        // Embedding cache rows (DESIGN.md §15), read back from the
+        // committed per-tier counters in the metrics registry.
+        gt::obs::MetricsRegistry& m = gt::obs::metrics();
+        const auto count = [&m](const char* name) {
+          return static_cast<double>(m.counter(name).value());
+        };
+        row.metric = "cache hit rate";
+        row.unit = "fraction";
+        row.measured = m.gauge("embedding_cache.hit_rate").value();
+        rep.add_row(row);
+        row.metric = "cache static hits";
+        row.unit = "count";
+        row.measured = count("cache.static.hits");
+        rep.add_row(row);
+        row.metric = "cache dynamic hits";
+        row.unit = "count";
+        row.measured = count("cache.dynamic.hits");
+        rep.add_row(row);
+        row.metric = "cache prefetch hits";
+        row.unit = "count";
+        row.measured = count("cache.prefetch.hits");
+        rep.add_row(row);
+        row.metric = "cache misses";
+        row.unit = "count";
+        row.measured = count("cache.misses");
+        rep.add_row(row);
+        row.metric = "cache evictions";
+        row.unit = "count";
+        row.measured = count("cache.evictions");
+        rep.add_row(row);
+        row.metric = "cache ring chunks";
+        row.unit = "count";
+        row.measured = count("cache.ring.chunks");
         rep.add_row(row);
       }
     }

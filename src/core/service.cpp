@@ -60,6 +60,21 @@ GnnService::GnnService(Dataset dataset, models::GnnModelConfig model,
              " devices, ", frameworks::to_string(options_.shard),
              " sharding)");
   }
+  if (options_.cache_budget_bytes > 0) {
+    sampling::CacheConfig cache;
+    cache.budget_bytes = options_.cache_budget_bytes;
+    cache.policy = options_.cache_policy;
+    cache.prefetch = options_.cache_prefetch;
+    if (!backend_->configure_cache(cache))
+      throw std::invalid_argument(
+          "backend '" + options_.framework +
+          "' does not support the embedding cache (--cache-budget "
+          "requires a GraphTensor variant)");
+    log_info("service: embedding cache armed (",
+             options_.cache_budget_bytes, " bytes, ",
+             sampling::to_string(options_.cache_policy), " policy",
+             options_.cache_prefetch ? ", prefetch on" : "", ")");
+  }
   if (options_.compute_threads != 0)
     set_compute_threads(options_.compute_threads);
   std::string spec_text = options_.fault_spec;

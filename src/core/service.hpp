@@ -54,6 +54,20 @@ struct ServiceOptions {
   /// Decomposition strategy for devices > 1; kNone defaults to kRange.
   /// Ignored (and rejected by the CLI) for single-device runs.
   frameworks::ShardStrategy shard = frameworks::ShardStrategy::kNone;
+  /// Embedding cache hierarchy budget (DESIGN.md §15). 0 = no cache. A
+  /// positive budget requires a cache-capable backend (the GraphTensor
+  /// variants): the constructor throws std::invalid_argument when the
+  /// backend refuses. The cache re-prices the K/T stages only — trained
+  /// parameters and losses stay bit-identical to a cache-off run.
+  std::size_t cache_budget_bytes = 0;
+  /// Replacement policy for the cache budget; only read when
+  /// cache_budget_bytes > 0.
+  sampling::CachePolicy cache_policy = sampling::CachePolicy::kStatic;
+  /// Sampler-lookahead prefetch: warm the dynamic tier with the prepared
+  /// next batch's vid_order, priced as overlapped transfer. Only read
+  /// when cache_budget_bytes > 0 (and only effective for policies with a
+  /// dynamic tier).
+  bool cache_prefetch = false;
   /// Host threads for the process-wide compute engine (simulated-device
   /// kernel execution and dense tensor ops). 0 leaves the current global
   /// setting (GT_COMPUTE_THREADS / hardware default) untouched; any other

@@ -63,6 +63,15 @@ std::vector<DatasetSpec> build_catalog() {
   c.push_back(spec("livejournal", GraphFamily::kPowerLaw, 50'000, 960'000, 0.90,
                    544, 2, true, 14,
                    PaperStats{5'000'000, 96'000'000, 4353, 1.7, 2}));
+  // social: the cache-ablation workload (DESIGN.md §15). Maximally skewed
+  // Zipf tail so repeated sampling keeps landing on the same hub vertices —
+  // the regime where the embedding cache hierarchy pays off — with heavy
+  // features so the avoided K/T volume is a visible share of the batch.
+  // Contrast with roadnet-ca (uniform degrees, alpha 0) where a
+  // degree-pinned tier has no hubs to exploit.
+  c.push_back(spec("social", GraphFamily::kPowerLaw, 30'000, 400'000, 0.98,
+                   544, 2, true, 12,
+                   PaperStats{3'000'000, 48'000'000, 4353, 2.5, 2}));
   return c;
 }
 

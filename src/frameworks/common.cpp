@@ -308,6 +308,17 @@ void finalize_report(RunReport& report, const gpusim::Device& dev,
                    ? report.device_busy_us[d] / report.group_makespan_us
                    : 0.0);
     }
+    // Per-device embedding-cache attribution (sum-preserving split of the
+    // batch's hit/miss/eviction volumes, DESIGN.md §15).
+    for (std::size_t d = 0; d < shard->device_cache.size(); ++d) {
+      const std::string prefix = "cache.device." + std::to_string(d);
+      const CacheBatchVolumes& cv = shard->device_cache[d];
+      m.counter(prefix + ".static_hits").add(cv.static_hits);
+      m.counter(prefix + ".dynamic_hits").add(cv.dynamic_hits);
+      m.counter(prefix + ".prefetch_hits").add(cv.prefetch_hits);
+      m.counter(prefix + ".misses").add(cv.misses);
+      m.counter(prefix + ".evictions").add(cv.evictions);
+    }
   }
   m.counter("frameworks.batches").add(1);
   m.histogram("frameworks.e2e_us").observe(report.end_to_end_us);

@@ -18,6 +18,7 @@
 #include "models/params.hpp"
 #include "pipeline/batch_context.hpp"
 #include "pipeline/plan.hpp"
+#include "sampling/cache_hierarchy.hpp"
 
 namespace gt::frameworks {
 
@@ -162,6 +163,13 @@ class Framework {
   /// a single device resets to the default and always succeeds.
   virtual bool configure_sharding(const ShardOptions& options) {
     return options.devices <= 1;
+  }
+
+  /// Opt the backend into the embedding cache hierarchy (DESIGN.md §15).
+  /// Returns false when the backend has no cache path; a zero budget
+  /// disables the hierarchy and always succeeds.
+  virtual bool configure_cache(const sampling::CacheConfig& config) {
+    return config.budget_bytes == 0;
   }
 
   /// Phase 1 — parameter-independent preprocessing (sample, reindex,

@@ -8,7 +8,8 @@
 #include "obs/live/worker_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "sampling/embedding_cache.hpp"
+#include "sampling/cache_hierarchy.hpp"
+#include "sampling/transfer.hpp"
 
 namespace gt::frameworks {
 
@@ -50,6 +51,28 @@ void GraphTensorFramework::prepare_batch(const Dataset& data,
   prep_span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
   detail::preprocess_into(data, spec, model.num_layers, kGtFormats,
                           plan_options(), ctx);
+  // Sampler lookahead: the batch's vid_order is final here, so its rows
+  // are warmable while the previous batch executes. The hint is a pure
+  // function of the batch (not of worker overlap), keeping prefetch
+  // pricing bit-identical across worker counts.
+  if (cache_cfg_.prefetch && cache_cfg_.budget_bytes > 0)
+    ctx.arm_cache_prefetch(spec.batch_index);
+}
+
+sampling::CacheHierarchy& GraphTensorFramework::ensure_hierarchy(
+    const Dataset& data) {
+  const bool hit = hierarchy_ && hier_graph_ == &data.csr &&
+                   hier_table_ == &data.embeddings;
+  if (!hit) {
+    sampling::CacheConfig cfg = cache_cfg_;
+    cfg.pcie = plan_options().pcie;
+    hierarchy_ = std::make_unique<sampling::CacheHierarchy>(
+        data.csr, data.embeddings, cfg);
+    hier_graph_ = &data.csr;
+    hier_table_ = &data.embeddings;
+    obs::metrics().counter("cache.hierarchy_builds").add(1);
+  }
+  return *hierarchy_;
 }
 
 RunReport GraphTensorFramework::execute_prepared(
@@ -70,7 +93,10 @@ RunReport GraphTensorFramework::execute_prepared(
 
   pipeline::PreprocResult& pre = ctx.preproc();
   report.input_table_bytes = pre.embeddings.bytes();
-  const bool use_cache = cache_bytes_ > 0;
+  const bool use_cache = cache_cfg_.budget_bytes > 0;
+  // A cache-disabled run must not report a stale rate from an earlier
+  // cache-enabled run on the same framework instance.
+  if (!use_cache) last_hit_rate_ = 0.0;
 
   const bool dkp_active = variant_ != Variant::kBase &&
                           kernels::dkp_compatible(model.g);
@@ -143,38 +169,78 @@ RunReport GraphTensorFramework::execute_prepared(
 #endif
   };
 
+  // Cache hierarchy state is transactional like the SGD/cost-model stages
+  // above: lookup() classifies against the current tiers without mutating
+  // them, and commit_cache (below) applies the staged admissions only
+  // once the batch reaches a reported outcome.
+  sampling::CacheHierarchy::Lookup cache_look;
+  sampling::PinnedRingBuffer::Overlap ring_ov;
+  bool cache_active = false;
+  auto commit_cache = [&] {
+    if (!cache_active) return;
+    sampling::CacheHierarchy& hier = *hierarchy_;
+    const std::uint64_t evictions_before = hier.stats().evictions;
+    hier.commit(cache_look, report.fwp_us + report.bwp_us);
+    last_hit_rate_ = cache_look.hit_rate();
+    obs::MetricsRegistry& m = obs::metrics();
+    // Legacy totals (gt_top's cache line) plus the per-tier breakdown.
+    m.gauge("embedding_cache.hit_rate").set(last_hit_rate_);
+    m.counter("embedding_cache.hits").add(cache_look.cached_rows());
+    m.counter("embedding_cache.misses").add(cache_look.misses);
+    m.counter("cache.static.hits").add(cache_look.static_rows.size());
+    m.counter("cache.dynamic.hits").add(cache_look.dynamic_hits);
+    m.counter("cache.prefetch.hits").add(cache_look.prefetch_hits);
+    m.counter("cache.misses").add(cache_look.misses);
+    m.counter("cache.evictions")
+        .add(hier.stats().evictions - evictions_before);
+    m.counter("cache.prefetch.rows").add(cache_look.prefetched);
+    m.counter("cache.ring.chunks").add(ring_ov.chunks);
+    m.counter("cache.ring.bytes").add(ring_ov.bytes);
+    m.gauge("cache.ring.critical_us").set(ring_ov.critical_us);
+    m.gauge("cache.ring.overlap_us").set(ring_ov.overlapped_us());
+    m.gauge("cache.dynamic.occupancy")
+        .set(static_cast<double>(hier.dynamic_size_rows()));
+  };
+
   try {
     auto session = detail::open_session(pre, params, formats,
                                         /*upload_input=*/!use_cache);
     gpusim::Device& dev = session->dev;
 
     if (use_cache) {
-      // PaGraph-style extension: hot rows are device-resident across
-      // batches; only misses are gathered and transferred, so the
-      // preprocessing schedule is re-priced with the reduced K/T volume.
-      sampling::EmbeddingCache cache(dev, data.csr, data.embeddings,
-                                     cache_bytes_);
-      const auto part = cache.partition(pre.batch.vid_order);
-      last_hit_rate_ = part.hit_rate();
-      obs::metrics().gauge("embedding_cache.hit_rate").set(last_hit_rate_);
-      obs::metrics().counter("embedding_cache.hits").add(part.hit_rows.size());
-      obs::metrics()
-          .counter("embedding_cache.misses")
-          .add(part.miss_vids.size());
-      ctx.workload().cached_rows = part.hit_rows.size();
+      // Embedding cache hierarchy (DESIGN.md §15): the static tier is
+      // device-resident for the dataset's lifetime; dynamic and prefetch
+      // hits are re-priced out of the critical K/T path; only true misses
+      // keep their full lookup + transfer cost in the schedule.
+      sampling::CacheHierarchy& hier = ensure_hierarchy(data);
+      ctx.set_cache_hierarchy(&hier);
+      cache_look = hier.lookup(pre.batch.vid_order, spec.batch_index,
+                               ctx.cache_prefetch_armed(spec.batch_index));
+      cache_active = true;
+      ctx.workload().cached_rows = cache_look.cached_rows();
       ctx.schedule() = pipeline::plan_preprocessing(ctx.workload(), plan);
 
-      MatrixView misses =
-          ctx.arena().alloc(part.miss_vids.size(), data.spec.feature_dim);
-      for (std::size_t m = 0; m < part.miss_vids.size(); ++m)
-        data.embeddings.gather_row(part.miss_vids[m], misses.row(m));
-      gpusim::BufferId miss_buf = gpusim::kInvalidBuffer;
-      if (!part.miss_vids.empty())
-        miss_buf = kernels::upload_matrix(dev, misses, "cache.misses");
-      session->input = cache.assemble(dev, part, miss_buf,
-                                      pre.batch.vid_order.size());
-      if (miss_buf != gpusim::kInvalidBuffer) dev.free(miss_buf);
-      dev.clear_profile();  // assembly is not FWP/BWP work
+      // Every non-static row (dynamic/prefetch hits included, so numerics
+      // stay bit-identical to an uncached gather) streams through the
+      // pinned ring buffer: chunked K gathers overlapping chunked T
+      // uploads, priced through the same PCIe model as the schedule.
+      MatrixView gathered = ctx.arena().alloc(cache_look.gather_vids.size(),
+                                              data.spec.feature_dim);
+      sampling::Transfer staging(dev, gpusim::PcieModel(plan.pcie),
+                                 /*pinned=*/true);
+      ring_ov = hier.ring().gather_through(data.embeddings,
+                                           cache_look.gather_vids, gathered,
+                                           staging,
+                                           plan.cost.us_per_lookup_byte);
+      gpusim::BufferId gather_buf = gpusim::kInvalidBuffer;
+      if (!cache_look.gather_vids.empty())
+        gather_buf = kernels::upload_matrix(dev, gathered, "cache.gathered");
+      const gpusim::BufferId static_buf = hier.bind_static(dev);
+      session->input = hier.assemble(dev, static_buf, cache_look, gather_buf,
+                                     pre.batch.vid_order.size());
+      if (gather_buf != gpusim::kInvalidBuffer) dev.free(gather_buf);
+      if (static_buf != gpusim::kInvalidBuffer) dev.free(static_buf);
+      dev.clear_profile();  // staging/assembly is not FWP/BWP work
     }
 
     dfg::LayerExecutor exec(dev, model.f, model.g);
@@ -260,8 +326,19 @@ RunReport GraphTensorFramework::execute_prepared(
       detail::ShardedExecution sx;
       const detail::ShardedExecution* sp = nullptr;
       if (sharded) {
+        detail::CacheBatchVolumes cache_vol;
+        const detail::CacheBatchVolumes* cp = nullptr;
+        if (cache_active) {
+          cache_vol.static_hits = cache_look.static_rows.size();
+          cache_vol.dynamic_hits = cache_look.dynamic_hits;
+          cache_vol.prefetch_hits = cache_look.prefetch_hits;
+          cache_vol.misses = cache_look.misses;
+          cache_vol.evictions = cache_look.expected_evictions;
+          cp = &cache_vol;
+        }
         sx = detail::shard_execution(dev.profile(), slices, shard_plan,
-                                     dev.config().cost.launch_overhead_us);
+                                     dev.config().cost.launch_overhead_us,
+                                     cp);
         for (const gpusim::CollectiveCost& cc : sx.priced)
           cost_model_.record_collective(cc.steps, cc.bytes_on_wire, cc.us);
         sp = &sx;
@@ -272,6 +349,7 @@ RunReport GraphTensorFramework::execute_prepared(
 
     if (spec.inference) {
       finalize();
+      commit_cache();
       commit_samples();
       return report;
     }
@@ -325,6 +403,7 @@ RunReport GraphTensorFramework::execute_prepared(
   // OOM commit applies exactly the layers whose backward completed before
   // the allocator gave out — the same updates an eager apply performed.
   sgd.commit();
+  commit_cache();
   commit_samples();
   if (dkp_active && !cost_model_.fitted() &&
       batches_seen_ >= kFitAfterBatches) {

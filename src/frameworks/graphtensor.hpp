@@ -20,13 +20,16 @@ class GraphTensorFramework : public Framework {
  public:
   enum class Variant { kBase, kDynamic, kPrepro };
 
-  /// `embedding_cache_bytes` > 0 enables the PaGraph-style GPU-resident
-  /// cache of the highest-out-degree vertices' embeddings (extension, see
-  /// sampling/embedding_cache.hpp): per-batch lookup and transfer then
-  /// cover only cache misses.
+  /// `embedding_cache_bytes` > 0 enables the degree-pinned static tier of
+  /// the embedding cache hierarchy (the legacy PaGraph-style policy, see
+  /// sampling/cache_hierarchy.hpp): per-batch lookup and transfer then
+  /// cover only cache misses. configure_cache() selects richer policies.
   explicit GraphTensorFramework(Variant variant,
                                 std::size_t embedding_cache_bytes = 0)
-      : variant_(variant), cache_bytes_(embedding_cache_bytes) {}
+      : variant_(variant) {
+    cache_cfg_.budget_bytes = embedding_cache_bytes;
+    cache_cfg_.policy = sampling::CachePolicy::kStatic;
+  }
 
   std::string name() const override;
 
@@ -45,6 +48,26 @@ class GraphTensorFramework : public Framework {
   }
 
   const ShardOptions& shard_options() const noexcept { return shard_; }
+
+  /// Embedding cache hierarchy (DESIGN.md §15): a dataset-lifetime
+  /// static + dynamic tier stack that re-prices the K/T stages without
+  /// touching numerics. Replaces any earlier cache configuration; the
+  /// hierarchy itself is built lazily on the first cached batch.
+  bool configure_cache(const sampling::CacheConfig& config) override {
+    cache_cfg_ = config;
+    hierarchy_.reset();
+    hier_graph_ = nullptr;
+    hier_table_ = nullptr;
+    return true;
+  }
+
+  const sampling::CacheConfig& cache_config() const noexcept {
+    return cache_cfg_;
+  }
+  /// Committed per-tier counters (zeros until a cached batch commits).
+  sampling::CacheStats cache_stats() const noexcept {
+    return hierarchy_ ? hierarchy_->stats() : sampling::CacheStats{};
+  }
 
   void prepare_batch(const Dataset& data, const models::GnnModelConfig& model,
                      const BatchSpec& spec,
@@ -68,9 +91,16 @@ class GraphTensorFramework : public Framework {
 
  private:
   pipeline::PlanOptions plan_options() const;
+  /// Dataset-lifetime hierarchy, keyed on the graph/table identities like
+  /// BatchContext::executor_for — rebuilt only when the dataset (or the
+  /// cache configuration, via configure_cache) changes.
+  sampling::CacheHierarchy& ensure_hierarchy(const Dataset& data);
 
   Variant variant_;
-  std::size_t cache_bytes_ = 0;
+  sampling::CacheConfig cache_cfg_;
+  std::unique_ptr<sampling::CacheHierarchy> hierarchy_;
+  const void* hier_graph_ = nullptr;
+  const void* hier_table_ = nullptr;
   double last_hit_rate_ = 0.0;
   dfg::DkpCostModel cost_model_;
   std::uint64_t batches_seen_ = 0;

@@ -126,10 +126,33 @@ ShardPlan build_shard_plan(const pipeline::PreprocResult& pre,
 ShardedExecution shard_execution(
     const std::vector<gpusim::KernelStats>& profile,
     std::vector<LayerSlice> slices, const ShardPlan& plan,
-    double launch_overhead_us) {
+    double launch_overhead_us, const CacheBatchVolumes* cache) {
   const std::size_t n = plan.options.devices;
   ShardedExecution out;
   out.options = plan.options;
+  if (cache != nullptr) {
+    // Cache outcomes are attributed like every other integer counter: by
+    // the plan's default weights (the batch's dst-row ownership), with
+    // cumulative rounding so each field sums back to the batch total.
+    const auto s_hits = split_proportional(cache->static_hits,
+                                           plan.default_weights);
+    const auto d_hits = split_proportional(cache->dynamic_hits,
+                                           plan.default_weights);
+    const auto p_hits = split_proportional(cache->prefetch_hits,
+                                           plan.default_weights);
+    const auto misses = split_proportional(cache->misses,
+                                           plan.default_weights);
+    const auto evicts = split_proportional(cache->evictions,
+                                           plan.default_weights);
+    out.device_cache.resize(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      out.device_cache[d].static_hits = s_hits[d];
+      out.device_cache[d].dynamic_hits = d_hits[d];
+      out.device_cache[d].prefetch_hits = p_hits[d];
+      out.device_cache[d].misses = misses[d];
+      out.device_cache[d].evictions = evicts[d];
+    }
+  }
   gpusim::DeviceGroup group({.devices = n});
   const bool tp = plan.options.strategy == ShardStrategy::kTensorParallel;
 

@@ -88,6 +88,17 @@ ShardPlan build_shard_plan(const pipeline::PreprocResult& pre,
 std::vector<std::uint64_t> split_proportional(
     std::uint64_t x, const std::vector<std::uint64_t>& weights);
 
+/// One batch's embedding-cache outcome volumes (DESIGN.md §15), attributed
+/// across devices with the same sum-preserving proportional split as every
+/// other integer counter so per-device cache accounting stays exact.
+struct CacheBatchVolumes {
+  std::uint64_t static_hits = 0;
+  std::uint64_t dynamic_hits = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
 /// The attributed multi-device view of one executed batch.
 struct ShardedExecution {
   ShardOptions options;
@@ -102,15 +113,20 @@ struct ShardedExecution {
     gpusim::KernelStats stats;
   };
   std::vector<DeviceKernel> kernels;
+
+  /// Per-device cache volumes (empty when the batch ran uncached). Each
+  /// field sums back exactly to the batch totals.
+  std::vector<CacheBatchVolumes> device_cache;
 };
 
 /// Attribute the canonical profile across the plan's devices, price the
 /// strategy's collectives at the captured layer boundaries, and run the
 /// merged group timeline. `launch_overhead_us` is the device cost
-/// parameter every per-device kernel re-pays.
+/// parameter every per-device kernel re-pays. `cache`, when non-null,
+/// carries the batch's embedding-cache volumes to attribute per device.
 ShardedExecution shard_execution(
     const std::vector<gpusim::KernelStats>& profile,
     std::vector<LayerSlice> slices, const ShardPlan& plan,
-    double launch_overhead_us);
+    double launch_overhead_us, const CacheBatchVolumes* cache = nullptr);
 
 }  // namespace gt::frameworks::detail

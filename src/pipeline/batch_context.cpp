@@ -8,6 +8,8 @@ void BatchContext::begin_batch() {
   table_.clear();
   arena_.reset();
   preproc_.clear_for_reuse();
+  prefetch_armed_ = false;
+  cache_hierarchy_ = nullptr;
   alloc_snapshot_ = arena_.stats().allocations;
   growth_snapshot_ = arena_.stats().growths;
   ++batches_begun_;

@@ -27,6 +27,10 @@
 #include "sampling/hash_table.hpp"
 #include "tensor/arena.hpp"
 
+namespace gt::sampling {
+class CacheHierarchy;
+}
+
 namespace gt::pipeline {
 
 class BatchContext {
@@ -68,6 +72,29 @@ class BatchContext {
     return arena_.stats().growths - growth_snapshot_;
   }
 
+  /// Dataset-lifetime cache hierarchy the executing framework attached for
+  /// this batch (non-owning; may be null). Lets observers and the prefetch
+  /// hook below reach the tiers without widening framework signatures.
+  void set_cache_hierarchy(sampling::CacheHierarchy* hierarchy) noexcept {
+    cache_hierarchy_ = hierarchy;
+  }
+  sampling::CacheHierarchy* cache_hierarchy() const noexcept {
+    return cache_hierarchy_;
+  }
+
+  /// Sampler-lookahead hook: prepare_batch arms the prefetcher once the
+  /// batch's vid_order is final, marking those rows warmable while the
+  /// previous batch executes. Cleared by begin_batch(); the batch index
+  /// is carried so a context reused for a different batch can't leak an
+  /// armed hint across batches.
+  void arm_cache_prefetch(std::uint64_t batch_index) noexcept {
+    prefetch_armed_ = true;
+    prefetch_batch_ = batch_index;
+  }
+  bool cache_prefetch_armed(std::uint64_t batch_index) const noexcept {
+    return prefetch_armed_ && prefetch_batch_ == batch_index;
+  }
+
   /// Cached preprocessing executor, rebuilt only when the keyed
   /// configuration (graph, embeddings, fanout, layers, seed, formats)
   /// changes, so steady-state batches reuse the sampler/lookup setup.
@@ -94,6 +121,10 @@ class BatchContext {
   std::uint32_t exec_layers_ = 0;
   std::uint64_t exec_seed_ = 0;
   sampling::ReindexFormats exec_formats_{};
+
+  sampling::CacheHierarchy* cache_hierarchy_ = nullptr;
+  bool prefetch_armed_ = false;
+  std::uint64_t prefetch_batch_ = 0;
 
   std::uint64_t batches_begun_ = 0;
   std::uint64_t alloc_snapshot_ = 0;

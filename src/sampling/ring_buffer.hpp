@@ -1,0 +1,73 @@
+// Pinned-memory ring buffer for chunked K->T overlap (DESIGN.md §15).
+//
+// A flat miss-gather serializes the K stage (scan the host embedding
+// table) against the T stage (one big PCIe upload). lookup.hpp already
+// anticipates the pipelined alternative — "each ready chunk is transferred
+// while the next is gathered" — and this type realizes it: a small set of
+// pinned staging slots is filled chunk by chunk, each chunk's upload
+// priced through the same Transfer/PcieModel path the schedule uses, while
+// the *next* chunk's gather proceeds concurrently. The slot count bounds
+// the pipeline depth: the gather for chunk c+slots must wait until chunk
+// c's transfer has drained its slot.
+//
+// Numerics: rows pass through the staging slots byte-for-byte, so the
+// output is bit-identical to a flat gather; only the pricing (the Overlap
+// result) reflects the pipelining.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "datasets/embedding.hpp"
+#include "sampling/transfer.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/view.hpp"
+
+namespace gt::sampling {
+
+struct RingConfig {
+  std::size_t slots = 4;       ///< concurrent in-flight chunks (>= 1)
+  std::size_t chunk_rows = 512;  ///< rows staged per chunk (>= 1)
+};
+
+class PinnedRingBuffer {
+ public:
+  PinnedRingBuffer(std::size_t dim, RingConfig config);
+
+  /// Closed-form pricing of the chunked gather/transfer pipeline.
+  struct Overlap {
+    std::size_t chunks = 0;
+    std::size_t bytes = 0;
+    double gather_us = 0.0;    ///< sum of per-chunk K gather costs
+    double transfer_us = 0.0;  ///< sum of per-chunk T upload costs
+    double critical_us = 0.0;  ///< pipelined makespan with slot reuse
+    /// Work hidden by the pipeline: serial cost minus makespan.
+    double overlapped_us() const noexcept {
+      return gather_us + transfer_us - critical_us;
+    }
+  };
+
+  /// Gather every row of `vids` through the staging slots into `out`
+  /// (row i <- vids[i]; `out` must be vids.size() x dim) and price the
+  /// chunk pipeline: chunk c's upload overlaps chunk c+1's gather; one
+  /// PCIe link serializes uploads; slot reuse stalls the gather of chunk
+  /// c+slots behind chunk c's upload. `us_per_gather_byte` is the host
+  /// gather cost (the schedule's K rate); uploads are priced by
+  /// `transfer.transfer_us`.
+  Overlap gather_through(const EmbeddingTable& table,
+                         std::span<const Vid> vids, MatrixView out,
+                         const Transfer& transfer,
+                         double us_per_gather_byte);
+
+  const RingConfig& config() const noexcept { return config_; }
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t staging_bytes() const noexcept { return staging_.bytes(); }
+
+ private:
+  RingConfig config_;
+  std::size_t dim_ = 0;
+  Matrix staging_;  // slots * chunk_rows x dim, reused across batches
+};
+
+}  // namespace gt::sampling

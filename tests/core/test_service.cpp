@@ -181,5 +181,54 @@ TEST(GnnService, MultiDeviceParametersMatchSingleDevice) {
   EXPECT_DOUBLE_EQ(single.evaluate(2), sharded.evaluate(2));
 }
 
+TEST(GnnService, CacheNeedsACacheCapableBackend) {
+  // The serial baselines have no cache path; a budget must fail at
+  // construction, not silently train uncached.
+  ServiceOptions opt;
+  opt.framework = "SALIENT";
+  opt.batch_size = 32;
+  opt.cache_budget_bytes = 1 << 20;
+  EXPECT_THROW(GnnService(generate("products", 3), models::gcn(8, 47), opt),
+               std::invalid_argument);
+}
+
+TEST(GnnService, CachedLossesMatchUncachedAcrossWorkerCounts) {
+  // The §15 determinism contract at the service level: the tiered cache
+  // with sampler-lookahead prefetch trains the exact same losses as an
+  // uncached run, whether batches are prepared serially or by 4
+  // overlapping worker contexts. Prefetch arming derives from the
+  // prepared batch, never from worker overlap, so the eviction and
+  // prefetch streams are worker-invariant too.
+  ServiceOptions opt;
+  opt.framework = "Prepro-GT";
+  opt.batch_size = 48;
+  GnnService uncached(generate("products", 3), models::gcn(8, 47), opt);
+  const auto base = uncached.train_batches(6);
+
+  opt.cache_budget_bytes = 1 << 18;
+  opt.cache_policy = sampling::CachePolicy::kTiered;
+  opt.cache_prefetch = true;
+  std::vector<frameworks::RunReport> prev;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    opt.workers = workers;
+    GnnService cached(generate("products", 3), models::gcn(8, 47), opt);
+    const auto got = cached.train_batches(6);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) + " batch " +
+                   std::to_string(i));
+      EXPECT_EQ(got[i].loss, base[i].loss);
+      if (!prev.empty()) {
+        // Within the cached configuration the *priced* fields must be
+        // worker-invariant as well (bit-identical K/T re-pricing).
+        EXPECT_EQ(got[i].preproc_makespan_us, prev[i].preproc_makespan_us);
+        EXPECT_EQ(got[i].end_to_end_us, prev[i].end_to_end_us);
+      }
+    }
+    EXPECT_DOUBLE_EQ(cached.evaluate(2), uncached.evaluate(2));
+    prev = got;
+  }
+}
+
 }  // namespace
 }  // namespace gt

@@ -5,13 +5,17 @@
 namespace gt {
 namespace {
 
-TEST(Catalog, HasTenWorkloadsInPaperOrder) {
+TEST(Catalog, HasPaperWorkloadsInOrderPlusSocial) {
   const auto& c = catalog();
-  ASSERT_EQ(c.size(), 10u);
+  ASSERT_EQ(c.size(), 11u);
   EXPECT_EQ(c[0].name, "products");
   EXPECT_EQ(c[4].name, "reddit2");
   EXPECT_EQ(c[5].name, "gowalla");
   EXPECT_EQ(c[9].name, "livejournal");
+  // Appended after the ten paper workloads: the cache-ablation graph.
+  EXPECT_EQ(c[10].name, "social");
+  EXPECT_TRUE(c[10].heavy_features);
+  EXPECT_GT(c[10].alpha, find_spec("livejournal").alpha);
 }
 
 TEST(Catalog, LightHeavySplitMatchesPaper) {
@@ -73,7 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
     All, CatalogEveryDataset,
     ::testing::Values("products", "citation2", "papers", "amazon", "reddit2",
                       "gowalla", "google", "roadnet-ca", "wiki-talk",
-                      "livejournal"));
+                      "livejournal", "social"));
 
 }  // namespace
 }  // namespace gt

@@ -176,6 +176,161 @@ TEST(ComputeEquivalence, MultiDeviceShardedRunIsThreadCountInvariant) {
   }
 }
 
+TEST(ComputeEquivalence, CachePoliciesNeverChangeNumerics) {
+  // The embedding cache hierarchy (DESIGN.md §15) only re-prices the K/T
+  // stages: losses and trained parameters must match a cache-off run to
+  // the bit for every policy, with and without prefetch. (Priced fields
+  // like preproc_makespan_us legitimately differ, so this test compares
+  // numerics only, not full reports.)
+  ThreadGuard guard;
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  const auto train_cached = [&](std::size_t budget,
+                                sampling::CachePolicy policy, bool prefetch) {
+    set_compute_threads(1);
+    models::ModelParams params(model, data.spec.feature_dim, 7);
+    auto fw = make_framework("Prepro-GT");
+    if (budget > 0) {
+      sampling::CacheConfig cfg;
+      cfg.budget_bytes = budget;
+      cfg.policy = policy;
+      cfg.prefetch = prefetch;
+      EXPECT_TRUE(fw->configure_cache(cfg));
+    }
+    TrainResult result;
+    for (std::size_t b = 0; b < 4; ++b) {
+      BatchSpec spec;
+      spec.batch_size = 64;
+      spec.batch_index = b;
+      spec.learning_rate = 0.1f;
+      result.reports.push_back(fw->run_batch(data, model, params, spec));
+    }
+    for (std::uint32_t l = 0; l < params.num_layers(); ++l) {
+      result.weights.push_back(params.w(l));
+      result.weights.push_back(params.b(l));
+    }
+    return result;
+  };
+  const TrainResult uncached =
+      train_cached(0, sampling::CachePolicy::kStatic, false);
+  const struct {
+    sampling::CachePolicy policy;
+    bool prefetch;
+    const char* label;
+  } arms[] = {
+      {sampling::CachePolicy::kStatic, false, "static"},
+      {sampling::CachePolicy::kLru, false, "lru"},
+      {sampling::CachePolicy::kLfu, false, "lfu"},
+      {sampling::CachePolicy::kTiered, false, "tiered"},
+      {sampling::CachePolicy::kTiered, true, "tiered+prefetch"},
+  };
+  for (const auto& arm : arms) {
+    const TrainResult cached =
+        train_cached(std::size_t{1} << 16, arm.policy, arm.prefetch);
+    ASSERT_EQ(cached.reports.size(), uncached.reports.size());
+    for (std::size_t b = 0; b < uncached.reports.size(); ++b) {
+      SCOPED_TRACE(std::string(arm.label) + " batch " + std::to_string(b));
+      EXPECT_EQ(cached.reports[b].loss, uncached.reports[b].loss);
+      EXPECT_EQ(cached.reports[b].flops, uncached.reports[b].flops);
+      EXPECT_EQ(cached.reports[b].fwp_us, uncached.reports[b].fwp_us);
+      EXPECT_EQ(cached.reports[b].bwp_us, uncached.reports[b].bwp_us);
+    }
+    expect_weights_identical(cached.weights, uncached.weights, arm.label);
+  }
+}
+
+TEST(ComputeEquivalence, CachedRunIsThreadCountInvariant) {
+  // The cached K/T re-pricing (including the eviction stream and the
+  // prefetch windows) derives from batch-index virtual time, never from
+  // host threading — so the *full* cached report is bit-identical across
+  // compute-thread counts, just like the uncached one.
+  ThreadGuard guard;
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  const auto train_cached = [&](std::size_t threads) {
+    set_compute_threads(threads);
+    models::ModelParams params(model, data.spec.feature_dim, 7);
+    auto fw = make_framework("Prepro-GT");
+    sampling::CacheConfig cfg;
+    cfg.budget_bytes = std::size_t{1} << 16;
+    cfg.policy = sampling::CachePolicy::kTiered;
+    cfg.prefetch = true;
+    EXPECT_TRUE(fw->configure_cache(cfg));
+    TrainResult result;
+    for (std::size_t b = 0; b < 3; ++b) {
+      BatchSpec spec;
+      spec.batch_size = 64;
+      spec.batch_index = b;
+      spec.learning_rate = 0.1f;
+      result.reports.push_back(fw->run_batch(data, model, params, spec));
+    }
+    for (std::uint32_t l = 0; l < params.num_layers(); ++l) {
+      result.weights.push_back(params.w(l));
+      result.weights.push_back(params.b(l));
+    }
+    return result;
+  };
+  const TrainResult serial = train_cached(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const TrainResult parallel = train_cached(threads);
+    const std::string label = "cached x " + std::to_string(threads);
+    for (std::size_t b = 0; b < serial.reports.size(); ++b)
+      expect_reports_identical(parallel.reports[b], serial.reports[b],
+                               label + " batch " + std::to_string(b));
+    expect_weights_identical(parallel.weights, serial.weights, label);
+  }
+}
+
+TEST(ComputeEquivalence, CachedMultiDeviceRunMatchesUncachedNumerics) {
+  // Cache and sharding compose: a 4-device tiered-cache run still trains
+  // the exact parameters of a single-device uncached run, and the split
+  // per-device cache volumes conserve the batch totals.
+  ThreadGuard guard;
+  set_compute_threads(1);
+  const Dataset data = generate("products", 5);
+  const models::GnnModelConfig model = models::gcn(8, 47);
+  const auto train_conf = [&](std::size_t devices, std::size_t budget) {
+    models::ModelParams params(model, data.spec.feature_dim, 7);
+    auto fw = make_framework("Prepro-GT");
+    if (devices > 1) {
+      ShardOptions shard;
+      shard.devices = devices;
+      shard.strategy = ShardStrategy::kRange;
+      EXPECT_TRUE(fw->configure_sharding(shard));
+    }
+    if (budget > 0) {
+      sampling::CacheConfig cfg;
+      cfg.budget_bytes = budget;
+      cfg.policy = sampling::CachePolicy::kTiered;
+      cfg.prefetch = true;
+      EXPECT_TRUE(fw->configure_cache(cfg));
+    }
+    TrainResult result;
+    for (std::size_t b = 0; b < 3; ++b) {
+      BatchSpec spec;
+      spec.batch_size = 64;
+      spec.batch_index = b;
+      spec.learning_rate = 0.1f;
+      result.reports.push_back(fw->run_batch(data, model, params, spec));
+    }
+    for (std::uint32_t l = 0; l < params.num_layers(); ++l) {
+      result.weights.push_back(params.w(l));
+      result.weights.push_back(params.b(l));
+    }
+    return result;
+  };
+  const TrainResult baseline = train_conf(1, 0);
+  for (const std::size_t devices : {std::size_t{1}, std::size_t{4}}) {
+    const TrainResult cached = train_conf(devices, std::size_t{1} << 16);
+    const std::string label = "tiered @ " + std::to_string(devices) + "dev";
+    for (std::size_t b = 0; b < baseline.reports.size(); ++b) {
+      SCOPED_TRACE(label + " batch " + std::to_string(b));
+      EXPECT_EQ(cached.reports[b].loss, baseline.reports[b].loss);
+    }
+    expect_weights_identical(cached.weights, baseline.weights, label);
+  }
+}
+
 TEST(ComputeEquivalence, HostWallClockFieldsArePopulated) {
   // The RunReport carries real prepare/execute wall time; it must be
   // non-negative and is excluded from every equivalence comparison above.

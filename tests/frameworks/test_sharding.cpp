@@ -263,6 +263,48 @@ TEST(Sharding, PerDeviceAttributionIsThreadCountInvariant) {
   expect_weights_identical(serial.weights, parallel.weights, "range@4");
 }
 
+TEST(Sharding, CacheVolumesSplitIsSumPreserving) {
+  // Embedding-cache outcome volumes (DESIGN.md §15) ride the same
+  // proportional split as every other integer counter: per-device shares
+  // must add back to the batch totals exactly, for awkward ratios too.
+  detail::ShardPlan plan;
+  plan.options.devices = 4;
+  plan.options.strategy = ShardStrategy::kRange;
+  plan.default_weights = {3, 1, 7, 2};
+  std::vector<gpusim::KernelStats> profile(1);
+  profile[0].name = "synthetic";
+  profile[0].latency_us = 10.0;
+  profile[0].flops = 100;
+
+  detail::CacheBatchVolumes cache;
+  cache.static_hits = 1001;
+  cache.dynamic_hits = 13;
+  cache.prefetch_hits = 7;
+  cache.misses = 999'983;  // prime: forces uneven rounding
+  cache.evictions = 5;
+  const detail::ShardedExecution out =
+      detail::shard_execution(profile, {}, plan, 1.0, &cache);
+  ASSERT_EQ(out.device_cache.size(), 4u);
+  std::uint64_t s = 0, d = 0, p = 0, m = 0, e = 0;
+  for (const detail::CacheBatchVolumes& v : out.device_cache) {
+    s += v.static_hits;
+    d += v.dynamic_hits;
+    p += v.prefetch_hits;
+    m += v.misses;
+    e += v.evictions;
+  }
+  EXPECT_EQ(s, cache.static_hits);
+  EXPECT_EQ(d, cache.dynamic_hits);
+  EXPECT_EQ(p, cache.prefetch_hits);
+  EXPECT_EQ(m, cache.misses);
+  EXPECT_EQ(e, cache.evictions);
+
+  // An uncached batch attributes no cache volumes at all.
+  const detail::ShardedExecution none =
+      detail::shard_execution(profile, {}, plan, 1.0, nullptr);
+  EXPECT_TRUE(none.device_cache.empty());
+}
+
 TEST(Sharding, SerialBaselinesRefuseToShard) {
   auto fw = make_framework("SALIENT");
   ShardOptions shard;

@@ -55,6 +55,66 @@ TEST(EmbeddingCache, PartitionCoversEveryRowExactlyOnce) {
   EXPECT_EQ(part.miss_vids.size(), part.miss_rows.size());
 }
 
+TEST(EmbeddingCache, PartitionEmptyVidOrder) {
+  Env env;
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings, 1 << 16);
+  auto part = cache.partition({});
+  EXPECT_TRUE(part.hit_rows.empty());
+  EXPECT_TRUE(part.miss_rows.empty());
+  EXPECT_TRUE(part.miss_vids.empty());
+  EXPECT_EQ(part.hit_rate(), 0.0);
+}
+
+TEST(EmbeddingCache, PartitionAllHit) {
+  Env env;
+  // Budget covering every vertex: nothing can miss.
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings,
+                       std::size_t{env.data.csr.num_vertices} *
+                           env.data.spec.feature_dim * sizeof(float));
+  std::vector<Vid> vids{0, 1, 2, 3, 4};
+  auto part = cache.partition(vids);
+  EXPECT_EQ(part.hit_rows.size(), vids.size());
+  EXPECT_TRUE(part.miss_rows.empty());
+  EXPECT_EQ(part.hit_rate(), 1.0);
+}
+
+TEST(EmbeddingCache, PartitionAllMissUnderZeroBudget) {
+  Env env;
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings, 0);
+  std::vector<Vid> vids{7, 11, 13};
+  auto part = cache.partition(vids);
+  EXPECT_TRUE(part.hit_rows.empty());
+  EXPECT_EQ(part.miss_rows.size(), vids.size());
+  EXPECT_EQ(part.miss_vids, vids);
+  EXPECT_EQ(part.hit_rate(), 0.0);
+}
+
+TEST(EmbeddingCache, PartitionKeepsDuplicateVidsAsDistinctRows) {
+  Env env;
+  EmbeddingCache cache(env.dev, env.data.csr, env.data.embeddings, 1 << 16);
+  // vid_order rows map 1:1 to assembled table rows, so a vid appearing
+  // twice must occupy two rows with the same classification.
+  std::vector<Vid> vids{42, 42, 9999, 9999};
+  auto part = cache.partition(vids);
+  EXPECT_EQ(part.hit_rows.size() + part.miss_rows.size(), vids.size());
+  std::vector<bool> seen(vids.size(), false);
+  for (auto r : part.hit_rows) {
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+  for (auto r : part.miss_rows) {
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+  // Duplicates classify identically: rows 0/1 land on the same side, as do
+  // rows 2/3.
+  const bool row0_hit = cache.contains(vids[0]);
+  std::size_t hits_of_42 = 0;
+  for (auto r : part.hit_rows)
+    if (r <= 1) ++hits_of_42;
+  EXPECT_EQ(hits_of_42, row0_hit ? 2u : 0u);
+}
+
 TEST(EmbeddingCache, SkewedSamplingHitsOften) {
   // Power-law sampled sources concentrate on hubs: a small cache catches a
   // large share (the PaGraph locality premise).

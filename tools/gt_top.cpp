@@ -189,6 +189,17 @@ int render(const std::string& dir, bool clear_screen) {
   if (hits + misses > 0.0)
     std::printf("  cache hits    %6.0f      hit rate %16.1f%%\n", hits,
                 100.0 * hits / (hits + misses));
+  // Per-tier breakdown of the cache hierarchy (DESIGN.md §15); the keys
+  // only exist on cache-enabled runs, so probe with the zero fallback.
+  const double tier_static = counters.number_at("cache.static.hits");
+  const double tier_dynamic = counters.number_at("cache.dynamic.hits");
+  const double tier_prefetch = counters.number_at("cache.prefetch.hits");
+  if (tier_static + tier_dynamic + tier_prefetch > 0.0)
+    std::printf("  cache tiers   static %.0f / dynamic %.0f / prefetch %.0f "
+                "· %.0f evictions · dyn occupancy %.0f rows\n",
+                tier_static, tier_dynamic, tier_prefetch,
+                counters.number_at("cache.evictions"),
+                gauges.number_at("cache.dynamic.occupancy"));
   // Cost-model health (DESIGN.md §13): present once the DKP model has
   // fitted and started streaming residuals. Drift events latch the
   // counter, so a past excursion stays visible.
