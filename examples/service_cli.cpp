@@ -44,6 +44,27 @@
 //                current batch's compute window and priced as overlapped
 //                transfer. Needs a dynamic tier (lru/lfu/tiered).
 //
+// Online request serving (DESIGN.md §16):
+//   --serve      switch from epoch training to the online serving front
+//                end: a seeded open-loop arrival process feeds a bounded
+//                request queue, SLO-aware admission sheds predicted
+//                deadline misses at the door, and the dynamic batcher
+//                coalesces admitted requests into forward-only batches on
+//                the same worker-context ring. Prints the outcome table
+//                plus p50/p95/p99 request latency, goodput, and shed rate.
+//   --arrival=A  poisson (default) | bursty | diurnal arrival process.
+//   --rate=R     mean arrival rate in requests per virtual second (>0).
+//   --slo-ticks=T  deadline in virtual ticks (1 tick = 1 simulated us);
+//                0 (default) disables shedding.
+//   --queue-depth=N  bounded request-queue capacity (default 64).
+//   --requests=N     arrivals to generate (default 64).
+//   --max-batch=N    requests coalesced per serving batch (default 8).
+//   --max-wait-ticks=T  oldest-request wait that forces a batch closed
+//                (default 2000).
+//   --verts-per-request=N  dst vertices each request asks for (default 32).
+//   All serving flags require --serve; the replayed decision stream is
+//   bit-identical across --workers values, including under --fault-spec.
+//
 // Fault injection / chaos serving (DESIGN.md §11):
 //   --fault-spec=SPEC (GT_FAULT_SPEC) arms a gt::fault schedule, e.g.
 //                --fault-spec="gpusim.alloc@batch=3;preproc.sample@batch=7"
@@ -173,6 +194,18 @@ int main(int argc, char** argv) {
   int max_retries = -1;  // -1 = ServiceOptions default
   int telemetry_interval = -1;   // -1 = GT_TELEMETRY_INTERVAL / default 1
   long watchdog_stall_ms = -1;   // -1 = GT_TELEMETRY_WATCHDOG_MS / off
+  bool serve_mode = false;
+  std::string arrival_flag;      // empty = poisson
+  std::string rate_flag;         // empty = ArrivalConfig default
+  long slo_ticks = -1;           // -1 = flag absent (no shedding)
+  long queue_depth = -1;         // -1 = flag absent (default 64)
+  long serve_requests = -1;      // -1 = flag absent (default 64)
+  long max_batch = -1;           // -1 = flag absent (default 8)
+  long max_wait_ticks = -1;      // -1 = flag absent (default 2000)
+  long verts_per_request = -1;   // -1 = flag absent (default 32)
+  // Serving flags seen on the command line, for the --serve requirement
+  // check: any of them without --serve is a typo'd invocation.
+  std::vector<std::string> serving_flags_seen;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -235,6 +268,56 @@ int main(int argc, char** argv) {
       watchdog_stall_ms = std::atol(arg.c_str() + 20);
     } else if (arg == "--watchdog-stall-ms" && i + 1 < argc) {
       watchdog_stall_ms = std::atol(argv[++i]);
+    } else if (arg == "--serve") {
+      serve_mode = true;
+    } else if (arg.rfind("--arrival=", 0) == 0) {
+      arrival_flag = arg.substr(10);
+      serving_flags_seen.push_back("--arrival");
+    } else if (arg == "--arrival" && i + 1 < argc) {
+      arrival_flag = argv[++i];
+      serving_flags_seen.push_back("--arrival");
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      rate_flag = arg.substr(7);
+      serving_flags_seen.push_back("--rate");
+    } else if (arg == "--rate" && i + 1 < argc) {
+      rate_flag = argv[++i];
+      serving_flags_seen.push_back("--rate");
+    } else if (arg.rfind("--slo-ticks=", 0) == 0) {
+      slo_ticks = std::atol(arg.c_str() + 12);
+      serving_flags_seen.push_back("--slo-ticks");
+    } else if (arg == "--slo-ticks" && i + 1 < argc) {
+      slo_ticks = std::atol(argv[++i]);
+      serving_flags_seen.push_back("--slo-ticks");
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      queue_depth = std::atol(arg.c_str() + 14);
+      serving_flags_seen.push_back("--queue-depth");
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      queue_depth = std::atol(argv[++i]);
+      serving_flags_seen.push_back("--queue-depth");
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      serve_requests = std::atol(arg.c_str() + 11);
+      serving_flags_seen.push_back("--requests");
+    } else if (arg == "--requests" && i + 1 < argc) {
+      serve_requests = std::atol(argv[++i]);
+      serving_flags_seen.push_back("--requests");
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      max_batch = std::atol(arg.c_str() + 12);
+      serving_flags_seen.push_back("--max-batch");
+    } else if (arg == "--max-batch" && i + 1 < argc) {
+      max_batch = std::atol(argv[++i]);
+      serving_flags_seen.push_back("--max-batch");
+    } else if (arg.rfind("--max-wait-ticks=", 0) == 0) {
+      max_wait_ticks = std::atol(arg.c_str() + 17);
+      serving_flags_seen.push_back("--max-wait-ticks");
+    } else if (arg == "--max-wait-ticks" && i + 1 < argc) {
+      max_wait_ticks = std::atol(argv[++i]);
+      serving_flags_seen.push_back("--max-wait-ticks");
+    } else if (arg.rfind("--verts-per-request=", 0) == 0) {
+      verts_per_request = std::atol(arg.c_str() + 20);
+      serving_flags_seen.push_back("--verts-per-request");
+    } else if (arg == "--verts-per-request" && i + 1 < argc) {
+      verts_per_request = std::atol(argv[++i]);
+      serving_flags_seen.push_back("--verts-per-request");
     } else {
       positional.push_back(arg);
     }
@@ -291,6 +374,84 @@ int main(int argc, char** argv) {
                    cache_policy_flag.c_str(), e.what());
       return 2;
     }
+  }
+  // Serving-flag validation, all fail-fast before any dataset generation.
+  if (!serve_mode && !serving_flags_seen.empty()) {
+    std::fprintf(stderr,
+                 "%s requires --serve (online serving flags do nothing in "
+                 "training mode)\n",
+                 serving_flags_seen.front().c_str());
+    return 2;
+  }
+  gt::serving::ServeConfig serve_config;
+  if (serve_mode) {
+    if (!arrival_flag.empty()) {
+      try {
+        serve_config.arrival.kind =
+            gt::serving::parse_arrival_kind(arrival_flag);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--arrival=%s: %s\n", arrival_flag.c_str(),
+                     e.what());
+        return 2;
+      }
+    }
+    if (!rate_flag.empty()) {
+      char* end = nullptr;
+      const double rate = std::strtod(rate_flag.c_str(), &end);
+      if (end == rate_flag.c_str() || *end != '\0' || rate <= 0.0) {
+        std::fprintf(stderr,
+                     "--rate=%s: expected a positive arrival rate in "
+                     "requests per virtual second\n",
+                     rate_flag.c_str());
+        return 2;
+      }
+      serve_config.arrival.rate_rps = rate;
+    }
+    if (slo_ticks < -1) {
+      std::fprintf(stderr, "--slo-ticks=%ld: must be >= 0\n", slo_ticks);
+      return 2;
+    }
+    if (slo_ticks > 0)
+      serve_config.slo_ticks = static_cast<gt::serving::Tick>(slo_ticks);
+    if (queue_depth == 0 || queue_depth < -1) {
+      std::fprintf(stderr, "--queue-depth=%ld: capacity must be >= 1\n",
+                   queue_depth);
+      return 2;
+    }
+    if (queue_depth > 0)
+      serve_config.queue_depth = static_cast<std::size_t>(queue_depth);
+    if (serve_requests == 0 || serve_requests < -1) {
+      std::fprintf(stderr, "--requests=%ld: must be >= 1\n", serve_requests);
+      return 2;
+    }
+    if (serve_requests > 0)
+      serve_config.requests = static_cast<std::size_t>(serve_requests);
+    if (max_batch == 0 || max_batch < -1) {
+      std::fprintf(stderr, "--max-batch=%ld: must be >= 1\n", max_batch);
+      return 2;
+    }
+    if (max_batch > 0)
+      serve_config.batch.max_batch_requests =
+          static_cast<std::size_t>(max_batch);
+    if (max_wait_ticks < -1) {
+      std::fprintf(stderr, "--max-wait-ticks=%ld: must be >= 0\n",
+                   max_wait_ticks);
+      return 2;
+    }
+    if (max_wait_ticks >= 0)
+      serve_config.batch.max_wait_ticks =
+          static_cast<gt::serving::Tick>(max_wait_ticks);
+    if (verts_per_request == 0 || verts_per_request < -1 ||
+        verts_per_request > 0xffff) {
+      std::fprintf(stderr,
+                   "--verts-per-request=%ld: must be in [1, 65535]\n",
+                   verts_per_request);
+      return 2;
+    }
+    if (verts_per_request > 0)
+      serve_config.vertices_per_request =
+          static_cast<std::uint32_t>(verts_per_request);
+    serve_config.arrival.seed = 42;  // matches the dataset seed below
   }
   const std::string trace_out = out_path(trace_flag, "GT_TRACE_OUT");
   const std::string metrics_out = out_path(metrics_flag, "GT_METRICS_OUT");
@@ -349,6 +510,128 @@ int main(int argc, char** argv) {
     return 2;
   }
   gt::GnnService& service = *service_ptr;
+
+  if (serve_mode) {
+    std::printf(
+        "serving %s on %s via %s: %zu requests, %s arrivals @ %.1f rps, "
+        "slo %llu ticks, queue %zu, batch <= %zu, %d worker%s\n\n",
+        model_name.c_str(), dataset_name.c_str(), framework.c_str(),
+        serve_config.requests,
+        gt::serving::to_string(serve_config.arrival.kind),
+        serve_config.arrival.rate_rps,
+        static_cast<unsigned long long>(serve_config.slo_ticks),
+        serve_config.queue_depth, serve_config.batch.max_batch_requests,
+        workers, workers == 1 ? "" : "s");
+    gt::serving::ServeReport rep;
+    try {
+      rep = service.serve(serve_config);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    gt::Table table({"outcome", "requests", "share"});
+    const auto share = [&](std::uint64_t n) {
+      return rep.arrived == 0
+                 ? std::string("-")
+                 : gt::Table::fmt(100.0 * static_cast<double>(n) /
+                                      static_cast<double>(rep.arrived),
+                                  1) + "%";
+    };
+    table.add_row({"completed", std::to_string(rep.completed),
+                   share(rep.completed)});
+    table.add_row({"shed (slo)", std::to_string(rep.shed_slo),
+                   share(rep.shed_slo)});
+    table.add_row({"shed (queue full)", std::to_string(rep.shed_queue_full),
+                   share(rep.shed_queue_full)});
+    table.add_row({"degraded", std::to_string(rep.degraded),
+                   share(rep.degraded)});
+    table.print();
+    std::printf(
+        "\nrequest latency p50/p95/p99: %.0f / %.0f / %.0f ticks\n"
+        "goodput: %.1f rps (%llu of %llu requests within SLO)\n"
+        "shed rate: %.1f%%  |  %llu batches, mean fill %.2f, span %llu "
+        "ticks\n",
+        rep.p50_latency_ticks, rep.p95_latency_ticks, rep.p99_latency_ticks,
+        rep.goodput_rps,
+        static_cast<unsigned long long>(rep.goodput_requests),
+        static_cast<unsigned long long>(rep.arrived),
+        100.0 * rep.shed_rate(),
+        static_cast<unsigned long long>(rep.batches), rep.mean_batch_fill,
+        static_cast<unsigned long long>(rep.span_ticks));
+    if (service.telemetry() != nullptr)
+      std::printf("telemetry in %s (snapshots + events.jsonl; tail with "
+                  "tools/gt_top)\n",
+                  service.telemetry()->options().out_dir.c_str());
+    if (!trace_out.empty()) {
+      if (gt::obs::Tracer::global().write_chrome_trace_file(trace_out))
+        std::printf("trace written to %s\n", trace_out.c_str());
+      else
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      if (gt::obs::metrics().write_json_file(metrics_out))
+        std::printf("metrics written to %s\n", metrics_out.c_str());
+      else
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     metrics_out.c_str());
+    }
+    if (!bench_out.empty()) {
+      gt::obs::BenchReporter& rep_out = gt::obs::BenchReporter::global();
+      rep_out.set_binary("service_cli");
+      rep_out.set_iterations(static_cast<int>(rep.batches));
+      rep_out.set_context("service_cli --serve",
+                          model_name + " on " + dataset_name + " via " +
+                              framework + ", " +
+                              gt::serving::to_string(
+                                  serve_config.arrival.kind) +
+                              " arrivals");
+      gt::obs::BenchRow row;
+      row.dataset = dataset_name;
+      row.framework = framework;
+      row.metric = "p50 request latency";
+      row.unit = "ticks";
+      row.measured = rep.p50_latency_ticks;
+      rep_out.add_row(row);
+      row.metric = "p95 request latency";
+      row.measured = rep.p95_latency_ticks;
+      rep_out.add_row(row);
+      row.metric = "p99 request latency";
+      row.measured = rep.p99_latency_ticks;
+      rep_out.add_row(row);
+      row.metric = "goodput";
+      row.unit = "rps";
+      row.measured = rep.goodput_rps;
+      rep_out.add_row(row);
+      row.metric = "shed rate";
+      row.unit = "fraction";
+      row.measured = rep.shed_rate();
+      rep_out.add_row(row);
+      row.metric = "requests completed";
+      row.unit = "count";
+      row.measured = static_cast<double>(rep.completed);
+      rep_out.add_row(row);
+      row.metric = "requests shed";
+      row.measured = static_cast<double>(rep.shed());
+      rep_out.add_row(row);
+      row.metric = "requests degraded";
+      row.measured = static_cast<double>(rep.degraded);
+      rep_out.add_row(row);
+      row.metric = "serving batches";
+      row.measured = static_cast<double>(rep.batches);
+      rep_out.add_row(row);
+      row.metric = "mean batch fill";
+      row.unit = "fraction";
+      row.measured = rep.mean_batch_fill;
+      rep_out.add_row(row);
+      if (rep_out.write_json_file(bench_out))
+        std::printf("bench report written to %s\n", bench_out.c_str());
+      else
+        std::fprintf(stderr, "failed to write bench report to %s\n",
+                     bench_out.c_str());
+    }
+    return 0;
+  }
 
   std::printf("training %s on %s via %s (%d batches of %zu, %d worker%s)\n",
               model_name.c_str(), dataset_name.c_str(), framework.c_str(),

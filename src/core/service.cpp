@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
 #include <future>
@@ -162,14 +163,13 @@ void GnnService::ensure_contexts(std::size_t n) {
 }
 
 std::uint64_t GnnService::backoff_for(std::uint32_t attempt) const noexcept {
-  const std::uint32_t shift = attempt > 1 ? attempt - 1 : 0;
-  if (shift >= 63) return options_.backoff_max_ticks;
-  const std::uint64_t ticks = options_.backoff_base_ticks << shift;
-  // Shifted past the representable range -> saturate at the cap.
-  if (options_.backoff_base_ticks != 0 &&
-      (ticks >> shift) != options_.backoff_base_ticks)
-    return options_.backoff_max_ticks;
-  return std::min(ticks, options_.backoff_max_ticks);
+  // detail::saturating_backoff fixes two wraparound bugs the old inline
+  // computation had: `base << shift` is UB for shift >= 64 (and the old
+  // shift >= 63 early-out returned the cap even when base == 0 or when
+  // 2^shift * base was still representable below the cap), and a zero
+  // base must stay zero for every attempt.
+  return detail::saturating_backoff(options_.backoff_base_ticks, attempt,
+                                    options_.backoff_max_ticks);
 }
 
 frameworks::RunReport GnnService::degraded_report(
@@ -238,8 +238,11 @@ frameworks::RunReport GnnService::run_with_recovery(
       // wall-clock sleep a real service would take, keeping recovered
       // runs bit-identical and tests instant.
       const std::uint64_t ticks = backoff_for(failed_attempts);
-      backoff += ticks;
-      backoff_ticks_total_ += ticks;
+      // Saturate, don't wrap: with backoff_max_ticks near UINT64_MAX a
+      // couple of retries used to overflow these accumulators back to
+      // small values, making reports claim almost no backoff was taken.
+      backoff = detail::saturating_add(backoff, ticks);
+      backoff_ticks_total_ = detail::saturating_add(backoff_ticks_total_, ticks);
       obs::metrics().counter("service.retries").add(1);
       obs::metrics().counter("service.backoff_ticks").add(ticks);
       GT_OBS_SCOPE_N(span, "service.retry", "service");
@@ -448,7 +451,8 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
     const frameworks::RunReport& report = reports[i];
     ++stats.batches;
     stats.retries += report.retries;
-    stats.backoff_ticks += report.backoff_ticks;
+    stats.backoff_ticks =
+        detail::saturating_add(stats.backoff_ticks, report.backoff_ticks);
     if (report.failed) {
       ++stats.degraded_batches;
       continue;  // degraded_report already logged + counted
@@ -493,6 +497,308 @@ EpochStats GnnService::train_epoch(std::size_t batches) {
     obs::live::EventLog::global().emit(ev);
   }
   return stats;
+}
+
+serving::ServeReport GnnService::serve(const serving::ServeConfig& config) {
+  GT_OBS_SCOPE_N(serve_span, "service.serve", "service");
+  serve_span.arg("requests", static_cast<std::int64_t>(config.requests));
+  serving::ServePlanner::validate(config);  // fail fast, before warm-up work
+  obs::MetricsRegistry& m = obs::metrics();
+
+  // --- Warm-up: price at least one full-sized forward batch so the
+  // admission estimate is the cost model's own e2e for this dataset /
+  // model / device config (DESIGN.md §16). The estimate is frozen for the
+  // whole run — that freeze is what lets the planner run ahead of
+  // execution and keeps the admit/shed stream worker-invariant.
+  const std::size_t warmup = std::max<std::size_t>(config.warmup_batches, 1);
+  const std::size_t full_batch_vertices =
+      config.batch.max_batch_requests *
+      static_cast<std::size_t>(config.vertices_per_request);
+  ensure_contexts(1);
+  double warm_us_sum = 0.0;
+  std::size_t warm_ok = 0;
+  for (std::size_t w = 0; w < warmup; ++w) {
+    frameworks::BatchSpec spec = next_spec(/*inference=*/true);
+    spec.batch_size = full_batch_vertices;
+    const frameworks::RunReport r =
+        run_with_recovery(spec, *contexts_[0], 0, {});
+    after_batch(spec, r, 0);
+    if (r.ok()) {
+      warm_us_sum += r.end_to_end_us;
+      ++warm_ok;
+    }
+  }
+  // A warm-up that degraded end to end (fault plan at batch 0) still needs
+  // a usable estimate; 1ms is the deterministic fallback.
+  const serving::Tick est =
+      warm_ok > 0 ? std::max<serving::Tick>(
+                        1, static_cast<serving::Tick>(
+                               std::llround(warm_us_sum /
+                                            static_cast<double>(warm_ok))))
+                  : 1'000;
+  m.gauge("serving.est_batch_ticks").set(static_cast<double>(est));
+
+  serving::ServePlanner planner(config, est);
+  log_info("service: serving ", config.requests, " requests (",
+           serving::to_string(config.arrival.kind), " @ ",
+           config.arrival.rate_rps, " rps, slo ", config.slo_ticks,
+           " ticks, queue ", config.queue_depth, ", est ", est,
+           " ticks/batch)");
+
+  const std::size_t workers = std::max<std::size_t>(options_.workers, 1);
+  ensure_contexts(workers);
+
+  // The plan grows lazily: planned[i] / specs[i] exist before batch i is
+  // prepared, and the planner keeps at most `workers` batches of lookahead
+  // beyond the one executing — the same bounded ring as run_batches.
+  std::vector<serving::PlannedBatch> planned;
+  std::vector<frameworks::BatchSpec> specs;
+  auto pull_plan = [&]() -> bool {
+    std::optional<serving::PlannedBatch> b = planner.next();
+    if (!b) return false;
+    frameworks::BatchSpec spec = next_spec(/*inference=*/true);
+    spec.batch_size = b->total_vertices;
+    planned.push_back(std::move(*b));
+    specs.push_back(spec);
+    return true;
+  };
+
+  // Incremental counter publication: snapshots taken mid-serve see live
+  // serving.* tallies that always satisfy the gt_top --check invariants.
+  struct Published {
+    std::uint64_t arrived = 0, admitted = 0, shed_slo = 0,
+                  shed_queue_full = 0, shed_shutdown = 0;
+  } pub;
+  auto publish_planner_counters = [&]() noexcept {
+    try {
+      auto bump = [&m](const char* name, std::uint64_t now,
+                       std::uint64_t& prev) {
+        if (now > prev) {
+          m.counter(name).add(now - prev);
+          prev = now;
+        }
+      };
+      bump("serving.requests.arrived", planner.arrived(), pub.arrived);
+      bump("serving.requests.admitted", planner.admitted(), pub.admitted);
+      bump("serving.requests.shed_slo", planner.shed_slo(), pub.shed_slo);
+      bump("serving.requests.shed_queue_full", planner.shed_queue_full(),
+           pub.shed_queue_full);
+      bump("serving.requests.shed_shutdown", planner.shed_shutdown(),
+           pub.shed_shutdown);
+      m.gauge("serving.queue.depth")
+          .set(static_cast<double>(planner.queue_size()));
+      m.gauge("serving.queue.peak")
+          .set(static_cast<double>(planner.queue_peak()));
+    } catch (...) {
+      // Metric registration allocates; never let that turn an orderly
+      // unwind into std::terminate.
+    }
+  };
+
+  // --- Measured-clock completion pricing. The planner predicted with the
+  // frozen estimate; execution re-prices each batch with its real priced
+  // e2e: finish = max(lane_free, form_tick) + e2e. A degraded batch
+  // (retry budget exhausted / OOM) still occupies the lane for one
+  // estimate so the requests behind it feel the outage.
+  serving::Tick lane_free = 0;
+  std::vector<serving::Tick> latencies;
+  std::uint64_t completed = 0, degraded_requests = 0, goodput_requests = 0;
+  std::uint64_t batches_executed = 0, boarded = 0;
+  auto price_batch = [&](std::size_t i, const frameworks::RunReport& r) {
+    const serving::PlannedBatch& b = planned[i];
+    const serving::Tick start = std::max(lane_free, b.form_tick);
+    const bool ok = r.ok();
+    const serving::Tick dur =
+        ok ? std::max<serving::Tick>(
+                 1, static_cast<serving::Tick>(std::llround(r.end_to_end_us)))
+           : est;
+    lane_free = start + dur;
+    ++batches_executed;
+    boarded += b.request_ids.size();
+    std::vector<serving::RequestRecord>& recs = planner.records();
+    obs::Histogram& lat_hist = m.histogram("serving.request_latency_us");
+    for (const std::uint64_t id : b.request_ids) {
+      serving::RequestRecord& rec = recs[id];
+      if (ok) {
+        rec.outcome = serving::Outcome::kCompleted;
+        rec.latency_ticks = lane_free - rec.arrival_tick;
+        latencies.push_back(rec.latency_ticks);
+        lat_hist.observe(static_cast<double>(rec.latency_ticks));
+        ++completed;
+        if (config.slo_ticks == 0 || rec.latency_ticks <= config.slo_ticks)
+          ++goodput_requests;
+      } else {
+        rec.outcome = serving::Outcome::kDegraded;
+        rec.latency_ticks = 0;
+        ++degraded_requests;
+      }
+    }
+    m.counter(ok ? "serving.requests.completed" : "serving.requests.degraded")
+        .add(b.request_ids.size());
+    m.counter("serving.batches").add(1);
+  };
+
+  std::vector<std::future<void>> inflight(workers > 1 ? workers : 0);
+  std::vector<double> prepare_us(workers > 1 ? workers : 0, 0.0);
+  auto drain_inflight = [&]() noexcept {
+    for (std::future<void>& f : inflight)
+      if (f.valid()) f.wait();
+  };
+  auto quarantine_contexts = [&]() noexcept {
+    for (std::size_t w = 0; w < workers; ++w) contexts_[w]->begin_batch();
+  };
+  // Drain-on-unwind (same contract as run_batches, plus the serving queue):
+  // every pool task finishes before this frame's vectors die, the worker
+  // contexts reset, queued requests drain to kShedShutdown through the
+  // lifecycle's stopping state, and telemetry flushes the post-mortem.
+  auto unwind_cleanup = [&]() noexcept {
+    drain_inflight();
+    quarantine_contexts();
+    planner.shutdown();
+    publish_planner_counters();
+    if (telemetry_) telemetry_->crash_flush("service.serve unwind");
+  };
+  struct UnwindGuard {
+    decltype(unwind_cleanup)& cleanup;
+    int base = std::uncaught_exceptions();
+    ~UnwindGuard() {
+      if (std::uncaught_exceptions() > base) cleanup();
+    }
+  } guard{unwind_cleanup};
+
+  auto launch_prepare = [&](std::size_t i) {
+    pipeline::BatchContext* ctx = contexts_[i % workers].get();
+    double* slot_us = &prepare_us[i % workers];
+    const frameworks::BatchSpec spec = specs[i];
+    fault::FaultPlan* plan = fault_plan_.get();
+    inflight[i % workers] = pool_->submit([this, ctx, spec, slot_us, plan] {
+      GT_OBS_SCOPE_N(span, "service.prepare_batch", "service");
+      span.arg("batch", static_cast<std::int64_t>(spec.batch_index));
+      obs::live::CorrelationScope cscope(batch_cid(spec));
+      GT_LIVE_STAGE(kPrepare);
+      const auto t0 = std::chrono::steady_clock::now();
+      fault::PlanScope scope(plan, spec.batch_index);
+      ctx->begin_batch();
+      backend_->prepare_batch(dataset_, model_, spec, *ctx);
+      *slot_us = elapsed_us(t0);
+    });
+  };
+
+  if (workers <= 1) {
+    while (pull_plan()) {
+      const std::size_t i = planned.size() - 1;
+      GT_OBS_SCOPE_N(span, "service.serve_batch", "service");
+      span.arg("batch", static_cast<std::int64_t>(specs[i].batch_index));
+      const frameworks::RunReport r =
+          run_with_recovery(specs[i], *contexts_[0], 0, {});
+      price_batch(i, r);
+      publish_planner_counters();
+      after_batch(specs[i], r, planner.queue_size());
+    }
+  } else {
+    if (!pool_ || pool_->size() < workers) pool_ = nullptr;
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(workers);
+    m.gauge("service.workers").set(static_cast<double>(workers));
+    std::size_t launched = 0;
+    while (launched < workers && pull_plan()) launch_prepare(launched++);
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      pipeline::BatchContext& ctx = *contexts_[i % workers];
+      frameworks::RunReport report;
+      bool prepared = true;
+      try {
+        inflight[i % workers].get();  // rethrows preprocessing failures
+      } catch (const fault::InjectedFault& f) {
+        if (f.kind() == fault::Kind::kAbort) throw;  // guard drains behind us
+        prepared = false;
+        report = run_with_recovery(specs[i], ctx, 1, f.what());
+      }
+      if (prepared) {
+        GT_OBS_SCOPE_N(span, "service.serve_batch", "service");
+        span.arg("batch", static_cast<std::int64_t>(specs[i].batch_index));
+        obs::live::CorrelationScope cscope(batch_cid(specs[i]));
+        const double batch_prepare_us = prepare_us[i % workers];
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          GT_LIVE_STAGE(kExecute);
+          fault::PlanScope scope(fault_plan_.get(), specs[i].batch_index);
+          report = backend_->execute_prepared(dataset_, model_, params_,
+                                              specs[i], ctx);
+          report.host_execute_us = elapsed_us(t0);
+          report.host_prepare_us = batch_prepare_us;
+        } catch (const fault::InjectedFault& f) {
+          if (f.kind() == fault::Kind::kAbort) throw;
+          report = run_with_recovery(specs[i], ctx, 1, f.what());
+        }
+      }
+      if (pull_plan()) launch_prepare(launched++);
+      price_batch(i, report);
+      publish_planner_counters();
+      after_batch(specs[i], report, planner.queue_size());
+    }
+  }
+
+  planner.finish();
+  publish_planner_counters();
+
+  serving::ServeReport rep;
+  rep.arrived = planner.arrived();
+  rep.admitted = planner.admitted();
+  rep.shed_slo = planner.shed_slo();
+  rep.shed_queue_full = planner.shed_queue_full();
+  rep.completed = completed;
+  rep.degraded = degraded_requests;
+  rep.batches = batches_executed;
+  rep.mean_batch_fill =
+      batches_executed > 0
+          ? static_cast<double>(boarded) /
+                static_cast<double>(batches_executed *
+                                    config.batch.max_batch_requests)
+          : 0.0;
+  rep.records = std::move(planner.records());
+  const serving::Tick first_arrival =
+      rep.records.empty() ? 0 : rep.records.front().arrival_tick;
+  serving::Tick last_event = lane_free;
+  if (!rep.records.empty())
+    last_event = std::max(last_event, rep.records.back().arrival_tick);
+  rep.span_ticks =
+      last_event > first_arrival ? last_event - first_arrival : 0;
+  std::sort(latencies.begin(), latencies.end());
+  auto nearest_rank = [&](double q) -> double {
+    if (latencies.empty()) return 0.0;
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(latencies.size())));
+    rank = std::clamp<std::size_t>(rank, 1, latencies.size());
+    return static_cast<double>(latencies[rank - 1]);
+  };
+  rep.p50_latency_ticks = nearest_rank(0.50);
+  rep.p95_latency_ticks = nearest_rank(0.95);
+  rep.p99_latency_ticks = nearest_rank(0.99);
+  rep.goodput_requests = goodput_requests;
+  rep.goodput_rps = rep.span_ticks > 0
+                        ? static_cast<double>(goodput_requests) * 1e6 /
+                              static_cast<double>(rep.span_ticks)
+                        : 0.0;
+  m.gauge("serving.goodput_rps").set(rep.goodput_rps);
+  m.gauge("serving.shed_rate").set(rep.shed_rate());
+  m.gauge("serving.p99_latency_us").set(rep.p99_latency_ticks);
+  if (obs::live::EventLog::global().armed()) {
+    obs::live::Event ev(obs::live::Severity::kInfo, "serving.report");
+    ev.field("arrived", rep.arrived)
+        .field("completed", rep.completed)
+        .field("shed", rep.shed())
+        .field("degraded", rep.degraded)
+        .field("batches", rep.batches)
+        .field("p99_latency_ticks", rep.p99_latency_ticks)
+        .field("goodput_rps", rep.goodput_rps);
+    obs::live::EventLog::global().emit(ev);
+  }
+  if (telemetry_) telemetry_->on_batch();
+  log_info("service: served ", rep.arrived, " requests: ", rep.completed,
+           " completed, ", rep.shed(), " shed, ", rep.degraded,
+           " degraded in ", rep.batches, " batches (p99 ",
+           rep.p99_latency_ticks, " ticks, goodput ", rep.goodput_rps,
+           " rps)");
+  return rep;
 }
 
 double GnnService::evaluate(std::size_t batches) {

@@ -30,9 +30,37 @@
 #include "models/config.hpp"
 #include "models/params.hpp"
 #include "obs/live/telemetry.hpp"
+#include "serving/planner.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gt {
+
+namespace detail {
+
+/// a + b with saturation at UINT64_MAX instead of wraparound. Used for
+/// the virtual-backoff accumulators, which legitimately approach the top
+/// of the range when backoff_max_ticks is huge and retries pile up.
+constexpr std::uint64_t saturating_add(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  return a > ~0ull - b ? ~0ull : a + b;
+}
+
+/// Virtual exponential backoff before retry `attempt` (1-based):
+/// min(base << (attempt - 1), cap), computed without undefined behavior.
+/// A shift that would overflow saturates to UINT64_MAX (then clamps to
+/// cap) instead of wrapping; base == 0 means "no backoff" for every
+/// attempt, including ones whose shift exceeds the word size.
+constexpr std::uint64_t saturating_backoff(std::uint64_t base,
+                                           std::uint32_t attempt,
+                                           std::uint64_t cap) noexcept {
+  if (base == 0) return 0;
+  const std::uint32_t shift = attempt > 1 ? attempt - 1 : 0;
+  const std::uint64_t ticks =
+      (shift >= 64 || base > (~0ull >> shift)) ? ~0ull : base << shift;
+  return ticks < cap ? ticks : cap;
+}
+
+}  // namespace detail
 
 struct ServiceOptions {
   std::string framework = "Prepro-GT";
@@ -181,6 +209,16 @@ class GnnService {
 
   /// Train `batches` consecutive batches and aggregate the reports.
   EpochStats train_epoch(std::size_t batches);
+
+  /// Online request serving (DESIGN.md §16). Replays the seeded open-loop
+  /// arrival schedule through SLO-aware admission and the dynamic batcher,
+  /// executes every planned batch forward-only through the same
+  /// worker-context ring as train_batches, and prices request completions
+  /// on the measured virtual clock. The returned outcome stream is a pure
+  /// function of `config` plus this service's deterministic reports, so it
+  /// is bit-identical across workers counts — including under an injected
+  /// fault plan. Throws std::invalid_argument on an unusable config.
+  serving::ServeReport serve(const serving::ServeConfig& config);
 
   /// Classification accuracy on `batches` *held-out* batches (the
   /// kEvalStreamTag batch stream), computed with the CPU reference

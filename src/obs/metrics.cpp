@@ -59,8 +59,15 @@ OnlineStats Histogram::stats() const {
 double Histogram::quantile(double q) const {
   const OnlineStats s = stats();
   const std::uint64_t total = s.count();
-  if (total == 0) return 0.0;
+  if (total == 0) return 0.0;  // empty histogram reports 0, never NaN
+  // A single observation (or an all-identical stream) has every quantile
+  // equal to that exact sample — answer directly instead of relying on
+  // bucket interpolation to collapse, which mis-reported p99 for the
+  // one-request serving runs whenever the sample sat on a bucket edge.
+  if (total == 1 || s.min() == s.max()) return s.min();
   q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return s.min();
+  if (q == 1.0) return s.max();
   const auto counts = bucket_counts();
   const double target = q * static_cast<double>(total);
   double cum = 0.0;

@@ -130,10 +130,16 @@ CacheHierarchy::Lookup CacheHierarchy::lookup(std::span<const Vid> vid_order,
       if (dynamic_.find(v) != dynamic_.end()) {
         cls = RowClass::kDynamic;
         look.touched.push_back(v);
-      } else if (prefetch_left > 0 && dynamic_capacity_ > 0) {
+      } else if (prefetch_left > 0 && dynamic_capacity_ > 0 &&
+                 inflight_prefetch_.find(v) == inflight_prefetch_.end()) {
+        // A row the previous commit already prefetch-admitted may have
+        // been evicted again by that commit's own fills; its upload is
+        // still in flight, so re-crediting it here would double-charge
+        // the overlap window. It falls through to the miss class instead.
         cls = RowClass::kPrefetch;
         --prefetch_left;
         look.admitted.push_back(v);
+        look.prefetched_vids.push_back(v);
         ++look.prefetched;
       } else {
         cls = RowClass::kMiss;
@@ -193,6 +199,9 @@ void CacheHierarchy::commit(const Lookup& look, double compute_us) {
   ++stats_.batches;
   last_compute_us_ = compute_us;
   has_committed_ = true;
+  inflight_prefetch_.clear();
+  inflight_prefetch_.insert(look.prefetched_vids.begin(),
+                            look.prefetched_vids.end());
 }
 
 gpusim::BufferId CacheHierarchy::bind_static(gpusim::Device& dev) const {

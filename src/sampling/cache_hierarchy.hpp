@@ -37,6 +37,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "datasets/embedding.hpp"
@@ -118,6 +119,10 @@ class CacheHierarchy {
     std::vector<Vid> touched;   // dynamic hits to re-stamp
     std::vector<Vid> admitted;  // unique rows to admit (prefetch + fills)
     std::uint64_t prefetched = 0;  // of `admitted`, rows the prefetcher won
+    /// The prefetch-classed subset of `admitted`: commit() records these
+    /// as in flight so the next batch cannot prefetch-credit the same row
+    /// twice (see inflight_prefetch_).
+    std::vector<Vid> prefetched_vids;
 
     std::uint64_t cached_rows() const noexcept {
       return static_rows.size() + dynamic_hits + prefetch_hits;
@@ -215,6 +220,13 @@ class CacheHierarchy {
   CacheStats stats_;
   double last_compute_us_ = 0.0;
   bool has_committed_ = false;
+  /// Rows the previous commit admitted via the prefetcher — their modeled
+  /// upload rides that batch's compute window, so they are "in flight"
+  /// during the next lookup. A row evicted again before that lookup (tiny
+  /// dynamic tier, same-commit fills) used to be re-classified kPrefetch
+  /// and re-charged against the overlap budget; now it degrades to an
+  /// honest miss instead of double-counting the hidden transfer.
+  std::unordered_set<Vid> inflight_prefetch_;
 };
 
 }  // namespace gt::sampling

@@ -1,0 +1,66 @@
+// SLO-aware admission control: shed at the door, not at the deadline.
+//
+// On every arrival the controller predicts the request's completion time
+// from (a) when the server lane is predicted to free and (b) how many
+// whole batches stand between the request and execution, each priced at
+// the cost model's end-to-end batch estimate (the serve loop seeds that
+// estimate from a warm-up batch, whose e2e *is* the DKP-priced pipeline
+// cost — see DESIGN.md §16). If the predicted latency exceeds the SLO
+// deadline, the request is shed immediately: a saturated queue converts
+// overload into fast negative answers instead of a growing tail.
+//
+// The estimate is frozen for the duration of one serve() run. That is a
+// deliberate determinism choice: decisions depend only on the arrival
+// schedule and the frozen estimate, so the admitted/shed stream is a
+// pure function of the serve configuration — bit-identical across worker
+// counts — and the planner may run arbitrarily far ahead of execution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serving/types.hpp"
+
+namespace gt::serving {
+
+class AdmissionController {
+ public:
+  AdmissionController(Tick slo_ticks, std::size_t max_batch_requests)
+      : slo_ticks_(slo_ticks), max_batch_(max_batch_requests) {}
+
+  Tick slo_ticks() const noexcept { return slo_ticks_; }
+  Tick est_batch_ticks() const noexcept { return est_batch_ticks_; }
+
+  /// Install the per-batch e2e estimate (cost-model priced, from the
+  /// warm-up batch). Called once before the first admission decision.
+  void set_estimate(Tick est_batch_ticks) noexcept {
+    est_batch_ticks_ = est_batch_ticks;
+  }
+
+  /// Predicted queueing + service delay for a request arriving at `now`
+  /// with `queued` requests already waiting and the server lane predicted
+  /// free at `server_free`: the request rides batch
+  /// ceil((queued + 1) / max_batch), and every batch ahead of it costs
+  /// one batch estimate.
+  Tick predicted_latency(Tick now, Tick server_free,
+                         std::size_t queued) const noexcept {
+    const std::uint64_t batches_ahead =
+        (static_cast<std::uint64_t>(queued) + max_batch_) / max_batch_;
+    const Tick start = server_free > now ? server_free - now : 0;
+    return start + batches_ahead * est_batch_ticks_;
+  }
+
+  /// The admission predicate. slo_ticks == 0 disables shedding (admit
+  /// everything; latency is still measured against span stats).
+  bool admit(Tick now, Tick server_free, std::size_t queued) const noexcept {
+    if (slo_ticks_ == 0) return true;
+    return predicted_latency(now, server_free, queued) <= slo_ticks_;
+  }
+
+ private:
+  Tick slo_ticks_;
+  std::size_t max_batch_;
+  Tick est_batch_ticks_ = 0;
+};
+
+}  // namespace gt::serving

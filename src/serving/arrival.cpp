@@ -1,0 +1,114 @@
+#include "serving/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gt::serving {
+
+namespace {
+
+constexpr double kTicksPerSecond = 1.0e6;
+
+/// Exponential gap with the given mean, in ticks, rounded up so two
+/// arrivals never share a tick fractionally (>= 1 keeps time advancing).
+Tick exp_gap_ticks(Xoshiro256& rng, double mean_ticks) {
+  // uniform_real is in [0, 1); flip to (0, 1] so log never sees zero.
+  const double u = 1.0 - rng.uniform_real();
+  const double gap = -mean_ticks * std::log(u);
+  const double clamped = std::max(1.0, std::min(gap, 9.0e15));
+  return static_cast<Tick>(clamped);
+}
+
+}  // namespace
+
+const char* to_string(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalKind parse_arrival_kind(const std::string& name) {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  throw std::invalid_argument("unknown arrival process '" + name +
+                              "' (expected poisson|bursty|diurnal)");
+}
+
+TrafficGenerator::TrafficGenerator(ArrivalConfig config)
+    : config_(config) {
+  if (!(config_.rate_rps > 0.0))
+    throw std::invalid_argument("arrival rate must be > 0 requests/s");
+  if (config_.kind == ArrivalKind::kBursty && config_.burst_factor < 1.0)
+    throw std::invalid_argument("burst factor must be >= 1");
+  if (config_.kind == ArrivalKind::kDiurnal &&
+      (config_.diurnal_depth < 0.0 || config_.diurnal_depth >= 1.0))
+    throw std::invalid_argument("diurnal depth must be in [0, 1)");
+}
+
+std::vector<Tick> TrafficGenerator::generate(std::size_t n) const {
+  std::vector<Tick> out;
+  out.reserve(n);
+  // One dedicated RNG stream per generator purpose, derived from the user
+  // seed, so arrival draws never collide with sampling/init streams.
+  Xoshiro256 rng(derive_seed(config_.seed, 0x5e21ull));
+  const double mean_gap = kTicksPerSecond / config_.rate_rps;
+  Tick t = 0;
+
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson: {
+      while (out.size() < n) {
+        t += exp_gap_ticks(rng, mean_gap);
+        out.push_back(t);
+      }
+      break;
+    }
+    case ArrivalKind::kBursty: {
+      // Two-phase MMPP: phase boundaries are drawn from the same stream
+      // as the gaps, in a fixed order, so the schedule stays replayable.
+      bool in_burst = true;
+      Tick phase_end = exp_gap_ticks(
+          rng, static_cast<double>(config_.burst_ticks));
+      const double burst_gap = mean_gap / config_.burst_factor;
+      const double lull_gap = mean_gap * config_.burst_factor;
+      while (out.size() < n) {
+        const Tick gap =
+            exp_gap_ticks(rng, in_burst ? burst_gap : lull_gap);
+        t += gap;
+        while (t >= phase_end) {
+          in_burst = !in_burst;
+          phase_end += exp_gap_ticks(
+              rng, static_cast<double>(in_burst ? config_.burst_ticks
+                                                : config_.lull_ticks));
+        }
+        out.push_back(t);
+      }
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning (Lewis-Shedler): draw at the peak rate, accept with
+      // probability lambda(t) / lambda_peak. Exactly two rng draws per
+      // candidate keeps the stream position deterministic.
+      const double depth = config_.diurnal_depth;
+      const double peak_gap = mean_gap / (1.0 + depth);
+      const double period = static_cast<double>(config_.period_ticks);
+      while (out.size() < n) {
+        t += exp_gap_ticks(rng, peak_gap);
+        const double phase =
+            2.0 * 3.14159265358979323846 *
+            (static_cast<double>(t % config_.period_ticks) / period);
+        const double lambda_frac =
+            (1.0 + depth * std::sin(phase)) / (1.0 + depth);
+        if (rng.uniform_real() < lambda_frac) out.push_back(t);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gt::serving

@@ -1,0 +1,69 @@
+// Deterministic open-loop traffic generation on the virtual-tick clock.
+//
+// Three arrival processes stand in for the paper's "millions of users":
+//
+//   * poisson  — homogeneous Poisson at `rate_rps`: exponential
+//                inter-arrival gaps drawn from a seeded Xoshiro256 stream;
+//   * bursty   — Markov-modulated Poisson: alternating burst / lull
+//                phases of expected `burst_ticks` / `lull_ticks` duration,
+//                with the instantaneous rate at `burst_factor` x the base
+//                rate inside a burst and base / `burst_factor` outside, so
+//                the long-run mean stays near `rate_rps`;
+//   * diurnal  — sinusoidal rate modulation with period `period_ticks`
+//                (one virtual "day"), realized by thinning a homogeneous
+//                peak-rate stream so the draw count per arrival is fixed
+//                and the schedule replays bit-identically.
+//
+// Open-loop means the generator never looks at the server: the arrival
+// schedule for a (kind, rate, seed, shape) tuple is a pure function of
+// those inputs — the same ticks come out on every worker count, thread
+// count, and rerun, which is the bedrock of the serving determinism
+// contract (DESIGN.md §16).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serving/types.hpp"
+#include "util/rng.hpp"
+
+namespace gt::serving {
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kBursty, kDiurnal };
+
+const char* to_string(ArrivalKind k) noexcept;
+
+/// Parse "poisson" | "bursty" | "diurnal"; throws std::invalid_argument.
+ArrivalKind parse_arrival_kind(const std::string& name);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Long-run mean arrival rate in requests per virtual second
+  /// (1 second == 1e6 ticks). Must be > 0.
+  double rate_rps = 1000.0;
+  std::uint64_t seed = 42;
+  // -- bursty shape ---------------------------------------------------------
+  double burst_factor = 4.0;          ///< rate multiplier inside a burst
+  Tick burst_ticks = 50'000;          ///< expected burst phase length
+  Tick lull_ticks = 50'000;           ///< expected lull phase length
+  // -- diurnal shape --------------------------------------------------------
+  Tick period_ticks = 1'000'000;      ///< one virtual "day"
+  double diurnal_depth = 0.8;         ///< modulation depth in [0, 1)
+};
+
+/// Generates the first `n` arrival ticks of the process, ascending.
+/// Stateless between calls: the same (config, n) always returns the same
+/// schedule, and generate(n) is a prefix of generate(m) for n <= m.
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(ArrivalConfig config);
+
+  const ArrivalConfig& config() const noexcept { return config_; }
+
+  std::vector<Tick> generate(std::size_t n) const;
+
+ private:
+  ArrivalConfig config_;
+};
+
+}  // namespace gt::serving

@@ -1,0 +1,57 @@
+// DynamicBatcher: coalesce queued inference requests into one sampled
+// subgraph execution (NGra-style chunk scheduling, PAPERS.md).
+//
+// Policy: a batch closes at the earliest virtual tick at which the server
+// lane is free AND either
+//   * the queue holds max_batch_requests (size-triggered close), or
+//   * the oldest queued request has waited max_wait_ticks
+//     (deadline-triggered close — tail latency beats fill), or
+//   * the arrival stream is exhausted (flush).
+//
+// The batcher is pure policy: it owns no queue and no clock, it just
+// answers "given this queue and these times, when does the next batch
+// close?" — which keeps it unit-testable and keeps every close decision
+// a deterministic function of serve state.
+#pragma once
+
+#include <cstddef>
+
+#include "serving/request_queue.hpp"
+#include "serving/types.hpp"
+
+namespace gt::serving {
+
+struct BatchPolicy {
+  std::size_t max_batch_requests = 8;  ///< size-triggered close threshold
+  Tick max_wait_ticks = 2'000;         ///< deadline-triggered close
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatchPolicy policy) : policy_(policy) {}
+
+  const BatchPolicy& policy() const noexcept { return policy_; }
+
+  /// Tick at which the queue's current head batch closes, given the
+  /// server lane frees at `server_free` and no further arrival joins.
+  /// Precondition: !q.empty().
+  Tick close_tick(const RequestQueue& q, Tick server_free,
+                  bool more_arrivals) const noexcept {
+    if (q.size() >= policy_.max_batch_requests || !more_arrivals)
+      return server_free;  // full (or flushing): go as soon as the lane frees
+    const Tick deadline = q.front().arrival_tick + policy_.max_wait_ticks;
+    return deadline > server_free ? deadline : server_free;
+  }
+
+  /// Pop up to max_batch_requests requests into `out` (arrival order).
+  template <typename OutVec>
+  void take(RequestQueue& q, OutVec& out) {
+    while (!q.empty() && out.size() < policy_.max_batch_requests)
+      out.push_back(q.pop());
+  }
+
+ private:
+  BatchPolicy policy_;
+};
+
+}  // namespace gt::serving

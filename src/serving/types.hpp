@@ -1,0 +1,90 @@
+// Shared vocabulary of the online request-serving front end (DESIGN.md §16).
+//
+// The serving surface runs entirely on the repo's *virtual-tick* clock:
+// one tick = one simulated microsecond, the same unit every priced
+// RunReport::end_to_end_us uses. Requests arrive at generator-chosen
+// ticks, wait in a bounded RequestQueue, get coalesced into sampled
+// subgraph batches by the DynamicBatcher, and either complete, shed
+// (admission control / queue overflow), or degrade (their batch exhausted
+// its fault-retry budget). Because every decision is a pure function of
+// the seeded arrival schedule and the committed batch reports — never of
+// wall clock, worker count, or thread interleaving — replaying a serve
+// configuration is bit-identical across worker counts and reruns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gt::serving {
+
+/// Virtual time: 1 tick == 1 simulated microsecond.
+using Tick = std::uint64_t;
+
+/// One inference request: `vertices` destination vertices to classify.
+struct Request {
+  std::uint64_t id = 0;       ///< arrival order, 0-based
+  Tick arrival_tick = 0;      ///< generator-assigned arrival time
+  std::uint32_t vertices = 1; ///< dst vertices this request asks for
+};
+
+/// Terminal fate of a request. Every arrival gets exactly one outcome.
+enum class Outcome : std::uint8_t {
+  kCompleted,     ///< served inside a batch that reported ok
+  kShedSlo,       ///< admission control predicted an SLO miss
+  kShedQueueFull, ///< bounded queue had no room at arrival
+  kShedShutdown,  ///< drained from the queue by an unwinding serve loop
+  kDegraded,      ///< batch exhausted its retry budget (or OOMed)
+};
+
+const char* to_string(Outcome o) noexcept;
+
+/// Per-request ledger entry, in arrival (= request id) order. The
+/// "outcome stream" the chaos tests compare across worker counts.
+struct RequestRecord {
+  std::uint64_t id = 0;
+  Tick arrival_tick = 0;
+  Outcome outcome = Outcome::kShedShutdown;
+  /// Completion - arrival on the virtual clock; 0 unless kCompleted.
+  Tick latency_ticks = 0;
+  /// Serving batch that carried the request; ~0 when it never boarded one.
+  std::uint64_t batch = kNoBatch;
+
+  static constexpr std::uint64_t kNoBatch = ~0ull;
+
+  bool operator==(const RequestRecord&) const = default;
+};
+
+/// Aggregate serve() results: the outcome stream plus the latency /
+/// goodput / shed-rate summary the bench rows and gt_top panel publish.
+struct ServeReport {
+  std::vector<RequestRecord> records;  // arrival order
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed_slo = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t batches = 0;        ///< serving batches executed
+  double mean_batch_fill = 0.0;     ///< requests per batch / max_batch
+  Tick span_ticks = 0;              ///< first arrival -> last completion
+  double p50_latency_ticks = 0.0;
+  double p95_latency_ticks = 0.0;
+  double p99_latency_ticks = 0.0;
+  /// Completed-within-SLO requests per virtual second.
+  double goodput_rps = 0.0;
+  /// Completed requests that also met the SLO deadline.
+  std::uint64_t goodput_requests = 0;
+
+  std::uint64_t shed() const noexcept {
+    return shed_slo + shed_queue_full;
+  }
+  double shed_rate() const noexcept {
+    return arrived == 0 ? 0.0
+                        : static_cast<double>(shed()) /
+                              static_cast<double>(arrived);
+  }
+};
+
+}  // namespace gt::serving

@@ -202,6 +202,48 @@ TEST(CacheHierarchy, PrefetchNeedsCommittedComputeWindow) {
   EXPECT_EQ(cold.misses, 2u);
 }
 
+// Regression: a row can be prefetch-admitted and then evicted again by the
+// SAME commit's later fills (capacity pressure). Its upload is still in
+// flight, so the next batch must not class it kPrefetch a second time —
+// that double-credited the overlap window (two "free" uploads for one
+// PCIe transfer). It has to fall through to the miss class until the
+// in-flight set rolls over.
+TEST(CacheHierarchy, EvictedInflightPrefetchIsNotRecredited) {
+  TinyEnv env;
+  CacheHierarchy hier = env.make(CachePolicy::kLru, 2, /*prefetch=*/true);
+  ASSERT_EQ(hier.dynamic_capacity_rows(), 2u);
+
+  hier.commit(hier.lookup(std::vector<Vid>{0, 1}, 1, true), 1.0e6);
+  ASSERT_EQ(hier.prefetch_budget_rows(2), 2u);  // capped at capacity
+
+  // Batch 2: 2 and 3 consume the prefetch budget, 4 is a plain miss; the
+  // commit admits all three, so 4's fill evicts the just-prefetched 2.
+  auto look2 = hier.lookup(std::vector<Vid>{2, 3, 4}, 2, true);
+  EXPECT_EQ(look2.prefetched, 2u);
+  EXPECT_EQ(look2.misses, 1u);
+  hier.commit(look2, 1.0e6);
+  EXPECT_FALSE(hier.dynamic_contains(2));
+  EXPECT_TRUE(hier.dynamic_contains(3));
+  EXPECT_TRUE(hier.dynamic_contains(4));
+
+  // Batch 3: 2's upload is still in flight -> miss, not a second prefetch
+  // credit. 3 is a genuine dynamic hit, fresh vid 5 may still prefetch.
+  const auto look3 = hier.lookup(std::vector<Vid>{2, 3, 5}, 3, true);
+  EXPECT_EQ(look3.misses, 1u);          // vid 2: deduplicated
+  EXPECT_EQ(look3.dynamic_hits, 1u);    // vid 3
+  EXPECT_EQ(look3.prefetch_hits, 1u);   // vid 5: budget still applies
+  EXPECT_EQ(look3.prefetched, 1u);
+  ASSERT_EQ(look3.prefetched_vids.size(), 1u);
+  EXPECT_EQ(look3.prefetched_vids[0], 5u);
+  hier.commit(look3, 50.0);
+
+  // The in-flight set rolls over each commit: once 2's entry ages out it
+  // can be prefetched again like any cold row.
+  hier.commit(hier.lookup(std::vector<Vid>{6}, 4, false), 1.0e6);
+  const auto look5 = hier.lookup(std::vector<Vid>{2}, 5, true);
+  EXPECT_EQ(look5.prefetch_hits, 1u);
+}
+
 TEST(CacheHierarchy, ReplaySequencesIdentically) {
   TinyEnv env;
   const auto run = [&](CachePolicy policy) {

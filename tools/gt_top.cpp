@@ -216,6 +216,48 @@ int render(const std::string& dir, bool clear_screen) {
               state_color(state), state.c_str(), c_reset(),
               health.number_at("heartbeats"), health.number_at("stalls"),
               health.number_at("stalls") == 1.0 ? "" : "s");
+
+  // Online serving panel (DESIGN.md §16): present only when a serve() run
+  // has published serving.* counters into this snapshot stream.
+  const double arrived = counters.number_at("serving.requests.arrived");
+  if (arrived > 0.0) {
+    const double admitted = counters.number_at("serving.requests.admitted");
+    const double shed_slo = counters.number_at("serving.requests.shed_slo");
+    const double shed_full =
+        counters.number_at("serving.requests.shed_queue_full");
+    const double shed_down =
+        counters.number_at("serving.requests.shed_shutdown");
+    const double completed =
+        counters.number_at("serving.requests.completed");
+    const double degraded = counters.number_at("serving.requests.degraded");
+    const double shed = shed_slo + shed_full;
+    std::printf("\nserving\n");
+    std::printf("  requests      arrived %.0f · admitted %.0f · completed "
+                "%.0f · degraded %.0f\n",
+                arrived, admitted, completed, degraded);
+    std::printf("  shed          %s%.1f%%%s (slo %.0f / queue-full %.0f / "
+                "shutdown %.0f)\n",
+                shed / arrived > 0.5 ? c_red()
+                                     : (shed > 0.0 ? c_yellow() : c_green()),
+                100.0 * shed / arrived, c_reset(), shed_slo, shed_full,
+                shed_down);
+    const JsonValue& hists = snap.at("histograms");
+    if (hists.is_object() &&
+        hists.at("serving.request_latency_us").is_object()) {
+      const JsonValue& lat = hists.at("serving.request_latency_us");
+      std::printf("  latency       p50 %.0f / p95 %.0f / p99 %.0f ticks "
+                  "(%.0f sampled)\n",
+                  lat.number_at("p50"), lat.number_at("p95"),
+                  lat.number_at("p99"), lat.number_at("count"));
+    }
+    std::printf("  goodput       %.1f rps · batches %.0f · queue depth "
+                "%.0f (peak %.0f) · est %.0f ticks/batch\n",
+                gauges.number_at("serving.goodput_rps"),
+                counters.number_at("serving.batches"),
+                gauges.number_at("serving.queue.depth"),
+                gauges.number_at("serving.queue.peak"),
+                gauges.number_at("serving.est_batch_ticks"));
+  }
   return 0;
 }
 
@@ -256,6 +298,37 @@ struct Checker {
     const std::string& state = v.at("health").string_at("state");
     require(state == "ok" || state == "stalled",
             path + ": health.state '" + state + "' invalid");
+
+    // Serving accounting invariants (DESIGN.md §16). The planner decides
+    // every arrival exactly once — admitted or shed at the door — and
+    // only admitted requests can later complete, degrade, or drain as
+    // shutdown sheds; the planner running ahead of execution means
+    // completion may lag admission, never lead it.
+    if (v.at("counters").is_object()) {
+      const JsonValue& counters = v.at("counters");
+      const double arrived = counters.number_at("serving.requests.arrived");
+      if (arrived > 0.0) {
+        const double admitted =
+            counters.number_at("serving.requests.admitted");
+        const double shed_slo =
+            counters.number_at("serving.requests.shed_slo");
+        const double shed_full =
+            counters.number_at("serving.requests.shed_queue_full");
+        const double shed_down =
+            counters.number_at("serving.requests.shed_shutdown");
+        const double completed =
+            counters.number_at("serving.requests.completed");
+        const double degraded =
+            counters.number_at("serving.requests.degraded");
+        require(admitted + shed_slo + shed_full == arrived,
+                path + ": serving arrivals unaccounted (admitted " +
+                    std::to_string(admitted) + " + shed " +
+                    std::to_string(shed_slo + shed_full) + " != arrived " +
+                    std::to_string(arrived) + ")");
+        require(completed + degraded + shed_down <= admitted,
+                path + ": serving resolved more requests than admitted");
+      }
+    }
   }
 };
 
